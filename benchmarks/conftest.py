@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark suite.
+
+One paper-scale trace is generated per session and shared by every
+benchmark: 40 machines (the fingerprint representation is independent of
+machine count), ~105 metrics, 240 days of history before a 120-day labeled
+period — enough for the paper's 240-day threshold window — with 20
+undiagnosed bootstrap crises and the 19 labeled crises of Table 1.
+
+Each benchmark prints the table/figure it regenerates and also writes it to
+``benchmarks/results/`` so EXPERIMENTS.md can be checked against a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.datacenter import DatacenterSimulator, SimulationConfig
+from repro.methods import (
+    AllMetricsFingerprintMethod,
+    FingerprintMethod,
+    KPIMethod,
+    SignaturesMethod,
+)
+
+PAPER_SIM = SimulationConfig(
+    n_machines=40,
+    seed=7,
+    warmup_days=30,
+    bootstrap_days=210,
+    labeled_days=120,
+    n_bootstrap_crises=20,
+    chunk_days=5,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_trace():
+    return DatacenterSimulator(PAPER_SIM).run()
+
+
+@pytest.fixture(scope="session")
+def labeled_crises(paper_trace):
+    crises = paper_trace.labeled_crises
+    assert len(crises) >= 17, "too many labeled crises went undetected"
+    return crises
+
+
+@pytest.fixture(scope="session")
+def fitted_methods(paper_trace, labeled_crises):
+    """All four comparison methods, fitted offline (perfect knowledge)."""
+    methods = [
+        FingerprintMethod(),
+        SignaturesMethod(),
+        AllMetricsFingerprintMethod(),
+        KPIMethod(),
+    ]
+    for m in methods:
+        m.fit(paper_trace, labeled_crises)
+    return methods
+
+
+@pytest.fixture(scope="session")
+def fingerprint_method(fitted_methods):
+    return fitted_methods[0]
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,57 @@
+"""Supplementary analysis: which crisis types get confused.
+
+Not a paper figure, but the diagnostic operators ask for first.  The
+structurally-similar pairs in the simulated datacenter (A/D both saturate
+the front end, B/E the post-processing stage, F/G the heavy stage) should
+dominate whatever misidentifications remain — confusions between
+*unrelated* types would indicate the representation is broken.
+"""
+
+from conftest import publish
+from repro.evaluation.confusion import confusion_table, top_confusions
+from repro.evaluation.experiments import OfflineIdentificationExperiment
+
+#: Type pairs that share a saturated stage (legitimate confusions).
+RELATED = {
+    frozenset("AD"), frozenset("BE"), frozenset("FG"), frozenset("CG"),
+    frozenset("CF"), frozenset("IJ"),
+}
+
+
+def test_confusion_structure(benchmark, fingerprint_method, labeled_crises):
+    exp = OfflineIdentificationExperiment(
+        fingerprint_method, labeled_crises, n_runs=5, seed=7
+    )
+
+    def compute():
+        curves = exp.run()
+        alpha = curves.operating_point()["alpha"]
+        return exp.outcomes_at(alpha)
+
+    outcomes = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    text = "Confusion matrix at the operating point\n"
+    text += confusion_table(outcomes)
+    top = top_confusions(outcomes, k=6)
+    if top:
+        text += "\n\ntop misidentifications:\n"
+        for true, emitted, n in top:
+            related = frozenset(true + emitted) in RELATED
+            text += (
+                f"  {true} identified as {emitted}: {n}x"
+                f" ({'related types' if related else 'UNRELATED'})\n"
+            )
+    publish("confusion_analysis", text)
+
+    wrong_related = sum(
+        n for true, emitted, n in top
+        if frozenset(true + emitted) in RELATED
+    )
+    wrong_unrelated = sum(
+        n for true, emitted, n in top
+        if frozenset(true + emitted) not in RELATED
+    )
+    # Structurally related pairs should account for at least half of the
+    # (few) misidentifications.
+    if wrong_related + wrong_unrelated > 0:
+        assert wrong_related >= wrong_unrelated

@@ -1,0 +1,71 @@
+"""Experiment E2 — Figure 4: offline identification accuracy per method.
+
+Paper's result (Section 5.1.3): with perfect future knowledge the
+fingerprint method reaches ~97.5% known / ~93.3% unknown accuracy; the
+signatures adaptation lands around 75/80%; the all-metrics and KPI
+baselines only manage roughly 50-55%.
+"""
+
+from conftest import publish
+from repro.evaluation.experiments import OfflineIdentificationExperiment
+from repro.evaluation.results import format_percent, format_table
+from repro.viz import render_series
+
+
+def test_fig4_offline_identification(benchmark, fitted_methods,
+                                     labeled_crises):
+    def compute():
+        results = {}
+        for method in fitted_methods:
+            exp = OfflineIdentificationExperiment(
+                method, labeled_crises, n_runs=5, seed=7
+            )
+            results[method.name] = exp.run()
+        return results
+
+    curves_by_method = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name, curves in curves_by_method.items():
+        op = curves.operating_point()
+        rows.append(
+            [
+                name,
+                format_percent(op["known_accuracy"]),
+                format_percent(op["unknown_accuracy"]),
+                f"{op['mean_time_minutes']:.0f} min",
+                round(op["alpha"], 3),
+            ]
+        )
+    text = format_table(
+        ["method", "known acc.", "unknown acc.", "time to id", "alpha*"],
+        rows,
+        title="Figure 4 — offline identification (operating point where "
+        "known/unknown accuracies cross)",
+    )
+    fp = curves_by_method["fingerprints"]
+    text += "\n\n" + render_series(
+        fp.alphas,
+        [fp.known_accuracy, fp.unknown_accuracy],
+        ["known accuracy", "unknown accuracy"],
+        title="fingerprints: accuracy vs alpha (offline)",
+    )
+    publish("fig4_offline_identification", text)
+
+    op = {
+        name: curves.operating_point()
+        for name, curves in curves_by_method.items()
+    }
+
+    def balanced(name):
+        return (op[name]["known_accuracy"] + op[name]["unknown_accuracy"]) / 2
+
+    # Shape: fingerprints lead every alternative (Figure 4's ordering);
+    # the absolute level is below the paper's 97.5/93.3% because our
+    # synthetic baselines are stronger than the production dataset's (see
+    # EXPERIMENTS.md).
+    assert balanced("fingerprints") > 0.75
+    assert balanced("fingerprints") > balanced("fingerprints (all metrics)")
+    assert balanced("fingerprints") > balanced("KPIs")
+    assert balanced("fingerprints") >= balanced("signatures")
+    assert op["fingerprints"]["mean_time_minutes"] <= 30.0

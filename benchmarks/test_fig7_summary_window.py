@@ -1,0 +1,55 @@
+"""Experiment E5 — Figure 7: discriminative power vs summary window.
+
+The crisis fingerprint averages epoch fingerprints over a window [t0, t1]
+relative to detection.  The paper's Figure 7: windows starting at least 30
+minutes before the crisis quickly reach high AUC as the window end grows;
+the production choice (-30 min, +60 min) sits on the plateau.
+"""
+
+import numpy as np
+
+from conftest import publish
+from repro.evaluation.results import format_table
+from repro.evaluation.sensitivity import summary_window_sweep
+
+
+def test_fig7_summary_window(benchmark, paper_trace, labeled_crises,
+                             fingerprint_method):
+    start_offsets = (-4, -3, -2, -1, 0)
+    end_offsets = (0, 1, 2, 3, 4, 6, 8, 10)
+
+    def compute():
+        return summary_window_sweep(
+            paper_trace,
+            labeled_crises,
+            start_offsets=start_offsets,
+            end_offsets=end_offsets,
+            method=fingerprint_method,
+        )
+
+    aucs = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for t0 in start_offsets:
+        row = [f"start {15 * t0:+d} min"]
+        for t1 in end_offsets:
+            row.append(
+                round(aucs[(t0, t1)], 3) if (t0, t1) in aucs else "-"
+            )
+        rows.append(row)
+    text = format_table(
+        ["window"] + [f"end +{15 * t1}m" for t1 in end_offsets],
+        rows,
+        title="Figure 7 — AUC of fingerprints summarized over [t0, t1] "
+        "relative to detection",
+    )
+    publish("fig7_summary_window", text)
+
+    # Shape criteria: the paper's window (-2, +4) is on the plateau, and
+    # long windows starting before the crisis beat the shortest ones.
+    paper_auc = aucs[(-2, 4)]
+    assert paper_auc > 0.9
+    best = max(aucs.values())
+    assert paper_auc >= best - 0.05
+    short = aucs[(-4, 0)]
+    assert aucs[(-4, 8)] >= short - 0.02

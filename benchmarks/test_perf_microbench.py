@@ -1,0 +1,87 @@
+"""Performance micro-benchmarks of the hot paths.
+
+The figure benchmarks above each time one full experiment; these measure
+the per-operation costs that matter for a live deployment: summarizing an
+epoch, discretizing, building a crisis fingerprint, and matching it
+against a library.  All are far below the 15-minute epoch budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.identification import Identifier
+from repro.core.summary import summary_vectors
+from repro.core.thresholds import QuantileThresholds
+from repro.telemetry.quantiles import summarize_epoch
+from repro.telemetry.sketches import GKQuantileSketch
+
+N_MACHINES = 500
+N_METRICS = 120
+QUANTILES = (0.25, 0.50, 0.95)
+
+
+@pytest.fixture(scope="module")
+def epoch_samples():
+    rng = np.random.default_rng(0)
+    return rng.lognormal(1.0, 0.5, (N_MACHINES, N_METRICS))
+
+
+@pytest.fixture(scope="module")
+def thresholds():
+    rng = np.random.default_rng(1)
+    base = rng.lognormal(1.0, 0.5, (N_METRICS, len(QUANTILES)))
+    return QuantileThresholds(cold=base * 0.5, hot=base * 2.0)
+
+
+def test_perf_summarize_epoch(benchmark, epoch_samples):
+    """Datacenter-wide quantiles for one epoch (500 machines x 120 metrics)."""
+    result = benchmark(summarize_epoch, epoch_samples, QUANTILES)
+    assert result.shape == (N_METRICS, len(QUANTILES))
+
+
+def test_perf_summary_vectors(benchmark, epoch_samples, thresholds):
+    """Hot/cold discretization of one epoch's quantile matrix."""
+    q = summarize_epoch(epoch_samples, QUANTILES)
+    result = benchmark(summary_vectors, q, thresholds)
+    assert result.shape == (N_METRICS, len(QUANTILES))
+
+
+def test_perf_crisis_fingerprint_window(benchmark, epoch_samples,
+                                        thresholds):
+    """Averaging a 7-epoch summary window into a crisis fingerprint."""
+    rng = np.random.default_rng(2)
+    window = rng.lognormal(1.0, 0.5, (7, N_METRICS, len(QUANTILES)))
+    relevant = np.arange(30)
+
+    def build():
+        summaries = summary_vectors(window, thresholds)
+        sub = summaries[:, relevant, :].astype(float)
+        return sub.reshape(sub.shape[0], -1).mean(axis=0)
+
+    vector = benchmark(build)
+    assert vector.shape == (30 * len(QUANTILES),)
+
+
+def test_perf_identification(benchmark):
+    """Nearest-neighbor match against a 100-crisis library."""
+    rng = np.random.default_rng(3)
+    library = [(rng.uniform(-1, 1, 90), "B") for _ in range(100)]
+    vector = rng.uniform(-1, 1, 90)
+    identifier = Identifier(threshold=2.0)
+    result = benchmark(identifier.identify, vector, library)
+    assert result.nearest_label == "B"
+
+
+def test_perf_gk_insert_throughput(benchmark):
+    """Greenwald-Khanna insertion rate (per 10k-sample batch)."""
+    rng = np.random.default_rng(4)
+    values = rng.lognormal(0.0, 1.0, 10_000)
+
+    def run():
+        sketch = GKQuantileSketch(eps=0.01)
+        for v in values:
+            sketch.insert(v)
+        return sketch
+
+    sketch = benchmark(run)
+    assert len(sketch) == len(values)

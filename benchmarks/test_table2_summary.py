@@ -1,0 +1,93 @@
+"""Experiment E7 — Table 2: accuracy summary across all settings.
+
+Paper's Table 2:
+
+    setting                   known acc.   unknown acc.
+    offline                   98%          93%
+    quasi-online              83%          83%
+    online, bootstrap w/ 10   80%          80%
+    online, bootstrap w/ 2    78%          74%
+"""
+
+from conftest import publish
+from repro.config import FingerprintingConfig, SelectionConfig, ThresholdConfig
+from repro.evaluation.experiments import (
+    OfflineIdentificationExperiment,
+    OnlineIdentificationExperiment,
+)
+from repro.evaluation.results import format_percent, format_table
+from repro.methods import FingerprintMethod
+
+ONLINE_CONFIG = FingerprintingConfig(
+    selection=SelectionConfig(n_relevant=30),
+    thresholds=ThresholdConfig(window_days=240),
+)
+OFFLINE_CONFIG = FingerprintingConfig(
+    selection=SelectionConfig(n_relevant=15),
+    thresholds=ThresholdConfig(window_days=240),
+)
+
+
+def test_table2_summary(benchmark, paper_trace, labeled_crises):
+    def compute():
+        offline_method = FingerprintMethod(OFFLINE_CONFIG)
+        offline_method.fit(paper_trace, labeled_crises)
+        offline = OfflineIdentificationExperiment(
+            offline_method, labeled_crises, n_runs=5, seed=7
+        ).run()
+
+        online_exp = OnlineIdentificationExperiment(
+            paper_trace, ONLINE_CONFIG
+        )
+        quasi = online_exp.run(mode="quasi-online", bootstrap=2,
+                               n_runs=21, seed=7)
+        online10 = online_exp.run(mode="online", bootstrap=10,
+                                  n_runs=41, seed=7)
+        online2 = online_exp.run(mode="online", bootstrap=2,
+                                 n_runs=21, seed=7)
+        return {
+            "offline": offline,
+            "quasi-online": quasi,
+            "online, bootstrap w/ 10": online10,
+            "online, bootstrap w/ 2": online2,
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    paper = {
+        "offline": (0.98, 0.93),
+        "quasi-online": (0.83, 0.83),
+        "online, bootstrap w/ 10": (0.80, 0.80),
+        "online, bootstrap w/ 2": (0.78, 0.74),
+    }
+    rows = []
+    ops = {}
+    for setting, curves in results.items():
+        op = curves.operating_point()
+        ops[setting] = op
+        rows.append(
+            [
+                setting,
+                format_percent(op["known_accuracy"]),
+                format_percent(op["unknown_accuracy"]),
+                f"{100 * paper[setting][0]:.0f}% / "
+                f"{100 * paper[setting][1]:.0f}%",
+            ]
+        )
+    text = format_table(
+        ["setting", "known acc.", "unknown acc.", "paper (k/u)"],
+        rows,
+        title="Table 2 — identification accuracy by setting",
+    )
+    publish("table2_summary", text)
+
+    def balanced(setting):
+        op = ops[setting]
+        return (op["known_accuracy"] + op["unknown_accuracy"]) / 2
+
+    # Shape: offline is the optimum; online estimation costs accuracy but
+    # the method keeps working; bigger bootstrap does not hurt.
+    assert balanced("offline") > 0.85
+    assert balanced("offline") >= balanced("online, bootstrap w/ 10") - 0.02
+    assert balanced("online, bootstrap w/ 10") >= \
+        balanced("online, bootstrap w/ 2") - 0.05

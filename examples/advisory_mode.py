@@ -1,0 +1,109 @@
+"""Advisory mode: the paper's pilot-program workflow, end to end.
+
+The paper closes with a pilot program running fingerprints "in advisory
+mode with live data": each detected crisis is identified against the
+incident knowledge base, and operators either get the remedy that worked
+last time or are told the crisis is new.  This example runs that loop —
+including the incident database, remedies, and JSON persistence.
+
+    python examples/advisory_mode.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    DatacenterSimulator,
+    FingerprintingConfig,
+    FingerprintPipeline,
+    SelectionConfig,
+    SimulationConfig,
+    ThresholdConfig,
+)
+from repro.incidents import CrisisAdvisor, IncidentDatabase
+
+REMEDIES = {
+    "A": "enable front-end admission control; add front-end capacity",
+    "B": "page downstream DC; throttle archival stream until drained",
+    "C": "roll back database configuration push",
+    "D": "roll back front-end configuration push",
+    "E": "roll back post-processing configuration push",
+    "F": "roll back runtime upgrade; restart workers",
+    "G": "restart middle tier; clear lock table",
+    "H": "fix request router weights; rebalance",
+    "I": "staged power-on; verify cooling before ramping traffic",
+    "J": "shed load; scale out until spike passes",
+}
+
+
+def main() -> None:
+    print("generating trace...")
+    trace = DatacenterSimulator(
+        SimulationConfig(
+            n_machines=40,
+            seed=7,
+            warmup_days=35,
+            bootstrap_days=60,
+            labeled_days=90,
+            n_bootstrap_crises=10,
+        )
+    ).run()
+
+    config = FingerprintingConfig(
+        selection=SelectionConfig(n_relevant=30),
+        thresholds=ThresholdConfig(window_days=30),
+    )
+    pipeline = FingerprintPipeline(trace, config)
+    advisor = CrisisAdvisor(pipeline, IncidentDatabase())
+
+    retrieved = 0
+    new_incidents = 0
+    for crisis in trace.detected_crises:
+        pipeline.observe(crisis)
+        pipeline.refresh(crisis.detected_epoch)
+        pipeline.update_identification_threshold()
+        if len(advisor.database):
+            advisor.refingerprint_database()
+
+        if pipeline.identification_threshold is not None:
+            advice = advisor.advise(crisis)
+            if advice.matched and advice.remedy:
+                retrieved += 1
+                print(
+                    f"crisis {crisis.index:3d}: matched type "
+                    f"{advice.label} -> remedy: {advice.remedy}"
+                )
+            else:
+                new_incidents += 1
+                print(
+                    f"crisis {crisis.index:3d}: no confident match "
+                    f"(sequence {' '.join(advice.sequence)}) — "
+                    f"starting fresh diagnosis"
+                )
+        # Operators diagnose the crisis after the fact and file the remedy.
+        advisor.record_diagnosis(
+            crisis,
+            crisis.label,
+            diagnosis=f"type {crisis.label}",
+            remedy=REMEDIES[crisis.label],
+        )
+
+    print(f"\nremedies retrieved automatically: {retrieved}")
+    print(f"fresh diagnoses needed:          {new_incidents}")
+
+    # The knowledge base persists across restarts.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "incidents.json"
+        advisor.database.save(path)
+        from repro.incidents import IncidentDatabase as DB
+
+        reloaded = DB.load(path)
+        print(
+            f"\nknowledge base saved and reloaded: {len(reloaded)} "
+            f"incidents, latest remedy for B: "
+            f"{reloaded.by_label('B')[-1].remedy!r}"
+        )
+
+
+if __name__ == "__main__":
+    main()

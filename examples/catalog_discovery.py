@@ -1,0 +1,69 @@
+"""Bootstrapping a crisis catalog from undiagnosed history.
+
+The paper's method needs past crises, but its bootstrap period contains
+twenty crises nobody labeled.  This example shows how an adopting team
+mines that history: cluster the undiagnosed crises by fingerprint
+distance, review each proposed group once, and label clusters instead of
+incidents.  Ground-truth types (which the simulator knows) measure how
+pure the proposed catalog is.
+
+    python examples/catalog_discovery.py
+"""
+
+from collections import Counter
+
+from repro import DatacenterSimulator, SimulationConfig
+from repro.extensions import catalog_summary, cluster_crises, cluster_purity
+from repro.methods import FingerprintMethod
+
+SIM = SimulationConfig(
+    n_machines=40,
+    seed=7,
+    warmup_days=35,
+    bootstrap_days=90,
+    labeled_days=90,
+    n_bootstrap_crises=14,
+)
+
+
+def main() -> None:
+    print("generating trace...")
+    trace = DatacenterSimulator(SIM).run()
+
+    # Fit thresholds/relevant metrics offline on the labeled period; the
+    # clustering target is the *bootstrap* crises, which carry no labels
+    # as far as the method is concerned.
+    method = FingerprintMethod()
+    method.fit(trace, trace.labeled_crises)
+    bootstrap = trace.bootstrap_crises
+    print(f"{len(bootstrap)} undiagnosed bootstrap crises")
+
+    vectors = [method.vector(c) for c in bootstrap]
+    truth = [c.label for c in bootstrap]  # hidden from the method
+
+    # Complete linkage with a cutoff near the identification threshold:
+    # every within-cluster pair would also match under the identifier.
+    clusters = cluster_crises(vectors, threshold=2.0, linkage="complete")
+    purity = cluster_purity(clusters, truth)
+
+    print(f"\nproposed catalog: {len(clusters)} entries "
+          f"(purity vs hidden ground truth: {purity:.0%})")
+    for row in catalog_summary(clusters, truth):
+        members = clusters[row['cluster']].members
+        print(
+            f"  entry {row['cluster']}: {row['size']} crises "
+            f"(medoid crisis {bootstrap[row['medoid']].index}) "
+            f"— true types {row['true_labels']}"
+        )
+
+    counts = Counter(truth)
+    print("\nhidden ground-truth distribution:",
+          dict(sorted(counts.items())))
+    print(
+        "\nOperators label each entry once (inspecting the medoid's "
+        "fingerprint)\ninstead of diagnosing every incident separately."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Running the method as a live service: collector + streaming monitor.
+
+The other examples replay recorded traces; this one wires the pieces a
+real deployment uses — per-machine agents feeding an epoch aggregator,
+whose summaries stream into :class:`StreamingCrisisMonitor`.  Events are
+printed as they happen; operators diagnose crises after they end and the
+monitor starts recognizing repeats.
+
+    python examples/streaming_monitor.py
+"""
+
+from repro import DatacenterSimulator, SimulationConfig
+from repro.config import (
+    FingerprintingConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+from repro.core.streaming import (
+    CrisisDetected,
+    CrisisEnded,
+    IdentificationUpdate,
+    StreamingCrisisMonitor,
+)
+from repro.methods import FingerprintMethod
+
+SIM = SimulationConfig(
+    n_machines=40,
+    seed=7,
+    warmup_days=35,
+    bootstrap_days=60,
+    labeled_days=90,
+    n_bootstrap_crises=10,
+)
+CONFIG = FingerprintingConfig(
+    selection=SelectionConfig(n_relevant=30),
+    thresholds=ThresholdConfig(window_days=30),
+)
+
+
+def main() -> None:
+    # In production the quantile stream comes from
+    # repro.telemetry.collector; here the simulator plays the datacenter
+    # and we replay its per-epoch summaries as if they were live.
+    print("generating trace (stands in for the live datacenter)...")
+    trace = DatacenterSimulator(SIM).run()
+
+    # Relevant metrics come from offline analysis of past incidents.
+    method = FingerprintMethod(CONFIG)
+    method.fit(trace, trace.labeled_crises)
+
+    monitor = StreamingCrisisMonitor(
+        n_metrics=trace.n_metrics,
+        relevant_metrics=method.relevant,
+        config=CONFIG,
+        threshold_refresh_epochs=96,
+        min_history_epochs=96 * 14,
+    )
+
+    # Ground truth the "operators" use to diagnose ended crises.
+    def true_label(epoch: int):
+        for c in trace.crises:
+            if c.instance.start_epoch - 4 <= epoch \
+                    <= c.instance.end_epoch + 8:
+                return c.label
+        return None
+
+    frac = trace.kpi_violation_fraction.max(axis=1)
+    n_detected = n_recognized = 0
+    for epoch in range(trace.n_epochs):
+        events = monitor.ingest(trace.quantiles[epoch], float(frac[epoch]))
+        for event in events:
+            if isinstance(event, CrisisDetected):
+                n_detected += 1
+                day = epoch // 96
+                print(f"[day {day:3d}] crisis #{event.crisis_number} "
+                      f"DETECTED")
+            elif isinstance(event, IdentificationUpdate):
+                if event.identification_epoch == 4 or event.label != "x":
+                    print(
+                        f"          id epoch {event.identification_epoch}:"
+                        f" {event.label}"
+                        + (f" (distance {event.distance:.2f})"
+                           if event.distance is not None else "")
+                    )
+                if event.label != "x":
+                    n_recognized += 1
+            elif isinstance(event, CrisisEnded):
+                label = true_label(event.epoch)
+                if label:
+                    monitor.diagnose(event.crisis_number, label)
+                print(
+                    f"          ended after "
+                    f"{event.duration_epochs} epochs; diagnosed as "
+                    f"{label or 'unknown'}"
+                )
+
+    print(f"\ncrises detected: {n_detected}")
+    print(f"identification updates with a label: {n_recognized}")
+    print("library labels:", monitor.library_labels)
+
+
+if __name__ == "__main__":
+    main()

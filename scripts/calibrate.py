@@ -1,0 +1,79 @@
+"""Calibration dashboard: Figure 3 + Figure 4 numbers for one trace seed.
+
+Development tool used while tuning the simulator so the reproduction's
+result *shape* matches the paper (see DESIGN.md section 7).  Run:
+
+    python scripts/calibrate.py [seed]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.datacenter import DatacenterSimulator, SimulationConfig
+from repro.evaluation.discrimination import discrimination_roc
+from repro.evaluation.experiments import OfflineIdentificationExperiment
+from repro.evaluation.results import format_percent, format_table
+from repro.methods import (
+    AllMetricsFingerprintMethod,
+    FingerprintMethod,
+    KPIMethod,
+    SignaturesMethod,
+)
+
+SEED = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+
+
+def main() -> None:
+    cfg = SimulationConfig(
+        n_machines=40,
+        seed=SEED,
+        warmup_days=35,
+        bootstrap_days=60,
+        labeled_days=90,
+        n_bootstrap_crises=10,
+        chunk_days=4,
+    )
+    t0 = time.time()
+    trace = DatacenterSimulator(cfg).run()
+    crises = trace.labeled_crises
+    print(f"trace: seed={SEED} gen={time.time()-t0:.1f}s "
+          f"labeled={len(crises)}")
+
+    rows = []
+    for method in (
+        FingerprintMethod(),
+        SignaturesMethod(),
+        AllMetricsFingerprintMethod(),
+        KPIMethod(),
+    ):
+        t0 = time.time()
+        method.fit(trace, crises)
+        roc = discrimination_roc(method, crises)
+        exp = OfflineIdentificationExperiment(method, crises, seed=SEED)
+        op = exp.run().operating_point()
+        rows.append(
+            [
+                method.name,
+                round(roc.auc, 3),
+                format_percent(op["known_accuracy"]),
+                format_percent(op["unknown_accuracy"]),
+                round(op["alpha"], 3),
+                f"{op['mean_time_minutes']:.0f}m"
+                if not np.isnan(op["mean_time_minutes"])
+                else "-",
+                f"{time.time()-t0:.0f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["method", "AUC", "known", "unknown", "alpha*", "time", "cost"],
+            rows,
+            title="\nFigure 3 + Figure 4 (offline)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

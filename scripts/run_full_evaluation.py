@@ -1,0 +1,43 @@
+"""Run the complete evaluation battery on a fresh (or saved) trace.
+
+    python scripts/run_full_evaluation.py [seed | trace.npz]
+
+Prints one consolidated report; for the canonical per-figure artifacts use
+``pytest benchmarks/ --benchmark-only`` instead.
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.datacenter import DatacenterSimulator, SimulationConfig
+from repro.evaluation.reports import full_report
+from repro.persistence import load_trace
+
+
+def main() -> None:
+    arg = sys.argv[1] if len(sys.argv) > 1 else "7"
+    if arg.endswith(".npz") and pathlib.Path(arg).exists():
+        print(f"loading {arg}...")
+        trace = load_trace(arg)
+    else:
+        seed = int(arg)
+        config = SimulationConfig(
+            n_machines=40,
+            seed=seed,
+            warmup_days=30,
+            bootstrap_days=210,
+            labeled_days=120,
+            n_bootstrap_crises=20,
+        )
+        print(f"simulating (seed {seed})...")
+        trace = DatacenterSimulator(config).run()
+
+    t0 = time.time()
+    report = full_report(trace)
+    print(report.text)
+    print(f"\n[evaluation took {time.time() - t0:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Fingerprinting the Datacenter — reproduction library.
+
+A full reimplementation of Bodik, Goldszmidt, Fox & Andersen,
+*"Fingerprinting the Datacenter: Automated Classification of Performance
+Crises"* (EuroSys 2010), including the telemetry substrate, a synthetic
+datacenter standing in for the paper's proprietary production traces, the
+fingerprinting method itself, the three comparison baselines, and the
+complete evaluation harness.
+
+Quick start::
+
+    from repro import (
+        DatacenterSimulator, SimulationConfig,
+        FingerprintPipeline, FingerprintingConfig,
+    )
+
+    trace = DatacenterSimulator(SimulationConfig(seed=7)).run()
+    pipeline = FingerprintPipeline(trace, FingerprintingConfig())
+    for crisis in trace.detected_crises:
+        pipeline.observe(crisis)
+        pipeline.refresh(crisis.detected_epoch)
+        pipeline.update_identification_threshold()
+        if pipeline.identification_threshold is not None:
+            print(crisis.label, pipeline.identify(crisis).sequence)
+        pipeline.confirm(crisis)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.config import (
+    FingerprintConfig,
+    FingerprintingConfig,
+    IdentificationConfig,
+    QuantileConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+from repro.core import FingerprintPipeline
+from repro.datacenter import (
+    CrisisSchedule,
+    DatacenterSimulator,
+    DatacenterTrace,
+    SimulationConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FingerprintConfig",
+    "FingerprintingConfig",
+    "IdentificationConfig",
+    "QuantileConfig",
+    "SelectionConfig",
+    "ThresholdConfig",
+    "FingerprintPipeline",
+    "CrisisSchedule",
+    "DatacenterSimulator",
+    "DatacenterTrace",
+    "SimulationConfig",
+    "__version__",
+]

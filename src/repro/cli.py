@@ -1,0 +1,285 @@
+"""Command-line interface.
+
+Six subcommands cover the common workflows without writing Python:
+
+* ``simulate`` — generate a synthetic datacenter trace and save it;
+* ``identify`` — replay online crisis identification over a saved trace;
+* ``discriminate`` — Figure 3's AUC comparison of all four methods;
+* ``render`` — print a Figure 1-style fingerprint heatmap for one crisis;
+* ``timeline`` — print a day-by-day strip of the trace's crises;
+* ``report`` — full operator dossier for one crisis.
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import (
+    FingerprintingConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+
+
+def _add_simulate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("simulate", help="generate and save a trace")
+    p.add_argument("output", help="path of the .npz trace archive")
+    p.add_argument("--machines", type=int, default=40)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--warmup-days", type=int, default=30)
+    p.add_argument("--bootstrap-days", type=int, default=210)
+    p.add_argument("--labeled-days", type=int, default=120)
+    p.add_argument("--bootstrap-crises", type=int, default=20)
+
+
+def _add_identify(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "identify", help="replay online identification over a trace"
+    )
+    p.add_argument("trace", help="path of a saved .npz trace")
+    p.add_argument("--relevant-metrics", type=int, default=30)
+    p.add_argument("--window-days", type=int, default=240)
+    p.add_argument("--alpha", type=float, default=0.1)
+
+
+def _add_discriminate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "discriminate", help="Figure 3: per-method discrimination AUC"
+    )
+    p.add_argument("trace", help="path of a saved .npz trace")
+
+
+def _add_report(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "report", help="print the full operator dossier for one crisis"
+    )
+    p.add_argument("trace", help="path of a saved .npz trace")
+    p.add_argument("crisis", type=int, help="crisis index in the trace")
+    p.add_argument("--relevant-metrics", type=int, default=30)
+
+
+def _add_timeline(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "timeline", help="print a day-by-day strip of the trace"
+    )
+    p.add_argument("trace", help="path of a saved .npz trace")
+    p.add_argument("--days-per-row", type=int, default=60)
+
+
+def _add_render(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "render", help="print the fingerprint heatmap of one crisis"
+    )
+    p.add_argument("trace", help="path of a saved .npz trace")
+    p.add_argument("crisis", type=int, help="crisis index in the trace")
+    p.add_argument("--relevant-metrics", type=int, default=15)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fingerprinting the Datacenter (EuroSys 2010) tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(sub)
+    _add_identify(sub)
+    _add_discriminate(sub)
+    _add_render(sub)
+    _add_timeline(sub)
+    _add_report(sub)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.datacenter import DatacenterSimulator, SimulationConfig
+    from repro.persistence import save_trace
+
+    config = SimulationConfig(
+        n_machines=args.machines,
+        seed=args.seed,
+        warmup_days=args.warmup_days,
+        bootstrap_days=args.bootstrap_days,
+        labeled_days=args.labeled_days,
+        n_bootstrap_crises=args.bootstrap_crises,
+    )
+    print(
+        f"simulating {config.total_days} days on {config.n_machines} "
+        f"machines (seed {config.seed})..."
+    )
+    trace = DatacenterSimulator(config).run()
+    save_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {trace.n_epochs} epochs, "
+        f"{trace.n_metrics} metrics, "
+        f"{len(trace.detected_crises)} detected crises"
+    )
+    return 0
+
+
+def _cmd_identify(args: argparse.Namespace) -> int:
+    from repro.config import IdentificationConfig
+    from repro.core.identification import is_stable, sequence_label
+    from repro.core.pipeline import FingerprintPipeline
+    from repro.persistence import load_trace
+
+    trace = load_trace(args.trace)
+    config = FingerprintingConfig(
+        selection=SelectionConfig(n_relevant=args.relevant_metrics),
+        thresholds=ThresholdConfig(window_days=args.window_days),
+        identification=IdentificationConfig(alpha=args.alpha),
+    )
+    pipeline = FingerprintPipeline(trace, config)
+    correct = attempted = 0
+    for crisis in trace.detected_crises:
+        pipeline.observe(crisis)
+        pipeline.refresh(crisis.detected_epoch)
+        pipeline.update_identification_threshold()
+        if pipeline.identification_threshold is not None:
+            known = {k.label for k in pipeline.known}
+            seq = pipeline.identify(crisis).sequence
+            stable = is_stable(seq)
+            settled = sequence_label(seq) if stable else None
+            ok = (
+                settled == crisis.label
+                if crisis.label in known
+                else (stable and settled is None)
+            )
+            attempted += 1
+            correct += ok
+            print(
+                f"[{'OK  ' if ok else 'MISS'}] crisis {crisis.index:3d} "
+                f"type {crisis.label} "
+                f"({'known' if crisis.label in known else 'new'}): "
+                f"{' '.join(seq)}"
+            )
+        pipeline.confirm(crisis)
+    if attempted:
+        print(f"accuracy: {correct}/{attempted} "
+              f"({100.0 * correct / attempted:.0f}%)")
+    return 0
+
+
+def _cmd_discriminate(args: argparse.Namespace) -> int:
+    from repro.evaluation.discrimination import discrimination_roc
+    from repro.evaluation.results import format_table
+    from repro.methods import (
+        AllMetricsFingerprintMethod,
+        FingerprintMethod,
+        KPIMethod,
+        SignaturesMethod,
+    )
+    from repro.persistence import load_trace
+
+    trace = load_trace(args.trace)
+    crises = trace.labeled_crises
+    rows = []
+    for method in (
+        FingerprintMethod(),
+        SignaturesMethod(),
+        AllMetricsFingerprintMethod(),
+        KPIMethod(),
+    ):
+        method.fit(trace, crises)
+        roc = discrimination_roc(method, crises)
+        rows.append([method.name, round(roc.auc, 3)])
+    print(format_table(["type of fingerprint", "AUC"], rows))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.core.summary import summary_vectors
+    from repro.methods import FingerprintMethod
+    from repro.persistence import load_trace
+    from repro.viz import render_fingerprint
+
+    trace = load_trace(args.trace)
+    crises = {c.index: c for c in trace.detected_crises}
+    if args.crisis not in crises:
+        print(f"crisis {args.crisis} not found or undetected",
+              file=sys.stderr)
+        return 1
+    crisis = crises[args.crisis]
+    method = FingerprintMethod(
+        FingerprintingConfig(
+            selection=SelectionConfig(n_relevant=args.relevant_metrics)
+        )
+    )
+    method.fit(trace, trace.labeled_crises)
+    det = crisis.detected_epoch
+    window = trace.quantiles[max(det - 2, 0) : det + 5]
+    summaries = summary_vectors(window, method.thresholds)
+    sub = summaries[:, method.relevant, :]
+    print(
+        render_fingerprint(
+            sub.reshape(sub.shape[0], -1),
+            title=f"crisis {crisis.index} (type {crisis.label})",
+        )
+    )
+    print("metrics:", ", ".join(
+        trace.metric_names[i] for i in method.relevant
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.methods import FingerprintMethod
+    from repro.persistence import load_trace
+    from repro.viz import crisis_dossier
+
+    trace = load_trace(args.trace)
+    crises = {c.index: c for c in trace.detected_crises}
+    if args.crisis not in crises:
+        print(f"crisis {args.crisis} not found or undetected",
+              file=sys.stderr)
+        return 1
+    crisis = crises[args.crisis]
+    method = FingerprintMethod(
+        FingerprintingConfig(
+            selection=SelectionConfig(n_relevant=args.relevant_metrics)
+        )
+    )
+    method.fit(trace, trace.labeled_crises)
+    others = [c for c in trace.labeled_crises if c.index != crisis.index]
+    scored = sorted(
+        ((c.label, method.pair_distance(crisis, c)) for c in others),
+        key=lambda pair: pair[1],
+    )[:3]
+    print(
+        crisis_dossier(
+            trace, crisis, method.thresholds, method.relevant,
+            matches=scored,
+        )
+    )
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.persistence import load_trace
+    from repro.viz import render_timeline
+
+    trace = load_trace(args.trace)
+    print(render_timeline(trace, days_per_row=args.days_per_row))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "identify": _cmd_identify,
+    "discriminate": _cmd_discriminate,
+    "render": _cmd_render,
+    "timeline": _cmd_timeline,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

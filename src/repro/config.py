@@ -1,0 +1,169 @@
+"""Shared configuration objects for the fingerprinting reproduction.
+
+All free parameters of the method (Section 5 of DESIGN.md) live here so that
+experiments can vary them explicitly instead of reaching into module globals.
+Every config is a frozen dataclass: configurations are values, and two runs
+with equal configs must behave identically given equal seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+#: Number of minutes in one aggregation epoch (established practice in the
+#: paper's datacenter; Section 4.1).
+EPOCH_MINUTES = 15
+
+#: Number of epochs per day at 15-minute aggregation.
+EPOCHS_PER_DAY = 24 * 60 // EPOCH_MINUTES
+
+
+@dataclass(frozen=True)
+class QuantileConfig:
+    """Which quantiles summarize each metric across the datacenter.
+
+    The paper tracks the 25th, 50th and 95th quantile of every metric
+    (Section 3.2); tracking fewer loses the "quantiles move in different
+    directions" signal used for identification.
+    """
+
+    quantiles: Tuple[float, ...] = (0.25, 0.50, 0.95)
+
+    def __post_init__(self) -> None:
+        if not self.quantiles:
+            raise ValueError("at least one quantile is required")
+        for q in self.quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if list(self.quantiles) != sorted(self.quantiles):
+            raise ValueError("quantiles must be sorted ascending")
+
+    @property
+    def count(self) -> int:
+        return len(self.quantiles)
+
+
+@dataclass(frozen=True)
+class ThresholdConfig:
+    """Hot/cold discretization of quantile values (Section 3.3).
+
+    A quantile value is *normal* when it lies between the ``cold_percentile``
+    and ``hot_percentile`` of its values over a trailing crisis-free window of
+    ``window_days``; outside that range it is cold (-1) or hot (+1).  The
+    paper uses the 2nd/98th percentiles over 240 days and shows wider settings
+    (1/99, 5/95, 10/90) discriminate worse (Section 6.2).
+    """
+
+    cold_percentile: float = 2.0
+    hot_percentile: float = 98.0
+    window_days: int = 240
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cold_percentile < self.hot_percentile <= 100.0:
+            raise ValueError(
+                "need 0 <= cold_percentile < hot_percentile <= 100, got "
+                f"({self.cold_percentile}, {self.hot_percentile})"
+            )
+        if self.window_days <= 0:
+            raise ValueError("window_days must be positive")
+
+    @property
+    def window_epochs(self) -> int:
+        return self.window_days * EPOCHS_PER_DAY
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Relevant-metric selection (Section 3.4).
+
+    For each crisis, L1-regularized logistic regression on per-machine
+    (metrics -> SLA-violation) data picks ``per_crisis_top_k`` metrics; the
+    ``n_relevant`` most frequently selected metrics over the last
+    ``crisis_pool`` crises become the fingerprint columns.  The paper uses
+    top-10 per crisis, a pool of 20 crises, and 15 (offline) or 30 (online)
+    relevant metrics.
+    """
+
+    per_crisis_top_k: int = 10
+    n_relevant: int = 30
+    crisis_pool: int = 20
+
+    def __post_init__(self) -> None:
+        if self.per_crisis_top_k <= 0:
+            raise ValueError("per_crisis_top_k must be positive")
+        if self.n_relevant <= 0:
+            raise ValueError("n_relevant must be positive")
+        if self.crisis_pool <= 0:
+            raise ValueError("crisis_pool must be positive")
+
+
+@dataclass(frozen=True)
+class FingerprintConfig:
+    """Crisis-fingerprint summarization window (Sections 3.5 and 6.1).
+
+    Epoch fingerprints from ``pre_epochs`` epochs before the crisis start
+    through ``post_epochs`` epochs after it are averaged column-wise into the
+    crisis fingerprint.  The paper averages -30 min ... +60 min, i.e. 2 epochs
+    before through 4 after (7 epochs total).
+    """
+
+    pre_epochs: int = 2
+    post_epochs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.pre_epochs < 0 or self.post_epochs < 0:
+            raise ValueError("window extents must be non-negative")
+
+    @property
+    def n_epochs(self) -> int:
+        return self.pre_epochs + self.post_epochs + 1
+
+
+@dataclass(frozen=True)
+class IdentificationConfig:
+    """Online identification policy (Sections 4.3 and 5.3).
+
+    Identification is attempted once per epoch for ``n_epochs`` epochs
+    starting at detection.  ``alpha`` is the target false-alarm rate used to
+    pick the identification threshold from a distance ROC (offline) or from
+    the adaptive rules of Section 5.3 (online).
+    """
+
+    n_epochs: int = 5
+    alpha: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_epochs <= 0:
+            raise ValueError("n_epochs must be positive")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FingerprintingConfig:
+    """Bundle of all method parameters, defaulting to the paper's choices."""
+
+    quantiles: QuantileConfig = field(default_factory=QuantileConfig)
+    thresholds: ThresholdConfig = field(default_factory=ThresholdConfig)
+    selection: SelectionConfig = field(default_factory=SelectionConfig)
+    fingerprint: FingerprintConfig = field(default_factory=FingerprintConfig)
+    identification: IdentificationConfig = field(
+        default_factory=IdentificationConfig
+    )
+
+    def with_(self, **kwargs) -> "FingerprintingConfig":
+        """Return a copy with the given top-level sections replaced."""
+        return replace(self, **kwargs)
+
+
+__all__ = [
+    "EPOCH_MINUTES",
+    "EPOCHS_PER_DAY",
+    "QuantileConfig",
+    "ThresholdConfig",
+    "SelectionConfig",
+    "FingerprintConfig",
+    "IdentificationConfig",
+    "FingerprintingConfig",
+]

@@ -1,0 +1,105 @@
+"""Epoch and crisis fingerprints (Sections 3.4-3.5).
+
+An *epoch fingerprint* is the summary vector restricted to the relevant
+metrics.  A *crisis fingerprint* averages the epoch fingerprints over a
+window anchored at the crisis detection epoch (-30 min ... +60 min in the
+paper), giving a vector in ``[-1, 1]^(3R)`` for R relevant metrics.  During
+online identification the window grows epoch by epoch, so partial crisis
+fingerprints use however many epochs are available so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import FingerprintConfig
+from repro.core.summary import summary_vectors
+from repro.core.thresholds import QuantileThresholds
+
+
+@dataclass(frozen=True)
+class CrisisFingerprint:
+    """A crisis fingerprint plus its provenance."""
+
+    vector: np.ndarray  # (n_relevant * n_quantiles,)
+    metric_indices: np.ndarray  # the relevant metrics used
+    label: Optional[str] = None  # operator label; None when undiagnosed
+    crisis_id: Optional[int] = None
+    n_epochs: int = 0  # epochs averaged into the vector
+
+    def __post_init__(self) -> None:
+        if self.vector.ndim != 1:
+            raise ValueError("fingerprint vector must be 1-D")
+        if np.any(np.abs(self.vector) > 1.0 + 1e-9):
+            raise ValueError("fingerprint entries must lie in [-1, 1]")
+
+
+def epoch_fingerprints(
+    quantiles: np.ndarray,
+    thresholds: QuantileThresholds,
+    metric_indices: np.ndarray,
+) -> np.ndarray:
+    """Summary vectors restricted to the relevant metrics.
+
+    Parameters
+    ----------
+    quantiles:
+        ``(n_epochs, n_metrics, n_quantiles)`` raw quantile values.
+    thresholds:
+        Hot/cold cutoffs over *all* metrics.
+    metric_indices:
+        Relevant metric indices (fingerprint columns).
+
+    Returns
+    -------
+    ``(n_epochs, n_relevant * n_quantiles)`` int8 array.
+    """
+    quantiles = np.asarray(quantiles, dtype=float)
+    if quantiles.ndim != 3:
+        raise ValueError("quantiles must be 3-D")
+    metric_indices = np.asarray(metric_indices, dtype=int)
+    sub = quantiles[:, metric_indices, :]
+    summaries = summary_vectors(sub, thresholds.restrict(metric_indices))
+    return summaries.reshape(summaries.shape[0], -1)
+
+
+def crisis_fingerprint(
+    quantiles: np.ndarray,
+    thresholds: QuantileThresholds,
+    metric_indices: np.ndarray,
+    detection_epoch: int,
+    config: FingerprintConfig = FingerprintConfig(),
+    end_epoch: Optional[int] = None,
+    label: Optional[str] = None,
+    crisis_id: Optional[int] = None,
+) -> CrisisFingerprint:
+    """Average epoch fingerprints over the crisis summary window.
+
+    The window is ``[detection - pre_epochs, detection + post_epochs]``
+    inclusive, clipped to the trace and, for online partial fingerprints,
+    to ``end_epoch`` (the most recent epoch whose data has arrived).
+    """
+    n_epochs = quantiles.shape[0]
+    lo = max(detection_epoch - config.pre_epochs, 0)
+    hi = min(detection_epoch + config.post_epochs, n_epochs - 1)
+    if end_epoch is not None:
+        hi = min(hi, end_epoch)
+    if hi < lo:
+        raise ValueError("empty fingerprint window")
+    window = epoch_fingerprints(
+        quantiles[lo : hi + 1], thresholds, metric_indices
+    )
+    vector = window.astype(float).mean(axis=0)
+    return CrisisFingerprint(
+        vector=vector,
+        metric_indices=np.asarray(metric_indices, dtype=int),
+        label=label,
+        crisis_id=crisis_id,
+        n_epochs=window.shape[0],
+    )
+
+
+__all__ = ["CrisisFingerprint", "crisis_fingerprint", "epoch_fingerprints"]

@@ -1,0 +1,133 @@
+"""Relevant-metric selection (Section 3.4).
+
+Two steps, exactly as in the paper:
+
+1. Per crisis: fit L1-regularized logistic regression on per-machine data
+   surrounding the crisis — features are the raw metric values ``X[m, t]``,
+   the label is whether machine ``m`` violated an SLA at epoch ``t`` — and
+   keep the top-k metrics (k=10 in the paper).
+2. Across the most recent pool of crises (20 in the paper): count how often
+   each metric was selected and keep the ``n_relevant`` most frequent ones
+   (15 offline / 30 online).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.logistic import select_top_k_features
+from repro.ml.preprocessing import StandardScaler
+
+
+def stabilize(X: np.ndarray) -> np.ndarray:
+    """Variance-stabilize raw monitoring metrics.
+
+    Datacenter metrics are non-negative and heavy-tailed (queue lengths and
+    latencies explode by orders of magnitude during crises), which wrecks the
+    conditioning of a linear classifier on standardized raw values: the
+    crisis samples dominate each feature's variance and compress the very
+    separation being fit.  ``log1p`` on magnitudes fixes the conditioning
+    while preserving ordering; negative values (not produced by our catalog,
+    but legal input) are mirrored.
+    """
+    X = np.asarray(X, dtype=float)
+    return np.sign(X) * np.log1p(np.abs(X))
+
+
+def crisis_training_set(
+    values: np.ndarray, violations: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten a raw crisis window into (X, y) machine-epoch samples.
+
+    ``values`` is ``(n_epochs, n_machines, n_metrics)`` raw telemetry around
+    one crisis (including pre-crisis normal epochs); ``violations`` the
+    matching per-machine SLA flags.  Rows are machine-epochs, as in the
+    paper's formulation ``Y_{m,t} = f(X_{m,t})``.
+    """
+    values = np.asarray(values, dtype=float)
+    violations = np.asarray(violations, dtype=bool)
+    if values.ndim != 3:
+        raise ValueError("values must be 3-D")
+    if violations.shape != values.shape[:2]:
+        raise ValueError("violations shape mismatch")
+    n_epochs, n_machines, n_metrics = values.shape
+    X = values.reshape(n_epochs * n_machines, n_metrics)
+    y = violations.reshape(n_epochs * n_machines).astype(float)
+    return X, y
+
+
+def select_crisis_metrics(
+    values: np.ndarray,
+    violations: np.ndarray,
+    top_k: int = 10,
+    exclude: Sequence[int] = (),
+) -> np.ndarray:
+    """Step 1: top-k metrics correlated with one crisis.
+
+    ``exclude`` removes metrics from consideration (the KPI metrics
+    themselves are trivially correlated with their own SLA violations; the
+    paper's fingerprints capture the *why*, not the symptom definition).
+    """
+    X, y = crisis_training_set(values, violations)
+    if y.sum() == 0 or y.sum() == len(y):
+        return np.array([], dtype=int)
+
+    keep = np.setdiff1d(np.arange(X.shape[1]), np.asarray(exclude, dtype=int))
+    Xs = StandardScaler().fit_transform(stabilize(X[:, keep]))
+    picked = select_top_k_features(Xs, y, k=top_k)
+    return keep[picked]
+
+
+def select_relevant_metrics(
+    per_crisis_selections: Sequence[np.ndarray],
+    n_relevant: int,
+    pool: int = 20,
+    min_count: int = 2,
+) -> np.ndarray:
+    """Step 2: most frequent metrics over the trailing crisis pool.
+
+    ``per_crisis_selections`` are the step-1 outputs in chronological order;
+    only the last ``pool`` entries participate.  Ties are broken toward the
+    metric ranked higher (closer to front) in its selections, then by index
+    for determinism.  Returns sorted metric indices.
+
+    "Most frequently selected" implies recurrence: with a reasonable pool,
+    metrics selected only once are usually per-crisis selection noise
+    (spuriously correlated junk), so they are excluded by ``min_count``
+    unless too few recurring metrics exist to fill half the fingerprint.
+    """
+    if n_relevant <= 0:
+        raise ValueError("n_relevant must be positive")
+    window: List[np.ndarray] = list(per_crisis_selections)[-pool:]
+    if not window:
+        raise ValueError("no crisis selections available")
+    counts: Counter = Counter()
+    rank_sum: Counter = Counter()
+    for sel in window:
+        for rank, idx in enumerate(np.asarray(sel, dtype=int)):
+            counts[int(idx)] += 1
+            rank_sum[int(idx)] += rank
+    if not counts:
+        raise ValueError("all per-crisis selections were empty")
+
+    def sort_key(idx: int):
+        return (-counts[idx], rank_sum[idx] / counts[idx], idx)
+
+    if min_count > 1 and len(window) >= min_count:
+        recurring = [idx for idx in counts if counts[idx] >= min_count]
+        if len(recurring) >= max(n_relevant // 2, 1):
+            ordered = sorted(recurring, key=sort_key)
+            return np.array(sorted(ordered[:n_relevant]), dtype=int)
+
+    ordered = sorted(counts, key=sort_key)
+    return np.array(sorted(ordered[:n_relevant]), dtype=int)
+
+
+__all__ = [
+    "crisis_training_set",
+    "select_crisis_metrics",
+    "select_relevant_metrics",
+]

@@ -1,0 +1,56 @@
+"""Fingerprint similarity (Section 3.5).
+
+Two crises are considered identical when the L2 distance between their
+crisis fingerprints is below the identification threshold.  The paper notes
+this step is orthogonal to the rest of the method; distances here accept
+plain vectors so alternative representations (signatures, KPI vectors) can
+reuse them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def l2_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two fingerprint vectors."""
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError(
+            f"fingerprint dimension mismatch: {a.shape} vs {b.shape}"
+        )
+    return float(np.linalg.norm(a - b))
+
+
+def pairwise_distances(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Full pairwise L2 distance matrix."""
+    if len(vectors) == 0:
+        return np.zeros((0, 0))
+    stacked = np.stack([np.asarray(v, dtype=float).ravel() for v in vectors])
+    diff = stacked[:, None, :] - stacked[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def pair_arrays(
+    distances: np.ndarray, labels: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Upper-triangle pair distances and same-type flags for a distance ROC.
+
+    Returns ``(pair_distances, is_same)`` over all unordered pairs.
+    """
+    distances = np.asarray(distances, dtype=float)
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise ValueError("distances must be square")
+    if len(labels) != n:
+        raise ValueError("labels length mismatch")
+    iu = np.triu_indices(n, k=1)
+    labels_arr = np.asarray(labels, dtype=object)
+    is_same = labels_arr[iu[0]] == labels_arr[iu[1]]
+    return distances[iu], is_same.astype(bool)
+
+
+__all__ = ["l2_distance", "pairwise_distances", "pair_arrays"]

@@ -1,0 +1,277 @@
+"""Streaming crisis monitor: the method as a long-running service.
+
+:class:`~repro.core.pipeline.FingerprintPipeline` replays a recorded
+trace; this module runs the same logic over a *live* stream of epoch
+summaries (e.g. from :class:`repro.telemetry.collector.EpochAggregator`).
+Each ingested epoch can emit events:
+
+* :class:`CrisisDetected` — the KPI-violation fraction crossed the SLA
+  rule (10% of machines in the paper);
+* :class:`IdentificationUpdate` — one entry of the five-epoch
+  identification sequence for the crisis in progress;
+* :class:`CrisisEnded` — the violation fraction dropped back to normal.
+
+Hot/cold thresholds are maintained from the monitor's own
+:class:`~repro.telemetry.store.QuantileStore` over a trailing crisis-free
+window.  Relevant metrics come from offline analysis (feature selection
+needs per-machine data the stream does not carry) and can be swapped at
+any time; the library re-fingerprints automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import FingerprintingConfig
+from repro.core.identification import (
+    UNKNOWN,
+    Identifier,
+    estimate_threshold_online,
+)
+from repro.core.summary import summary_vectors
+from repro.core.thresholds import QuantileThresholds, percentile_thresholds
+from repro.telemetry.store import QuantileStore
+
+
+@dataclass(frozen=True)
+class CrisisDetected:
+    epoch: int
+    crisis_number: int
+
+
+@dataclass(frozen=True)
+class IdentificationUpdate:
+    epoch: int
+    crisis_number: int
+    identification_epoch: int  # 0-based within the five-epoch protocol
+    label: str  # crisis label or UNKNOWN
+    distance: Optional[float]
+
+
+@dataclass(frozen=True)
+class CrisisEnded:
+    epoch: int
+    crisis_number: int
+    duration_epochs: int
+
+
+MonitorEvent = Union[CrisisDetected, IdentificationUpdate, CrisisEnded]
+
+
+@dataclass
+class _LiveCrisis:
+    number: int
+    detected_epoch: int
+    summaries: List[np.ndarray] = field(default_factory=list)  # raw window
+    identifications: int = 0
+    ended: bool = False
+
+
+@dataclass
+class _StoredCrisis:
+    number: int
+    label: Optional[str]
+    quantile_window: np.ndarray  # (w, n_metrics, n_quantiles)
+
+
+class StreamingCrisisMonitor:
+    """Online detection + identification over an epoch-summary stream."""
+
+    def __init__(
+        self,
+        n_metrics: int,
+        relevant_metrics: Sequence[int],
+        config: FingerprintingConfig = FingerprintingConfig(),
+        threshold_refresh_epochs: int = 96,
+        min_history_epochs: int = 96 * 7,
+    ):
+        cfg_q = config.quantiles
+        self.config = config
+        self.n_metrics = n_metrics
+        self.relevant = np.asarray(relevant_metrics, dtype=int)
+        if self.relevant.size == 0:
+            raise ValueError("need at least one relevant metric")
+        if np.any((self.relevant < 0) | (self.relevant >= n_metrics)):
+            raise ValueError("relevant metric index out of range")
+        self.store = QuantileStore(n_metrics, cfg_q.count)
+        self.threshold_refresh_epochs = threshold_refresh_epochs
+        self.min_history_epochs = min_history_epochs
+        self.thresholds: Optional[QuantileThresholds] = None
+        self._epochs_since_refresh = 0
+        self._crisis_counter = 0
+        self._live: Optional[_LiveCrisis] = None
+        self._library: List[_StoredCrisis] = []
+        self._pre_buffer: List[np.ndarray] = []  # last pre_epochs summaries
+
+    # -- parameter management ------------------------------------------------
+
+    def set_relevant_metrics(self, relevant: Sequence[int]) -> None:
+        """Swap the fingerprint columns (from fresh offline selection)."""
+        relevant = np.asarray(relevant, dtype=int)
+        if relevant.size == 0:
+            raise ValueError("need at least one relevant metric")
+        self.relevant = relevant
+
+    def _refresh_thresholds(self, now: int) -> None:
+        cfg = self.config.thresholds
+        window = cfg.window_days * 96
+        values, _ = self.store.trailing_window(len(self.store), window)
+        if values.shape[0] < 2:
+            return
+        self.thresholds = percentile_thresholds(
+            values, cfg.cold_percentile, cfg.hot_percentile
+        )
+
+    @property
+    def ready(self) -> bool:
+        """True once enough crisis-free history exists to discretize."""
+        return self.thresholds is not None
+
+    # -- fingerprints ----------------------------------------------------------
+
+    def _fingerprint(self, window: np.ndarray,
+                     n_epochs: Optional[int] = None) -> np.ndarray:
+        summaries = summary_vectors(np.asarray(window), self.thresholds)
+        if n_epochs is not None:
+            summaries = summaries[: max(n_epochs, 1)]
+        sub = summaries[:, self.relevant, :].astype(float)
+        return sub.reshape(sub.shape[0], -1).mean(axis=0)
+
+    def _identify(self, live: _LiveCrisis, epoch: int) -> IdentificationUpdate:
+        k = live.identifications
+        pre = self.config.fingerprint.pre_epochs
+        window = np.stack(live.summaries)
+        new_vec = self._fingerprint(window)
+        library = []
+        for stored in self._library:
+            if stored.label is None:
+                continue
+            library.append(
+                (self._fingerprint(stored.quantile_window,
+                                   n_epochs=pre + k + 1), stored.label)
+            )
+        threshold = None
+        if len(library) >= 2:
+            try:
+                threshold = estimate_threshold_online(
+                    [v for v, _ in library],
+                    [lab for _, lab in library],
+                    self.config.identification.alpha,
+                )
+            except ValueError:
+                threshold = None
+        if threshold is None or not library:
+            result_label, distance = UNKNOWN, None
+        else:
+            result = Identifier(threshold).identify(new_vec, library)
+            result_label, distance = result.label, result.distance
+        live.identifications += 1
+        return IdentificationUpdate(
+            epoch=epoch,
+            crisis_number=live.number,
+            identification_epoch=k,
+            label=result_label,
+            distance=distance,
+        )
+
+    # -- stream ingestion ------------------------------------------------------
+
+    def ingest(
+        self, epoch_quantiles: np.ndarray, violation_fraction: float
+    ) -> List[MonitorEvent]:
+        """Feed one epoch's datacenter summary; returns emitted events.
+
+        ``violation_fraction`` is the largest per-KPI fraction of machines
+        violating their SLA this epoch (the detection statistic).
+        """
+        epoch_quantiles = np.asarray(epoch_quantiles, dtype=float)
+        anomalous = bool(
+            violation_fraction >= 0.10 - 1e-12
+        ) if violation_fraction is not None else False
+        epoch = self.store.append(epoch_quantiles, anomalous)
+
+        events: List[MonitorEvent] = []
+        self._epochs_since_refresh += 1
+        if (
+            self.thresholds is None
+            and len(self.store) >= self.min_history_epochs
+        ) or self._epochs_since_refresh >= self.threshold_refresh_epochs:
+            self._refresh_thresholds(epoch)
+            self._epochs_since_refresh = 0
+
+        pre = self.config.fingerprint.pre_epochs
+        if self._live is None:
+            if anomalous and self.ready:
+                self._crisis_counter += 1
+                live = _LiveCrisis(
+                    number=self._crisis_counter, detected_epoch=epoch
+                )
+                live.summaries = list(self._pre_buffer) + [epoch_quantiles]
+                self._live = live
+                events.append(
+                    CrisisDetected(epoch=epoch, crisis_number=live.number)
+                )
+                events.append(self._identify(live, epoch))
+            else:
+                self._pre_buffer.append(epoch_quantiles)
+                if len(self._pre_buffer) > pre:
+                    self._pre_buffer.pop(0)
+        else:
+            live = self._live
+            max_window = pre + self.config.fingerprint.post_epochs + 1
+            if len(live.summaries) < max_window:
+                live.summaries.append(epoch_quantiles)
+            if (
+                live.identifications < self.config.identification.n_epochs
+            ):
+                events.append(self._identify(live, epoch))
+            if not anomalous:
+                events.append(
+                    CrisisEnded(
+                        epoch=epoch,
+                        crisis_number=live.number,
+                        duration_epochs=epoch - live.detected_epoch,
+                    )
+                )
+                self._store_live()
+                self._pre_buffer = [epoch_quantiles]
+        return events
+
+    def _store_live(self) -> None:
+        live = self._live
+        self._library.append(
+            _StoredCrisis(
+                number=live.number,
+                label=None,
+                quantile_window=np.stack(live.summaries),
+            )
+        )
+        self._live = None
+
+    # -- operator interaction ----------------------------------------------------
+
+    def diagnose(self, crisis_number: int, label: str) -> None:
+        """Attach the operators' diagnosis to a past crisis."""
+        if not label:
+            raise ValueError("label must be non-empty")
+        for stored in self._library:
+            if stored.number == crisis_number:
+                stored.label = label
+                return
+        raise KeyError(f"no stored crisis {crisis_number}")
+
+    @property
+    def library_labels(self) -> List[Optional[str]]:
+        return [s.label for s in self._library]
+
+
+__all__ = [
+    "CrisisDetected",
+    "CrisisEnded",
+    "IdentificationUpdate",
+    "MonitorEvent",
+    "StreamingCrisisMonitor",
+]

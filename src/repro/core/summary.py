@@ -1,0 +1,64 @@
+"""Summary vectors: discretized quantile state per epoch (Section 3.3).
+
+Each (metric, quantile) element becomes -1 (cold), 0 (normal) or +1 (hot)
+by comparison against the hot/cold thresholds.  A summary vector has
+``3 * M`` elements for M tracked metrics — its size is independent of the
+number of machines, which is the representation's key scaling property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.thresholds import QuantileThresholds
+
+
+def summary_vectors(
+    quantiles: np.ndarray, thresholds: QuantileThresholds
+) -> np.ndarray:
+    """Discretize quantile values into {-1, 0, +1} summaries.
+
+    Parameters
+    ----------
+    quantiles:
+        Either one epoch ``(n_metrics, n_quantiles)`` or a window
+        ``(n_epochs, n_metrics, n_quantiles)``.
+    thresholds:
+        Hot/cold cutoffs of matching metric dimension.
+
+    Returns
+    -------
+    ``int8`` array of the same shape as ``quantiles``.
+
+    NaN quantile values (epochs where a metric was not reported) compare
+    false against both cutoffs and therefore read as normal (0) — a
+    missing metric contributes nothing to a fingerprint rather than a
+    spurious hot/cold flag.
+    """
+    q = np.asarray(quantiles, dtype=float)
+    squeeze = False
+    if q.ndim == 2:
+        q = q[None]
+        squeeze = True
+    if q.ndim != 3:
+        raise ValueError("quantiles must be 2-D or 3-D")
+    if q.shape[1:] != thresholds.cold.shape:
+        raise ValueError(
+            f"quantiles shape {q.shape[1:]} does not match thresholds "
+            f"{thresholds.cold.shape}"
+        )
+    out = np.zeros(q.shape, dtype=np.int8)
+    out[q > thresholds.hot[None]] = 1
+    out[q < thresholds.cold[None]] = -1
+    return out[0] if squeeze else out
+
+
+def flatten_summary(summary: np.ndarray) -> np.ndarray:
+    """Flatten (..., n_metrics, n_quantiles) summaries to vectors."""
+    summary = np.asarray(summary)
+    if summary.ndim < 2:
+        raise ValueError("summary must have metric and quantile axes")
+    return summary.reshape(*summary.shape[:-2], -1)
+
+
+__all__ = ["summary_vectors", "flatten_summary"]

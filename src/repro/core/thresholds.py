@@ -1,0 +1,208 @@
+"""Hot and cold thresholds on metric quantiles (Section 3.3).
+
+A metric quantile is *hot* when its value exceeds what was seen during
+normal operation, *cold* when it falls below.  The paper's chosen method is
+deliberately simple: over a trailing crisis-free window, take the 2nd and
+98th percentiles of each quantile's values — i.e. accept a 4% baseline rate
+of spurious hot/cold flags.
+
+The appendix describes two alternatives that were tried and rejected
+(discriminative power 0.95 vs 0.99 for the percentile method); both are
+implemented here so the ablation benchmark (experiment E9) can reproduce
+that comparison:
+
+* :func:`timeseries_thresholds` — fit a non-parametric (moving-average)
+  prediction to each quantile series and set thresholds three prediction
+  standard deviations away;
+* :func:`kpi_correlation_thresholds` — pick, per quantile, the threshold
+  pair that best separates KPI-violating epochs from normal ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantileThresholds:
+    """Per-(metric, quantile) cold and hot cutoffs."""
+
+    cold: np.ndarray  # (n_metrics, n_quantiles)
+    hot: np.ndarray  # (n_metrics, n_quantiles)
+
+    def __post_init__(self) -> None:
+        if self.cold.shape != self.hot.shape:
+            raise ValueError("cold/hot shape mismatch")
+        if self.cold.ndim != 2:
+            raise ValueError("thresholds must be (n_metrics, n_quantiles)")
+        if np.any(self.cold > self.hot):
+            raise ValueError("cold threshold above hot threshold")
+
+    @property
+    def n_metrics(self) -> int:
+        return self.cold.shape[0]
+
+    @property
+    def n_quantiles(self) -> int:
+        return self.cold.shape[1]
+
+    def restrict(self, metric_indices: np.ndarray) -> "QuantileThresholds":
+        """Thresholds for a subset of metrics (fingerprint columns)."""
+        return QuantileThresholds(
+            cold=self.cold[metric_indices], hot=self.hot[metric_indices]
+        )
+
+
+def _validate_history(history: np.ndarray) -> np.ndarray:
+    history = np.asarray(history, dtype=float)
+    if history.ndim != 3:
+        raise ValueError(
+            "history must be (n_epochs, n_metrics, n_quantiles)"
+        )
+    if history.shape[0] < 2:
+        raise ValueError("need at least two epochs of history")
+    return history
+
+
+def percentile_thresholds(
+    history: np.ndarray,
+    cold_percentile: float = 2.0,
+    hot_percentile: float = 98.0,
+) -> QuantileThresholds:
+    """The paper's method: fixed percentiles of the crisis-free history.
+
+    ``history`` holds quantile values of crisis-free epochs only (the caller
+    filters anomalous epochs out — Section 3.3 step 1).
+    """
+    history = _validate_history(history)
+    if not 0.0 <= cold_percentile < hot_percentile <= 100.0:
+        raise ValueError("invalid percentile pair")
+    if np.isnan(history).any():
+        # Real telemetry has gaps (machines rebooting, collectors down);
+        # thresholds are computed over the epochs that did report.  An
+        # all-NaN series has no history at all and must fail loudly.
+        if np.all(np.isnan(history), axis=0).any():
+            raise ValueError("a metric quantile has no reported history")
+        cold = np.nanpercentile(history, cold_percentile, axis=0)
+        hot = np.nanpercentile(history, hot_percentile, axis=0)
+    else:
+        cold = np.percentile(history, cold_percentile, axis=0)
+        hot = np.percentile(history, hot_percentile, axis=0)
+    return QuantileThresholds(cold=cold, hot=hot)
+
+
+def timeseries_thresholds(
+    history: np.ndarray,
+    smoothing_epochs: int = 96,
+    n_sigma: float = 3.0,
+) -> QuantileThresholds:
+    """Rejected alternative 1: moving-average prediction +/- 3 sigma.
+
+    Fits a non-parametric trailing moving average to each quantile series,
+    measures the prediction-residual standard deviation, and sets thresholds
+    ``n_sigma`` residual deviations from the latest prediction.  Sensitive
+    to the smoothing horizon and to heteroscedastic metrics, which is why
+    the paper found it inferior.
+    """
+    history = _validate_history(history)
+    n = history.shape[0]
+    w = int(min(max(smoothing_epochs, 2), n))
+    kernel = np.ones(w) / w
+    flat = history.reshape(n, -1)
+    # Trailing moving average, aligned so prediction at t uses <= t.
+    smoothed = np.apply_along_axis(
+        lambda s: np.convolve(s, kernel, mode="full")[: n], 0, flat
+    )
+    # The first w-1 rows average fewer points; renormalize.
+    counts = np.minimum(np.arange(1, n + 1), w)[:, None]
+    smoothed = smoothed * (w / counts)
+    resid = flat - smoothed
+    sigma = resid.std(axis=0)
+    center = smoothed[-1]
+    cold = (center - n_sigma * sigma).reshape(history.shape[1:])
+    hot = (center + n_sigma * sigma).reshape(history.shape[1:])
+    return QuantileThresholds(cold=np.minimum(cold, hot), hot=np.maximum(cold, hot))
+
+
+def kpi_correlation_thresholds(
+    history: np.ndarray,
+    anomalous: np.ndarray,
+    n_candidates: int = 25,
+    max_normal_epochs: int = 4000,
+    seed: int = 0,
+) -> QuantileThresholds:
+    """Rejected alternative 2: thresholds fit against KPI violations.
+
+    For each (metric, quantile) series, candidate hot (cold) cutoffs are
+    drawn from the upper (lower) percentiles of *all* history (including
+    anomalous epochs) and the pair maximizing the F1 score of predicting
+    epoch-level KPI violation from "value outside [cold, hot]" is kept.
+    When a series never correlates with violations, the percentile-method
+    fallback (2/98 of normal epochs) is used.
+    """
+    history = _validate_history(history)
+    anomalous = np.asarray(anomalous, dtype=bool).ravel()
+    n = history.shape[0]
+    if anomalous.shape != (n,):
+        raise ValueError("anomalous mask length mismatch")
+    if not anomalous.any() or anomalous.all():
+        raise ValueError("need both anomalous and normal epochs")
+
+    normal_hist = history[~anomalous]
+    fallback = percentile_thresholds(normal_hist)
+
+    # The F1 search over candidate pairs is quadratic in candidates and
+    # linear in epochs; anomalous epochs are few, so subsampling the
+    # normal epochs preserves the fit while bounding the cost on
+    # year-scale traces.
+    if (~anomalous).sum() > max_normal_epochs:
+        rng = np.random.default_rng(seed)
+        normal_idx = np.flatnonzero(~anomalous)
+        keep = rng.choice(normal_idx, size=max_normal_epochs, replace=False)
+        idx = np.sort(np.concatenate([np.flatnonzero(anomalous), keep]))
+        history_fit = history[idx]
+        anomalous_fit = anomalous[idx]
+    else:
+        history_fit = history
+        anomalous_fit = anomalous
+
+    flat = history_fit.reshape(history_fit.shape[0], -1)
+    n_series = flat.shape[1]
+    cold = fallback.cold.reshape(-1).copy()
+    hot = fallback.hot.reshape(-1).copy()
+
+    hot_cands = np.percentile(flat, np.linspace(75, 99.9, n_candidates),
+                              axis=0)
+    cold_cands = np.percentile(flat, np.linspace(25, 0.1, n_candidates),
+                               axis=0)
+    n_pos = anomalous_fit.sum()
+    for j in range(n_series):
+        best_f1 = 0.0
+        series = flat[:, j]
+        for hi in hot_cands[:, j]:
+            for lo in cold_cands[:, j]:
+                pred = (series > hi) | (series < lo)
+                tp = np.sum(pred & anomalous_fit)
+                if tp == 0:
+                    continue
+                precision = tp / pred.sum()
+                recall = tp / n_pos
+                f1 = 2 * precision * recall / (precision + recall)
+                if f1 > best_f1:
+                    best_f1 = f1
+                    cold[j], hot[j] = lo, hi
+    shape = history.shape[1:]
+    return QuantileThresholds(
+        cold=np.minimum(cold, hot).reshape(shape),
+        hot=np.maximum(cold, hot).reshape(shape),
+    )
+
+
+__all__ = [
+    "QuantileThresholds",
+    "percentile_thresholds",
+    "timeseries_thresholds",
+    "kpi_correlation_thresholds",
+]

@@ -1,0 +1,58 @@
+"""Synthetic datacenter substrate.
+
+The paper's dataset — a production enterprise application on hundreds of
+machines with ~100 metrics per machine and 39 performance crises — is
+proprietary.  This package substitutes a generative simulator that preserves
+the structure the fingerprinting method exploits (see DESIGN.md section 2):
+
+* :mod:`repro.datacenter.workload` — diurnal + weekly offered load;
+* :mod:`repro.datacenter.machines` — per-machine latent state (stage
+  utilizations, queues, latencies) under load and crisis effects;
+* :mod:`repro.datacenter.metrics` — the ~100-metric catalog derived from the
+  latents, including deliberately irrelevant noise and drift metrics;
+* :mod:`repro.datacenter.crises` — the ten crisis types of Table 1, crisis
+  instances, and chronological schedules;
+* :mod:`repro.datacenter.sla` — KPI definitions, SLA violations, and the
+  10 %-of-machines crisis detector;
+* :mod:`repro.datacenter.simulator` — chunked trace generation;
+* :mod:`repro.datacenter.trace` — the generated dataset container.
+"""
+
+from repro.datacenter.crises import (
+    CRISIS_TYPES,
+    CrisisInstance,
+    CrisisSchedule,
+    CrisisType,
+    EffectFields,
+)
+from repro.datacenter.machines import Latents, MachineFleet
+from repro.datacenter.metrics import MetricCatalog, MetricSpec, build_catalog
+from repro.datacenter.scenarios import SCENARIOS
+from repro.datacenter.simulator import DatacenterSimulator, SimulationConfig
+from repro.datacenter.sla import KPIDefinition, SLAPolicy, detect_crises
+from repro.datacenter.trace import CrisisRecord, DatacenterTrace, RawWindow
+from repro.datacenter.workload import WorkloadConfig, WorkloadModel
+
+__all__ = [
+    "CRISIS_TYPES",
+    "CrisisInstance",
+    "CrisisSchedule",
+    "CrisisType",
+    "EffectFields",
+    "Latents",
+    "MachineFleet",
+    "MetricCatalog",
+    "MetricSpec",
+    "build_catalog",
+    "SCENARIOS",
+    "DatacenterSimulator",
+    "SimulationConfig",
+    "KPIDefinition",
+    "SLAPolicy",
+    "detect_crises",
+    "CrisisRecord",
+    "DatacenterTrace",
+    "RawWindow",
+    "WorkloadConfig",
+    "WorkloadModel",
+]

@@ -1,0 +1,238 @@
+"""Per-machine latent state under load and crisis effects.
+
+Every machine runs the same three-stage pipeline (Figure 2 of the paper):
+light front-end processing, the heavy second stage, and post-processing that
+hands results to clients or a peer datacenter.  The latent state — stage
+utilizations, queue lengths, latencies, CPU and memory pressure — is what
+the metric catalog observes through ~100 noisy sensors.
+
+Queueing is modeled with an M/M/1-flavored law: queue length grows as
+``rho / (1 - rho)`` and explodes smoothly past saturation.  This gives the
+realistic nonlinearity that makes crises visible: moderate load changes move
+latencies a little, capacity collapses move them a lot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.crises import EffectFields
+
+
+@dataclass(frozen=True)
+class StageParams:
+    """Static parameters of one processing stage."""
+
+    base_utilization: float  # utilization at global load 1.0
+    base_latency_ms: float  # service latency at zero queueing
+
+
+#: The three stages of Figure 2.  Base utilizations leave enough headroom
+#: that normal load variation (diurnal peak x growth x noise) never
+#: saturates a stage; crises do.
+FRONTEND = StageParams(base_utilization=0.28, base_latency_ms=20.0)
+HEAVY = StageParams(base_utilization=0.42, base_latency_ms=200.0)
+POST = StageParams(base_utilization=0.35, base_latency_ms=100.0)
+
+
+@dataclass
+class Latents:
+    """Latent state arrays, each of shape ``(n_epochs, n_machines)``.
+
+    ``drift`` is the exception: a global ``(n_epochs, n_drift)`` matrix of
+    slowly wandering series used by the deliberately irrelevant drift
+    metrics (they exist to punish methods that skip feature selection).
+    """
+
+    load: np.ndarray
+    rho_fe: np.ndarray
+    rho_hv: np.ndarray
+    rho_po: np.ndarray
+    q_fe: np.ndarray
+    q_hv: np.ndarray
+    q_po: np.ndarray
+    lat_fe_ms: np.ndarray
+    lat_hv_ms: np.ndarray
+    lat_po_ms: np.ndarray
+    db_ms: np.ndarray
+    cpu: np.ndarray
+    mem: np.ndarray
+    err_mult: np.ndarray
+    db_err_mult: np.ndarray
+    retry_mult: np.ndarray
+    lock_mult: np.ndarray
+    alert_add: np.ndarray
+    config_alert_add: np.ndarray
+    backpressure: np.ndarray
+    drift: np.ndarray
+    periodic: np.ndarray
+
+    @property
+    def shape(self):
+        return self.load.shape
+
+
+def queue_length(rho: np.ndarray, saturation: float = 0.97) -> np.ndarray:
+    """Expected queue length as a function of utilization.
+
+    ``rho / (1 - rho)`` below ``saturation``; past it, linear growth with the
+    matching slope so the function stays continuous and monotonic (real
+    queues keep growing during overload rather than diverging instantly).
+    """
+    rho = np.asarray(rho, dtype=float)
+    rho = np.maximum(rho, 0.0)
+    base = saturation / (1.0 - saturation)
+    slope = 1.0 / (1.0 - saturation) ** 2
+    return np.where(
+        rho < saturation,
+        rho / np.maximum(1.0 - rho, 1e-9),
+        base + slope * (rho - saturation),
+    )
+
+
+class MachineFleet:
+    """Static fleet description: per-machine balance and speed factors."""
+
+    def __init__(self, n_machines: int, rng: np.random.Generator):
+        if n_machines <= 0:
+            raise ValueError("n_machines must be positive")
+        self.n_machines = n_machines
+        # Imperfect load balancing: each machine's share of traffic.
+        self.balance = np.exp(rng.normal(0.0, 0.03, n_machines))
+        self.balance /= self.balance.mean()
+        # Hardware heterogeneity: relative capacity of each machine.
+        self.speed = np.exp(rng.normal(0.0, 0.03, n_machines))
+        self.speed /= self.speed.mean()
+
+    def latents(
+        self,
+        workload: np.ndarray,
+        fields: EffectFields,
+        drift: np.ndarray,
+        rng: np.random.Generator,
+        periodic: np.ndarray = None,
+    ) -> Latents:
+        """Compute latent state for one chunk of epochs.
+
+        Parameters
+        ----------
+        workload:
+            Global offered load per epoch, shape ``(n_epochs,)``.
+        fields:
+            Crisis effect fields for the same epochs.
+        drift:
+            Global drift series for the same epochs ``(n_epochs, n_drift)``.
+        periodic:
+            Global diurnal-junk series ``(n_epochs, n_periodic)``; defaults
+            to an empty matrix.
+        """
+        workload = np.asarray(workload, dtype=float)
+        n_epochs = workload.shape[0]
+        if (n_epochs, self.n_machines) != (fields.n_epochs,
+                                           fields.n_machines):
+            raise ValueError("workload/fields shape mismatch")
+        if periodic is None:
+            periodic = np.zeros((n_epochs, 0))
+        shape = (n_epochs, self.n_machines)
+
+        def lognoise(sigma: float) -> np.ndarray:
+            return np.exp(rng.normal(0.0, sigma, shape))
+
+        load = (
+            workload[:, None]
+            * self.balance[None, :]
+            * fields.load_mult
+            * lognoise(0.04)
+        )
+
+        speed = self.speed[None, :]
+
+        rho_fe = (
+            FRONTEND.base_utilization
+            * load
+            * fields.demand_fe
+            / (speed * np.maximum(fields.cap_fe, 1e-3))
+        )
+        rho_hv = (
+            HEAVY.base_utilization
+            * load
+            * fields.demand_hv
+            / (speed * np.maximum(fields.cap_hv, 1e-3))
+        )
+        # Backpressure throttles the post stage's effective drain rate.
+        po_capacity = np.maximum(
+            fields.cap_po * (1.0 - np.clip(fields.backpressure, 0.0, 0.98)),
+            1e-3,
+        )
+        rho_po = (
+            POST.base_utilization * load * fields.demand_po
+            / (speed * po_capacity)
+        )
+
+        q_fe = queue_length(rho_fe) * lognoise(0.12)
+        q_hv = queue_length(rho_hv) * lognoise(0.12)
+        q_po = queue_length(rho_po) * lognoise(0.12)
+
+        db_ms = (40.0 + fields.db_add_ms) * lognoise(0.10)
+
+        lat_fe = FRONTEND.base_latency_ms * (1.0 + q_fe) * lognoise(0.08)
+        lat_hv = (
+            HEAVY.base_latency_ms * (1.0 + q_hv) + db_ms
+        ) * lognoise(0.08)
+        lat_po = POST.base_latency_ms * (1.0 + q_po) * lognoise(0.08)
+
+        cpu = np.clip(
+            0.12
+            + 0.55 * (0.25 * rho_fe + 0.55 * rho_hv + 0.20 * rho_po)
+            + fields.cpu_add
+            + rng.normal(0.0, 0.02, shape),
+            0.005,
+            1.0,
+        )
+        mem = np.clip(
+            0.38
+            + 0.25 * np.minimum(rho_hv, 2.0)
+            + 0.05 * np.minimum(q_po / 10.0, 2.0)
+            + fields.mem_add
+            + rng.normal(0.0, 0.02, shape),
+            0.02,
+            1.0,
+        )
+
+        return Latents(
+            load=load,
+            rho_fe=rho_fe,
+            rho_hv=rho_hv,
+            rho_po=rho_po,
+            q_fe=q_fe,
+            q_hv=q_hv,
+            q_po=q_po,
+            lat_fe_ms=lat_fe,
+            lat_hv_ms=lat_hv,
+            lat_po_ms=lat_po,
+            db_ms=db_ms,
+            cpu=cpu,
+            mem=mem,
+            err_mult=fields.err_mult,
+            db_err_mult=fields.db_err_mult,
+            retry_mult=fields.retry_mult,
+            lock_mult=fields.lock_mult,
+            alert_add=fields.alert_add,
+            config_alert_add=fields.config_alert_add,
+            backpressure=np.clip(fields.backpressure, 0.0, 0.98),
+            drift=drift,
+            periodic=periodic,
+        )
+
+
+__all__ = [
+    "FRONTEND",
+    "HEAVY",
+    "POST",
+    "Latents",
+    "MachineFleet",
+    "StageParams",
+    "queue_length",
+]

@@ -1,0 +1,523 @@
+"""The per-machine metric catalog.
+
+Roughly one hundred metrics per machine, mirroring the mix described in
+Section 4.1 of the paper: operator alert counts, queue lengths, latencies of
+intermediate processing steps, CPU summaries, and application-specific
+counters.  Each metric is a noisy view of the latent machine state; a large
+block of deliberately *irrelevant* metrics (stationary noise and slowly
+drifting series) is included because the paper's central result — feature
+selection is crucial (Figure 3/4, "fingerprints with all metrics") — only
+reproduces when irrelevant metrics exist to pollute unselected fingerprints.
+
+The three starred KPI metrics (front-end, heavy-stage, and post-processing
+latency) are the ones whose SLAs define crises (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.datacenter.machines import Latents
+
+MetricFn = Callable[[Latents, np.random.Generator], np.ndarray]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One metric: a named, noisy function of latent machine state."""
+
+    name: str
+    group: str
+    fn: MetricFn
+    is_kpi: bool = False
+
+
+def _ln(rng: np.random.Generator, shape, sigma: float) -> np.ndarray:
+    """Multiplicative log-normal noise."""
+    return np.exp(rng.normal(0.0, sigma, shape))
+
+
+def _n(rng: np.random.Generator, shape, sigma: float) -> np.ndarray:
+    return rng.normal(0.0, sigma, shape)
+
+
+def _cpu_metrics() -> List[MetricSpec]:
+    def user(lt, rng):
+        return np.clip(100.0 * lt.cpu * 0.72 + _n(rng, lt.shape, 1.5), 0, 100)
+
+    def system(lt, rng):
+        return np.clip(100.0 * lt.cpu * 0.18 + _n(rng, lt.shape, 0.8), 0, 100)
+
+    def idle(lt, rng):
+        return np.clip(100.0 * (1.0 - lt.cpu) + _n(rng, lt.shape, 1.5), 0, 100)
+
+    def iowait(lt, rng):
+        return (1.5 + 10.0 * lt.db_ms / 40.0) * _ln(rng, lt.shape, 0.15)
+
+    def ctx_switches(lt, rng):
+        return 4000.0 * lt.load * (1.0 + lt.q_hv / 6.0) * _ln(rng, lt.shape, 0.10)
+
+    def run_queue(lt, rng):
+        return (0.5 + 7.0 * lt.cpu**2) * _ln(rng, lt.shape, 0.20)
+
+    g = "cpu"
+    return [
+        MetricSpec("cpu.user_pct", g, user),
+        MetricSpec("cpu.system_pct", g, system),
+        MetricSpec("cpu.idle_pct", g, idle),
+        MetricSpec("cpu.iowait_pct", g, iowait),
+        MetricSpec("cpu.context_switches", g, ctx_switches),
+        MetricSpec("cpu.run_queue", g, run_queue),
+    ]
+
+
+def _memory_metrics() -> List[MetricSpec]:
+    def used_pct(lt, rng):
+        return np.clip(100.0 * lt.mem + _n(rng, lt.shape, 1.0), 0, 100)
+
+    def free_mb(lt, rng):
+        return np.clip(32768.0 * (1.0 - lt.mem) * _ln(rng, lt.shape, 0.03),
+                       0, None)
+
+    def cache_mb(lt, rng):
+        return 8192.0 * (0.8 + 0.2 * np.minimum(lt.load, 3.0)) * _ln(
+            rng, lt.shape, 0.05
+        )
+
+    def swap_used_mb(lt, rng):
+        return np.maximum(lt.mem - 0.85, 0.0) * 4096.0 * _ln(
+            rng, lt.shape, 0.3
+        )
+
+    def page_faults(lt, rng):
+        return 800.0 * lt.load * (1.0 + 2.0 * np.maximum(lt.mem - 0.8, 0.0)) \
+            * _ln(rng, lt.shape, 0.15)
+
+    def heap_mb(lt, rng):
+        return 4096.0 * lt.mem * (1.0 + 0.10 * np.minimum(lt.q_hv, 20.0)) \
+            * _ln(rng, lt.shape, 0.05)
+
+    def gc_time_ms(lt, rng):
+        return 40.0 * lt.mem**2 * (1.0 + np.maximum(lt.mem - 0.7, 0.0) * 8.0) \
+            * _ln(rng, lt.shape, 0.20)
+
+    def gc_count(lt, rng):
+        return (2.0 + 10.0 * lt.mem**2) * _ln(rng, lt.shape, 0.15)
+
+    g = "memory"
+    return [
+        MetricSpec("mem.used_pct", g, used_pct),
+        MetricSpec("mem.free_mb", g, free_mb),
+        MetricSpec("mem.cache_mb", g, cache_mb),
+        MetricSpec("mem.swap_used_mb", g, swap_used_mb),
+        MetricSpec("mem.page_faults", g, page_faults),
+        MetricSpec("mem.heap_mb", g, heap_mb),
+        MetricSpec("mem.gc_time_ms", g, gc_time_ms),
+        MetricSpec("mem.gc_count", g, gc_count),
+    ]
+
+
+def _disk_metrics() -> List[MetricSpec]:
+    def read_ops(lt, rng):
+        return 600.0 * lt.load * _ln(rng, lt.shape, 0.12)
+
+    def write_ops(lt, rng):
+        # The post stage writes results; pending archives force rewrites.
+        return 450.0 * lt.load * (1.0 + 0.5 * lt.backpressure) * _ln(
+            rng, lt.shape, 0.12
+        )
+
+    def read_mb(lt, rng):
+        return 30.0 * lt.load * _ln(rng, lt.shape, 0.15)
+
+    def write_mb(lt, rng):
+        return 22.0 * lt.load * (1.0 + 0.5 * lt.backpressure) * _ln(
+            rng, lt.shape, 0.15
+        )
+
+    def dqueue(lt, rng):
+        return (0.4 + 1.5 * lt.load + 0.3 * np.minimum(lt.q_po, 30.0) / 10.0) \
+            * _ln(rng, lt.shape, 0.18)
+
+    def util_pct(lt, rng):
+        return np.clip(
+            100.0 * (0.15 + 0.25 * lt.load + 0.1 * lt.backpressure)
+            + _n(rng, lt.shape, 2.0),
+            0,
+            100,
+        )
+
+    g = "disk"
+    return [
+        MetricSpec("disk.read_ops", g, read_ops),
+        MetricSpec("disk.write_ops", g, write_ops),
+        MetricSpec("disk.read_mb", g, read_mb),
+        MetricSpec("disk.write_mb", g, write_mb),
+        MetricSpec("disk.queue", g, dqueue),
+        MetricSpec("disk.util_pct", g, util_pct),
+    ]
+
+
+def _network_metrics() -> List[MetricSpec]:
+    def in_mbps(lt, rng):
+        return 80.0 * lt.load * _ln(rng, lt.shape, 0.10)
+
+    def out_mbps(lt, rng):
+        # Output falls when post-processing is backed up.
+        return 60.0 * lt.load / (1.0 + 0.15 * np.minimum(lt.q_po, 40.0)) \
+            * _ln(rng, lt.shape, 0.10)
+
+    def in_pps(lt, rng):
+        return 9000.0 * lt.load * _ln(rng, lt.shape, 0.10)
+
+    def out_pps(lt, rng):
+        return 7000.0 * lt.load / (1.0 + 0.15 * np.minimum(lt.q_po, 40.0)) \
+            * _ln(rng, lt.shape, 0.10)
+
+    def retransmits(lt, rng):
+        return 3.0 * lt.err_mult * (1.0 + 0.3 * lt.backpressure * 10.0) * _ln(
+            rng, lt.shape, 0.3
+        )
+
+    def active_conns(lt, rng):
+        return 200.0 * lt.load * (1.0 + 0.05 * np.minimum(lt.q_fe, 40.0)) \
+            * _ln(rng, lt.shape, 0.08)
+
+    g = "network"
+    return [
+        MetricSpec("net.in_mbps", g, in_mbps),
+        MetricSpec("net.out_mbps", g, out_mbps),
+        MetricSpec("net.in_pps", g, in_pps),
+        MetricSpec("net.out_pps", g, out_pps),
+        MetricSpec("net.tcp_retransmits", g, retransmits),
+        MetricSpec("net.active_connections", g, active_conns),
+    ]
+
+
+def _frontend_metrics() -> List[MetricSpec]:
+    def requests(lt, rng):
+        return 1000.0 * lt.load * _ln(rng, lt.shape, 0.08)
+
+    def queue(lt, rng):
+        return lt.q_fe * _ln(rng, lt.shape, 0.10)
+
+    def latency(lt, rng):
+        return lt.lat_fe_ms
+
+    def errors(lt, rng):
+        return 2.0 * lt.err_mult * (1.0 + 0.1 * np.minimum(lt.q_fe, 50.0)) \
+            * _ln(rng, lt.shape, 0.3)
+
+    def threads(lt, rng):
+        return (16.0 + 6.0 * np.minimum(lt.q_fe, 50.0)) * _ln(
+            rng, lt.shape, 0.08
+        )
+
+    def rejected(lt, rng):
+        return np.maximum(lt.q_fe - 8.0, 0.0) * 5.0 * _ln(rng, lt.shape, 0.4)
+
+    g = "frontend"
+    return [
+        MetricSpec("frontend.requests", g, requests),
+        MetricSpec("frontend.queue", g, queue),
+        MetricSpec("frontend.latency_ms", g, latency, is_kpi=True),
+        MetricSpec("frontend.errors", g, errors),
+        MetricSpec("frontend.threads", g, threads),
+        MetricSpec("frontend.rejected", g, rejected),
+    ]
+
+
+def _heavy_metrics() -> List[MetricSpec]:
+    def requests(lt, rng):
+        return 950.0 * lt.load / (1.0 + 0.02 * np.minimum(lt.q_hv, 50.0)) \
+            * _ln(rng, lt.shape, 0.08)
+
+    def queue(lt, rng):
+        return lt.q_hv * _ln(rng, lt.shape, 0.10)
+
+    def latency(lt, rng):
+        return lt.lat_hv_ms
+
+    def errors(lt, rng):
+        return 1.5 * lt.err_mult * (1.0 + 0.1 * np.minimum(lt.q_hv, 50.0)) \
+            * _ln(rng, lt.shape, 0.3)
+
+    def threads(lt, rng):
+        return (24.0 + 8.0 * np.minimum(lt.q_hv, 50.0)) * _ln(
+            rng, lt.shape, 0.08
+        )
+
+    def db_time(lt, rng):
+        return lt.db_ms * _ln(rng, lt.shape, 0.05)
+
+    def db_errors(lt, rng):
+        return 0.5 * lt.db_err_mult * _ln(rng, lt.shape, 0.4)
+
+    def db_conns(lt, rng):
+        return 18.0 * (1.0 + lt.db_ms / 80.0) * _ln(rng, lt.shape, 0.10)
+
+    def cache_hit(lt, rng):
+        return np.clip(
+            92.0 - 10.0 * np.maximum(lt.load - 1.0, 0.0)
+            + _n(rng, lt.shape, 1.5),
+            0,
+            100,
+        )
+
+    def lock_wait(lt, rng):
+        return 4.0 * lt.lock_mult * (1.0 + 0.05 * np.minimum(lt.q_hv, 50.0)) \
+            * _ln(rng, lt.shape, 0.3)
+
+    g = "heavy"
+    return [
+        MetricSpec("heavy.requests", g, requests),
+        MetricSpec("heavy.queue", g, queue),
+        MetricSpec("heavy.latency_ms", g, latency, is_kpi=True),
+        MetricSpec("heavy.errors", g, errors),
+        MetricSpec("heavy.threads", g, threads),
+        MetricSpec("heavy.db_time_ms", g, db_time),
+        MetricSpec("heavy.db_errors", g, db_errors),
+        MetricSpec("heavy.db_connections", g, db_conns),
+        MetricSpec("heavy.cache_hit_pct", g, cache_hit),
+        MetricSpec("heavy.lock_wait_ms", g, lock_wait),
+    ]
+
+
+def _post_metrics() -> List[MetricSpec]:
+    def requests(lt, rng):
+        return 900.0 * lt.load / (1.0 + 0.02 * np.minimum(lt.q_po, 50.0)) \
+            * _ln(rng, lt.shape, 0.08)
+
+    def queue(lt, rng):
+        return lt.q_po * _ln(rng, lt.shape, 0.10)
+
+    def latency(lt, rng):
+        return lt.lat_po_ms
+
+    def errors(lt, rng):
+        return 1.2 * lt.err_mult * (1.0 + 0.1 * np.minimum(lt.q_po, 50.0)) \
+            * _ln(rng, lt.shape, 0.3)
+
+    def threads(lt, rng):
+        return (20.0 + 7.0 * np.minimum(lt.q_po, 50.0)) * _ln(
+            rng, lt.shape, 0.08
+        )
+
+    def pending_archive(lt, rng):
+        # A backlog counter integrates any drain shortfall, so it reacts
+        # steeply to even mild backpressure — the early sign that makes
+        # type-B crises forecastable (Section 7).
+        return 50.0 * (1.0 + 60.0 * lt.backpressure) \
+            * (1.0 + 0.2 * np.minimum(lt.q_po, 50.0)) * _ln(rng, lt.shape, 0.2)
+
+    def archive_throughput(lt, rng):
+        return 850.0 * lt.load * (1.0 - lt.backpressure) * _ln(
+            rng, lt.shape, 0.10
+        )
+
+    def retries(lt, rng):
+        return 3.0 * lt.retry_mult * _ln(rng, lt.shape, 0.3)
+
+    g = "post"
+    return [
+        MetricSpec("post.requests", g, requests),
+        MetricSpec("post.queue", g, queue),
+        MetricSpec("post.latency_ms", g, latency, is_kpi=True),
+        MetricSpec("post.errors", g, errors),
+        MetricSpec("post.threads", g, threads),
+        MetricSpec("post.pending_archive", g, pending_archive),
+        MetricSpec("post.archive_throughput", g, archive_throughput),
+        MetricSpec("post.retries", g, retries),
+    ]
+
+
+def _app_metrics() -> List[MetricSpec]:
+    def alerts_minor(lt, rng):
+        lam = 1.0 + lt.alert_add
+        return rng.poisson(np.maximum(lam, 0.0)).astype(float)
+
+    def alerts_major(lt, rng):
+        lam = 0.05 + 0.6 * lt.alert_add
+        return rng.poisson(np.maximum(lam, 0.0)).astype(float)
+
+    def error_log_rate(lt, rng):
+        return 5.0 * lt.err_mult * _ln(rng, lt.shape, 0.25)
+
+    def config_reloads(lt, rng):
+        lam = 0.02 + lt.config_alert_add
+        return rng.poisson(np.maximum(lam, 0.0)).astype(float)
+
+    def retry_counter(lt, rng):
+        return 8.0 * lt.retry_mult * _ln(rng, lt.shape, 0.2)
+
+    def sessions(lt, rng):
+        return 400.0 * lt.load * _ln(rng, lt.shape, 0.06)
+
+    def auth_latency(lt, rng):
+        return (12.0 + 0.2 * lt.lat_fe_ms) * _ln(rng, lt.shape, 0.12)
+
+    def request_size(lt, rng):
+        return 14.0 * _ln(rng, lt.shape, 0.10) * (1.0 + 0.05 * lt.load)
+
+    def response_size(lt, rng):
+        return 48.0 * _ln(rng, lt.shape, 0.10) * (1.0 + 0.05 * lt.load)
+
+    def workers_busy(lt, rng):
+        return np.clip(
+            64.0 * (0.3 + 0.6 * lt.cpu) * _ln(rng, lt.shape, 0.08), 0, 64
+        )
+
+    g = "app"
+    return [
+        MetricSpec("app.alerts_minor", g, alerts_minor),
+        MetricSpec("app.alerts_major", g, alerts_major),
+        MetricSpec("app.error_log_rate", g, error_log_rate),
+        MetricSpec("app.config_reloads", g, config_reloads),
+        MetricSpec("app.retry_counter", g, retry_counter),
+        MetricSpec("app.sessions", g, sessions),
+        MetricSpec("app.auth_latency_ms", g, auth_latency),
+        MetricSpec("app.request_size_kb", g, request_size),
+        MetricSpec("app.response_size_kb", g, response_size),
+        MetricSpec("app.workers_busy", g, workers_busy),
+    ]
+
+
+def _noise_metric(index: int) -> MetricSpec:
+    """Stationary irrelevant metric; distribution family varies by index."""
+    family = index % 3
+    scale = 10.0 * (1 + index % 5)
+
+    if family == 0:
+        def fn(lt, rng, scale=scale):
+            return scale + rng.normal(0.0, scale * 0.15, lt.shape)
+    elif family == 1:
+        def fn(lt, rng, scale=scale):
+            return scale * np.exp(rng.normal(0.0, 0.3, lt.shape))
+    else:
+        def fn(lt, rng, scale=scale):
+            return rng.gamma(2.0, scale / 2.0, lt.shape)
+
+    return MetricSpec(f"misc.noise_{index:02d}", "noise", fn)
+
+
+def _periodic_metric(index: int) -> MetricSpec:
+    """Irrelevant metric with its own diurnal cycle and day-level swings.
+
+    Batch jobs, report generation, backup traffic: strongly time-of-day
+    dependent series whose overall level varies from day to day.  Since
+    crises occur during business hours, these metrics sit near their daily
+    peak at crisis time and read hot whenever their *day* runs high —
+    pollution that hits all-metrics fingerprints far above the 4% base
+    rate, while per-machine feature selection (whose training windows span
+    only a few hours) sees no contrast and ignores them.
+    """
+
+    def fn(lt, rng, index=index):
+        if index >= lt.periodic.shape[1]:
+            raise ValueError(
+                f"periodic metric {index} needs series of width "
+                f">= {index + 1}, got {lt.periodic.shape[1]}"
+            )
+        base = lt.periodic[:, index][:, None]
+        return base * np.exp(rng.normal(0.0, 0.05, lt.shape))
+
+    return MetricSpec(f"misc.periodic_{index:02d}", "periodic", fn)
+
+
+def _drift_metric(index: int) -> MetricSpec:
+    """Irrelevant metric tied to a global random-walk series.
+
+    These wander in and out of their historical range for long stretches,
+    so their hot/cold summaries flip in patterns uncorrelated with crises —
+    exactly the pollution that degrades the all-metrics baseline.
+    """
+
+    def fn(lt, rng, index=index):
+        if index >= lt.drift.shape[1]:
+            raise ValueError(
+                f"drift metric {index} needs drift series of width "
+                f">= {index + 1}, got {lt.drift.shape[1]}"
+            )
+        base = lt.drift[:, index][:, None]
+        return base * np.exp(rng.normal(0.0, 0.05, lt.shape))
+
+    return MetricSpec(f"misc.drift_{index:02d}", "drift", fn)
+
+
+def build_catalog(
+    n_noise: int = 20, n_drift: int = 15, n_periodic: int = 30
+) -> "MetricCatalog":
+    """Assemble the catalog: 60 structural + noise/drift/periodic junk."""
+    specs: List[MetricSpec] = []
+    specs += _cpu_metrics()
+    specs += _memory_metrics()
+    specs += _disk_metrics()
+    specs += _network_metrics()
+    specs += _frontend_metrics()
+    specs += _heavy_metrics()
+    specs += _post_metrics()
+    specs += _app_metrics()
+    specs += [_noise_metric(i) for i in range(n_noise)]
+    specs += [_drift_metric(i) for i in range(n_drift)]
+    specs += [_periodic_metric(i) for i in range(n_periodic)]
+    return MetricCatalog(specs, n_drift=n_drift)
+
+
+@dataclass
+class MetricCatalog:
+    """Ordered collection of metric specs with name/KPI lookups."""
+
+    specs: List[MetricSpec]
+    n_drift: int = 0
+    _index: Dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate metric names in catalog")
+        self._index = {name: i for i, name in enumerate(names)}
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @property
+    def names(self) -> List[str]:
+        return [s.name for s in self.specs]
+
+    @property
+    def kpi_indices(self) -> List[int]:
+        return [i for i, s in enumerate(self.specs) if s.is_kpi]
+
+    @property
+    def kpi_names(self) -> List[str]:
+        return [s.name for s in self.specs if s.is_kpi]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown metric {name!r}") from None
+
+    def evaluate(
+        self, latents: Latents, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Evaluate every metric: returns ``(n_epochs, n_machines, n_metrics)``."""
+        n_epochs, n_machines = latents.shape
+        out = np.empty((n_epochs, n_machines, len(self.specs)))
+        for k, spec in enumerate(self.specs):
+            values = spec.fn(latents, rng)
+            if values.shape != (n_epochs, n_machines):
+                raise ValueError(
+                    f"metric {spec.name} produced shape {values.shape}"
+                )
+            out[:, :, k] = values
+        return out
+
+
+__all__ = ["MetricCatalog", "MetricSpec", "build_catalog"]

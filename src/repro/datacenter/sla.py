@@ -1,0 +1,177 @@
+"""Key performance indicators, SLAs, and crisis detection.
+
+The datacenter's operators designate three KPIs — the average processing
+time of the front-end, the heavy second stage, and one post-processing stage
+— and declare a performance crisis when 10% of machines violate any KPI's
+SLA (Section 4.1).  We keep that definition verbatim.
+
+SLA thresholds are "a matter of business policy" in the paper; here they are
+calibrated from a crisis-free reference period as a high percentile of
+per-machine KPI values with a safety margin, which yields the same
+operational property: normal operation essentially never trips the 10%
+detector, crises reliably do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KPIDefinition:
+    """One KPI: a metric index plus its SLA threshold (violate if above)."""
+
+    name: str
+    metric_index: int
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.metric_index < 0:
+            raise ValueError("metric_index must be non-negative")
+        if not np.isfinite(self.threshold) or self.threshold <= 0:
+            raise ValueError("threshold must be positive and finite")
+
+
+@dataclass(frozen=True)
+class SLAPolicy:
+    """The KPI set plus the fleet-fraction rule that declares a crisis."""
+
+    kpis: Tuple[KPIDefinition, ...]
+    violation_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not self.kpis:
+            raise ValueError("at least one KPI required")
+        if not 0.0 < self.violation_fraction <= 1.0:
+            raise ValueError("violation_fraction must lie in (0, 1]")
+
+    @property
+    def metric_indices(self) -> List[int]:
+        return [k.metric_index for k in self.kpis]
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        return np.array([k.threshold for k in self.kpis])
+
+    def machine_violations(self, values: np.ndarray) -> np.ndarray:
+        """Per-machine any-KPI violation flags.
+
+        Parameters
+        ----------
+        values:
+            Raw metric values, shape ``(n_epochs, n_machines, n_metrics)``.
+
+        Returns
+        -------
+        Boolean array ``(n_epochs, n_machines)``.
+        """
+        values = np.asarray(values)
+        kpi_vals = values[:, :, self.metric_indices]
+        return np.any(kpi_vals > self.thresholds[None, None, :], axis=2)
+
+    def per_kpi_violation_fraction(self, values: np.ndarray) -> np.ndarray:
+        """Fraction of machines violating each KPI: ``(n_epochs, n_kpis)``."""
+        values = np.asarray(values)
+        kpi_vals = values[:, :, self.metric_indices]
+        return np.mean(kpi_vals > self.thresholds[None, None, :], axis=1)
+
+    def epoch_anomalous(self, per_kpi_fraction: np.ndarray) -> np.ndarray:
+        """Epoch-level crisis condition: any KPI violated on >=10% of machines."""
+        per_kpi_fraction = np.asarray(per_kpi_fraction)
+        return np.any(per_kpi_fraction >= self.violation_fraction, axis=-1)
+
+    @staticmethod
+    def calibrate(
+        kpi_names: Sequence[str],
+        kpi_indices: Sequence[int],
+        reference_values: np.ndarray,
+        percentile: float = 99.9,
+        margin: float = 1.3,
+        violation_fraction: float = 0.10,
+    ) -> "SLAPolicy":
+        """Set SLA thresholds from crisis-free reference telemetry.
+
+        ``reference_values`` is ``(n_epochs, n_machines, n_kpis)`` of raw KPI
+        values observed during normal operation.  The threshold for each KPI
+        is its ``percentile`` across all machine-epochs times ``margin``.
+        """
+        reference_values = np.asarray(reference_values)
+        if reference_values.ndim != 3:
+            raise ValueError("reference_values must be 3-D")
+        if reference_values.shape[2] != len(kpi_names):
+            raise ValueError("KPI count mismatch")
+        kpis = []
+        for j, (name, idx) in enumerate(zip(kpi_names, kpi_indices)):
+            flat = reference_values[:, :, j].ravel()
+            threshold = float(np.percentile(flat, percentile)) * margin
+            kpis.append(KPIDefinition(name, idx, threshold))
+        return SLAPolicy(tuple(kpis), violation_fraction)
+
+
+@dataclass(frozen=True)
+class DetectedCrisis:
+    """A maximal run of anomalous epochs, matched to its injected cause."""
+
+    detected_epoch: int
+    last_epoch: int  # final anomalous epoch of the run (inclusive)
+    schedule_index: Optional[int]  # index into the injected schedule, if any
+
+    @property
+    def duration_epochs(self) -> int:
+        return self.last_epoch - self.detected_epoch + 1
+
+
+def detect_crises(
+    anomalous: np.ndarray,
+    injected_spans: Sequence[Tuple[int, int]],
+    merge_gap: int = 2,
+    match_slack: int = 4,
+) -> List[DetectedCrisis]:
+    """Turn the epoch-level anomaly mask into detected crisis events.
+
+    Maximal anomalous runs separated by at most ``merge_gap`` normal epochs
+    are merged (a crisis briefly dipping under the 10% line is still one
+    crisis).  Each run is matched to the injected crisis whose span
+    (extended by ``match_slack`` epochs) overlaps it; unmatched runs get
+    ``schedule_index=None`` (spurious detections, which the operators would
+    triage as noise).
+    """
+    anomalous = np.asarray(anomalous, dtype=bool)
+    runs: List[List[int]] = []
+    start = None
+    for e, flag in enumerate(anomalous):
+        if flag and start is None:
+            start = e
+        elif not flag and start is not None:
+            runs.append([start, e - 1])
+            start = None
+    if start is not None:
+        runs.append([start, len(anomalous) - 1])
+
+    merged: List[List[int]] = []
+    for run in runs:
+        if merged and run[0] - merged[-1][1] - 1 <= merge_gap:
+            merged[-1][1] = run[1]
+        else:
+            merged.append(run)
+
+    detected: List[DetectedCrisis] = []
+    for lo, hi in merged:
+        match = None
+        for idx, (s, e) in enumerate(injected_spans):
+            if lo < e + match_slack and hi >= s - match_slack:
+                match = idx
+                break
+        detected.append(DetectedCrisis(lo, hi, match))
+    return detected
+
+
+__all__ = [
+    "KPIDefinition",
+    "SLAPolicy",
+    "DetectedCrisis",
+    "detect_crises",
+]

@@ -1,0 +1,171 @@
+"""Generated-trace container.
+
+A :class:`DatacenterTrace` is everything the fingerprinting pipeline is
+allowed to see, in the same shape the paper's monitoring system provides:
+
+* per-epoch datacenter-wide metric quantiles (never the full raw telemetry —
+  that is the whole point of the representation),
+* per-epoch KPI violation fractions and the resulting anomaly mask,
+* raw per-machine metric windows *around crises only* (the paper's operators
+  kept raw data near incidents; feature selection needs it), and
+* the crisis records themselves with ground-truth labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datacenter.crises import CrisisInstance
+from repro.datacenter.sla import SLAPolicy
+
+
+@dataclass
+class RawWindow:
+    """Raw per-machine telemetry around one crisis.
+
+    ``values`` has shape ``(n_window_epochs, n_machines, n_metrics)`` and
+    ``violations`` is the per-machine any-KPI SLA violation flag for the same
+    epochs; ``start_epoch`` anchors the window on the trace timeline.
+    """
+
+    start_epoch: int
+    values: np.ndarray
+    violations: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 3:
+            raise ValueError("values must be 3-D")
+        if self.violations.shape != self.values.shape[:2]:
+            raise ValueError("violations shape mismatch")
+
+    @property
+    def n_epochs(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def end_epoch(self) -> int:
+        return self.start_epoch + self.n_epochs
+
+    def epoch_rows(self, epochs: Sequence[int]) -> np.ndarray:
+        """Window-local row indices of the given absolute epochs."""
+        rows = np.asarray(epochs, dtype=int) - self.start_epoch
+        if np.any(rows < 0) or np.any(rows >= self.n_epochs):
+            raise IndexError("epoch outside raw window")
+        return rows
+
+
+@dataclass
+class CrisisRecord:
+    """One crisis: injected ground truth plus its detection outcome."""
+
+    index: int
+    instance: CrisisInstance
+    detected_epoch: Optional[int]
+    raw: Optional[RawWindow] = None
+
+    @property
+    def label(self) -> str:
+        """Ground-truth type code (operators' post-hoc diagnosis)."""
+        return self.instance.type_code
+
+    @property
+    def labeled(self) -> bool:
+        return self.instance.labeled
+
+    @property
+    def detected(self) -> bool:
+        return self.detected_epoch is not None
+
+
+@dataclass
+class DatacenterTrace:
+    """Complete simulated dataset for one run of the datacenter."""
+
+    metric_names: List[str]
+    quantile_levels: Tuple[float, ...]
+    quantiles: np.ndarray  # (n_epochs, n_metrics, n_quantiles)
+    anomalous: np.ndarray  # (n_epochs,) epoch-level crisis condition
+    kpi_violation_fraction: np.ndarray  # (n_epochs, n_kpis)
+    sla: SLAPolicy
+    crises: List[CrisisRecord] = field(default_factory=list)
+    n_machines: int = 0
+    epochs_per_day: int = 96
+
+    def __post_init__(self) -> None:
+        n_epochs = self.quantiles.shape[0]
+        if self.quantiles.ndim != 3:
+            raise ValueError("quantiles must be 3-D")
+        if self.quantiles.shape[1] != len(self.metric_names):
+            raise ValueError("metric name count mismatch")
+        if self.quantiles.shape[2] != len(self.quantile_levels):
+            raise ValueError("quantile level count mismatch")
+        if self.anomalous.shape != (n_epochs,):
+            raise ValueError("anomalous mask shape mismatch")
+        if self.kpi_violation_fraction.shape[0] != n_epochs:
+            raise ValueError("KPI fraction shape mismatch")
+
+    @property
+    def n_epochs(self) -> int:
+        return self.quantiles.shape[0]
+
+    @property
+    def n_metrics(self) -> int:
+        return self.quantiles.shape[1]
+
+    @property
+    def n_quantiles(self) -> int:
+        return self.quantiles.shape[2]
+
+    @property
+    def kpi_names(self) -> List[str]:
+        return [k.name for k in self.sla.kpis]
+
+    @property
+    def kpi_metric_indices(self) -> List[int]:
+        return list(self.sla.metric_indices)
+
+    @property
+    def labeled_crises(self) -> List[CrisisRecord]:
+        return [c for c in self.crises if c.labeled and c.detected]
+
+    @property
+    def bootstrap_crises(self) -> List[CrisisRecord]:
+        return [c for c in self.crises if not c.labeled and c.detected]
+
+    @property
+    def detected_crises(self) -> List[CrisisRecord]:
+        return [c for c in self.crises if c.detected]
+
+    def crisis_free_mask(self, margin: int = 0) -> np.ndarray:
+        """Epochs with no crisis in progress (optionally with a margin)."""
+        mask = ~self.anomalous.copy()
+        if margin > 0:
+            bad = np.flatnonzero(self.anomalous)
+            for e in bad:
+                lo = max(e - margin, 0)
+                hi = min(e + margin + 1, self.n_epochs)
+                mask[lo:hi] = False
+        return mask
+
+    def quantile_window(self, start: int, stop: int) -> np.ndarray:
+        """Quantile summaries for epochs ``[start, stop)`` (clipped)."""
+        start = max(start, 0)
+        stop = min(stop, self.n_epochs)
+        if start >= stop:
+            raise IndexError("empty quantile window")
+        return self.quantiles[start:stop]
+
+    def threshold_history(
+        self, end_epoch: int, window_epochs: int
+    ) -> np.ndarray:
+        """Crisis-free quantile history in the trailing window before
+        ``end_epoch`` — the input to hot/cold threshold estimation."""
+        start = max(end_epoch - window_epochs, 0)
+        sel = ~self.anomalous[start:end_epoch]
+        return self.quantiles[start:end_epoch][sel]
+
+
+__all__ = ["CrisisRecord", "DatacenterTrace", "RawWindow"]

@@ -1,0 +1,89 @@
+"""Offered-load model for the simulated datacenter.
+
+The application under study is user-facing, so its workload has a strong
+diurnal cycle, a weekly cycle (weekend dip), a slow growth trend, and
+stochastic variation.  :class:`WorkloadModel` produces the *global* offered
+load per epoch, normalized so that 1.0 is the long-run average; per-machine
+load is derived from it by the fleet model (load balancing plus noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.epochs import EpochClock
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the global offered-load process."""
+
+    #: Peak-to-trough amplitude of the diurnal cycle (0 disables it).
+    diurnal_amplitude: float = 0.30
+    #: Hour of day (0-24) at which load peaks.
+    peak_hour: float = 15.0
+    #: Multiplier applied on weekends (enterprise app with global
+    #: customers: mild weekend dip).
+    weekend_factor: float = 0.9
+    #: Linear growth over the whole trace (0.1 = +10% from start to end).
+    growth: float = 0.015
+    #: Std-dev of multiplicative log-normal epoch noise.
+    noise_sigma: float = 0.03
+    #: Std-dev of a slow AR(1) modulation (captures campaign-level drift).
+    slow_sigma: float = 0.015
+    #: AR(1) coefficient of the slow modulation per epoch.
+    slow_rho: float = 0.995
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must lie in [0, 1)")
+        if not 0.0 < self.weekend_factor <= 1.5:
+            raise ValueError("weekend_factor out of range")
+        if self.noise_sigma < 0 or self.slow_sigma < 0:
+            raise ValueError("noise levels must be non-negative")
+        if not 0.0 <= self.slow_rho < 1.0:
+            raise ValueError("slow_rho must lie in [0, 1)")
+
+
+class WorkloadModel:
+    """Generates the global offered-load series for a whole trace."""
+
+    def __init__(self, config: WorkloadConfig, clock: EpochClock):
+        self.config = config
+        self.clock = clock
+
+    def generate(self, n_epochs: int, rng: np.random.Generator) -> np.ndarray:
+        """Global load per epoch, shape ``(n_epochs,)``, mean ~1.0."""
+        if n_epochs <= 0:
+            raise ValueError("n_epochs must be positive")
+        cfg = self.config
+        epochs = np.arange(n_epochs)
+        frac_of_day = (epochs % self.clock.per_day) / self.clock.per_day
+        day = epochs // self.clock.per_day
+
+        phase = 2.0 * np.pi * (frac_of_day - cfg.peak_hour / 24.0)
+        diurnal = 1.0 + cfg.diurnal_amplitude * np.cos(phase)
+
+        weekday = day % 7
+        weekly = np.where(weekday >= 5, cfg.weekend_factor, 1.0)
+
+        trend = 1.0 + cfg.growth * (epochs / max(n_epochs - 1, 1))
+
+        noise = np.exp(rng.normal(0.0, cfg.noise_sigma, n_epochs))
+
+        slow = np.empty(n_epochs)
+        innov = rng.normal(
+            0.0, cfg.slow_sigma * np.sqrt(1.0 - cfg.slow_rho**2), n_epochs
+        )
+        state = 0.0
+        for i in range(n_epochs):
+            state = cfg.slow_rho * state + innov[i]
+            slow[i] = state
+        slow = np.exp(slow)
+
+        return diurnal * weekly * trend * noise * slow
+
+
+__all__ = ["WorkloadConfig", "WorkloadModel"]

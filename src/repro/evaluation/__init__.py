@@ -1,0 +1,62 @@
+"""Evaluation harness reproducing the paper's experiments.
+
+* :mod:`repro.evaluation.discrimination` — distance ROCs / AUC (Figure 3);
+* :mod:`repro.evaluation.identification` — the five-epoch identification
+  protocol, scoring (known/unknown accuracy, stability, time to
+  identification), and alpha sweeps (Figures 4-6, 8; Table 2);
+* :mod:`repro.evaluation.experiments` — the offline, quasi-online, and
+  online experiment drivers;
+* :mod:`repro.evaluation.sensitivity` — free-parameter sweeps (Figure 7,
+  Sections 6.1-6.2);
+* :mod:`repro.evaluation.results` — result containers and table rendering.
+"""
+
+from repro.evaluation.confusion import (
+    confusion_counts,
+    confusion_table,
+    top_confusions,
+)
+from repro.evaluation.discrimination import discrimination_auc, discrimination_roc
+from repro.evaluation.experiments import (
+    OfflineIdentificationExperiment,
+    OnlineIdentificationExperiment,
+)
+from repro.evaluation.identification import (
+    CrisisOutcome,
+    IdentificationCurves,
+    IdentificationScore,
+    score_outcomes,
+)
+from repro.evaluation.permutations import (
+    PermutationDistribution,
+    permutation_distribution,
+)
+from repro.evaluation.reports import EvaluationReport, full_report
+from repro.evaluation.results import format_table
+from repro.evaluation.uncertainty import (
+    accuracy_intervals,
+    bootstrap_ci,
+    mcnemar_exact,
+)
+
+__all__ = [
+    "discrimination_auc",
+    "discrimination_roc",
+    "OfflineIdentificationExperiment",
+    "OnlineIdentificationExperiment",
+    "CrisisOutcome",
+    "IdentificationCurves",
+    "IdentificationScore",
+    "score_outcomes",
+    "format_table",
+    "confusion_counts",
+    "confusion_table",
+    "top_confusions",
+    "EvaluationReport",
+    "full_report",
+    "accuracy_intervals",
+    "bootstrap_ci",
+    "mcnemar_exact",
+    "PermutationDistribution",
+    "permutation_distribution",
+]

@@ -1,0 +1,83 @@
+"""Confusion analysis of identification outcomes.
+
+Beyond accuracy numbers, operators want to know *which* crisis types the
+identifier mistakes for which — an E-for-B confusion (both back up the
+post-processing stage) calls for a different fix than a D-for-A confusion
+(both saturate the front end).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.identification import UNKNOWN
+from repro.evaluation.identification import CrisisOutcome
+
+#: Pseudo-labels used in confusion rows/columns.
+UNSTABLE = "(unstable)"
+NO_MATCH = "(unknown)"
+
+
+def confusion_counts(
+    outcomes: Sequence[CrisisOutcome],
+) -> Dict[Tuple[str, str], int]:
+    """Counts of (true label, emitted result) pairs.
+
+    The emitted result is the settled label of a stable sequence,
+    ``NO_MATCH`` for an all-unknown stable sequence, or ``UNSTABLE``.
+    """
+    counts: Counter = Counter()
+    for outcome in outcomes:
+        if not outcome.stable:
+            emitted = UNSTABLE
+        elif outcome.settled_label is None:
+            emitted = NO_MATCH
+        else:
+            emitted = outcome.settled_label
+        counts[(outcome.true_label, emitted)] += 1
+    return dict(counts)
+
+
+def confusion_table(outcomes: Sequence[CrisisOutcome]) -> str:
+    """Monospace confusion matrix: rows true labels, columns emitted."""
+    counts = confusion_counts(outcomes)
+    if not counts:
+        raise ValueError("no outcomes")
+    trues = sorted({t for t, _ in counts})
+    emitted_labels = sorted(
+        {e for _, e in counts if e not in (UNSTABLE, NO_MATCH)}
+    )
+    columns = emitted_labels + [NO_MATCH, UNSTABLE]
+    width = max(len(c) for c in columns + trues) + 2
+    header = "true".ljust(6) + "".join(c.rjust(width) for c in columns)
+    lines = [header, "-" * len(header)]
+    for t in trues:
+        row = t.ljust(6)
+        for c in columns:
+            row += str(counts.get((t, c), 0)).rjust(width)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def top_confusions(
+    outcomes: Sequence[CrisisOutcome], k: int = 5
+) -> List[Tuple[str, str, int]]:
+    """The k most frequent misidentifications (true != emitted label)."""
+    counts = confusion_counts(outcomes)
+    wrong = [
+        (t, e, n)
+        for (t, e), n in counts.items()
+        if e not in (NO_MATCH, UNSTABLE) and e != t
+    ]
+    wrong.sort(key=lambda item: -item[2])
+    return wrong[:k]
+
+
+__all__ = [
+    "NO_MATCH",
+    "UNSTABLE",
+    "confusion_counts",
+    "confusion_table",
+    "top_confusions",
+]

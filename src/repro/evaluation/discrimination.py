@@ -1,0 +1,36 @@
+"""Discrimination experiment (Figure 3, Section 5.1.1).
+
+How well does each representation classify two crises as identical or
+different, independent of labeling?  All unordered pairs of labeled crises
+are scored by representation distance; the distance ROC's area quantifies
+discrimination.  Methods must already be fitted (offline setting: perfect
+knowledge of the whole trace).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datacenter.trace import CrisisRecord
+from repro.methods.base import OfflineMethod
+from repro.ml.roc import ROCCurve, roc_curve
+
+
+def discrimination_roc(
+    method: OfflineMethod, crises: List[CrisisRecord]
+) -> ROCCurve:
+    """Distance ROC of a fitted method over the labeled crises."""
+    if len(crises) < 2:
+        raise ValueError("need at least two crises")
+    distances, is_same = method.discrimination_pairs(crises)
+    return roc_curve(distances, is_same)
+
+
+def discrimination_auc(
+    method: OfflineMethod, crises: List[CrisisRecord]
+) -> float:
+    """AUC of :func:`discrimination_roc`."""
+    return discrimination_roc(method, crises).auc
+
+
+__all__ = ["discrimination_roc", "discrimination_auc"]

@@ -1,0 +1,50 @@
+"""Result containers and plain-text table rendering.
+
+The benchmarks print the same rows the paper reports; this module keeps the
+formatting in one place so every table looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with a separator under the header."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float) or isinstance(cell, np.floating):
+        if np.isnan(cell):
+            return "-"
+        return f"{cell:.3f}" if abs(cell) < 10 else f"{cell:.1f}"
+    return str(cell)
+
+
+def format_percent(value: float) -> str:
+    return "-" if np.isnan(value) else f"{100.0 * value:.0f}%"
+
+
+__all__ = ["format_table", "format_percent"]

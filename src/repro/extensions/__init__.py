@@ -1,0 +1,28 @@
+"""Extensions sketched in the paper's future-work section (Section 7).
+
+* :mod:`repro.extensions.forecasting` — finding early signs of crises in
+  pre-crisis fingerprints so they can be forecast (the paper reports
+  encouraging early results for type-B crises);
+* :mod:`repro.extensions.evolution` — modeling the evolution of a crisis in
+  fingerprint space to estimate progress and time to resolution.
+"""
+
+from repro.extensions.catalog import (
+    CrisisCluster,
+    catalog_summary,
+    cluster_crises,
+    cluster_purity,
+)
+from repro.extensions.evolution import CrisisEvolutionModel, EvolutionProfile
+from repro.extensions.forecasting import CrisisForecaster, ForecastResult
+
+__all__ = [
+    "CrisisCluster",
+    "catalog_summary",
+    "cluster_crises",
+    "cluster_purity",
+    "CrisisEvolutionModel",
+    "EvolutionProfile",
+    "CrisisForecaster",
+    "ForecastResult",
+]

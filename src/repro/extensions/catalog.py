@@ -1,0 +1,143 @@
+"""Unsupervised crisis-catalog discovery.
+
+The paper's bootstrap period contains twenty crises nobody diagnosed.  An
+operations team adopting fingerprints can still mine that history:
+agglomerative clustering over pairwise fingerprint distances groups
+recurring problems so operators label *clusters* instead of individual
+incidents.  The same identification threshold that separates same-type
+from different-type crises (Section 5.3) makes a natural linkage cutoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.similarity import pairwise_distances
+
+
+@dataclass(frozen=True)
+class CrisisCluster:
+    """One proposed group of recurring crises."""
+
+    cluster_id: int
+    members: tuple  # indices into the clustered crisis list
+    medoid: int  # member minimizing total distance to the others
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def _linkage_distance(
+    distances: np.ndarray,
+    a: Sequence[int],
+    b: Sequence[int],
+    linkage: str,
+) -> float:
+    block = distances[np.ix_(list(a), list(b))]
+    if linkage == "single":
+        return float(block.min())
+    if linkage == "complete":
+        return float(block.max())
+    if linkage == "average":
+        return float(block.mean())
+    raise ValueError(f"unknown linkage {linkage!r}")
+
+
+def cluster_crises(
+    vectors: Sequence[np.ndarray],
+    threshold: float,
+    linkage: str = "complete",
+) -> List[CrisisCluster]:
+    """Agglomerative clustering with a distance cutoff.
+
+    Merging stops when no pair of clusters is within ``threshold`` under
+    the chosen linkage.  With complete linkage and the identification
+    threshold as the cutoff, every pair inside a cluster would also have
+    been identified as "same crisis" by the online identifier.
+    """
+    n = len(vectors)
+    if n == 0:
+        return []
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    distances = pairwise_distances(list(vectors))
+    clusters: List[List[int]] = [[i] for i in range(n)]
+
+    while len(clusters) > 1:
+        best: Optional[tuple] = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                d = _linkage_distance(
+                    distances, clusters[i], clusters[j], linkage
+                )
+                if d < threshold and (best is None or d < best[0]):
+                    best = (d, i, j)
+        if best is None:
+            break
+        _, i, j = best
+        clusters[i] = clusters[i] + clusters[j]
+        del clusters[j]
+
+    out: List[CrisisCluster] = []
+    for cid, members in enumerate(sorted(clusters, key=lambda m: m[0])):
+        sub = distances[np.ix_(members, members)]
+        medoid = members[int(np.argmin(sub.sum(axis=1)))]
+        out.append(
+            CrisisCluster(
+                cluster_id=cid, members=tuple(members), medoid=medoid
+            )
+        )
+    return out
+
+
+def cluster_purity(
+    clusters: Sequence[CrisisCluster], labels: Sequence[str]
+) -> float:
+    """Weighted purity of clusters against ground-truth labels.
+
+    For each cluster, the fraction of members sharing its majority label,
+    weighted by cluster size.  1.0 means every cluster is label-pure.
+    """
+    total = 0
+    agree = 0
+    for cluster in clusters:
+        member_labels = [labels[i] for i in cluster.members]
+        counts: Dict[str, int] = {}
+        for lab in member_labels:
+            counts[lab] = counts.get(lab, 0) + 1
+        agree += max(counts.values())
+        total += len(member_labels)
+    if total == 0:
+        raise ValueError("no cluster members")
+    return agree / total
+
+
+def catalog_summary(
+    clusters: Sequence[CrisisCluster],
+    labels: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Rows describing each proposed catalog entry (for operator review)."""
+    rows: List[Dict[str, object]] = []
+    for cluster in clusters:
+        row: Dict[str, object] = {
+            "cluster": cluster.cluster_id,
+            "size": cluster.size,
+            "medoid": cluster.medoid,
+        }
+        if labels is not None:
+            member_labels = sorted({labels[i] for i in cluster.members})
+            row["true_labels"] = "/".join(member_labels)
+        rows.append(row)
+    return rows
+
+
+__all__ = [
+    "CrisisCluster",
+    "catalog_summary",
+    "cluster_crises",
+    "cluster_purity",
+]

@@ -1,0 +1,121 @@
+"""Crisis-evolution modeling (Section 7, direction 2).
+
+Operators applying a repair want to monitor progress and estimate how long
+until the crisis resolves.  We model a crisis's *evolution profile*: the
+L2 magnitude of its epoch fingerprints (distance from the all-normal state)
+as a function of epochs since detection.  Profiles of past crises of the
+same type are averaged; a live crisis's remaining time is estimated by
+aligning its observed profile with the historical one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.summary import summary_vectors
+from repro.core.thresholds import QuantileThresholds
+from repro.datacenter.trace import CrisisRecord, DatacenterTrace
+
+
+@dataclass(frozen=True)
+class EvolutionProfile:
+    """Mean fingerprint magnitude per epoch since detection, for one type."""
+
+    label: str
+    magnitudes: np.ndarray  # (max_epochs,) NaN-padded mean profile
+    mean_duration_epochs: float
+    n_crises: int
+
+    def remaining_epochs(self, elapsed: int) -> float:
+        """Expected epochs until resolution given elapsed epochs."""
+        if elapsed < 0:
+            raise ValueError("elapsed must be non-negative")
+        return max(self.mean_duration_epochs - elapsed, 0.0)
+
+
+class CrisisEvolutionModel:
+    """Builds per-type evolution profiles and tracks live progress."""
+
+    def __init__(
+        self,
+        trace: DatacenterTrace,
+        thresholds: QuantileThresholds,
+        relevant: np.ndarray,
+        max_epochs: int = 24,
+    ):
+        self.trace = trace
+        self.thresholds = thresholds
+        self.relevant = np.asarray(relevant, dtype=int)
+        self.max_epochs = max_epochs
+        self.profiles: Dict[str, EvolutionProfile] = {}
+
+    def _magnitude_series(self, crisis: CrisisRecord) -> np.ndarray:
+        """Fingerprint magnitude per epoch from detection, NaN-padded."""
+        det = crisis.detected_epoch
+        if det is None:
+            raise ValueError("crisis was never detected")
+        hi = min(det + self.max_epochs, self.trace.n_epochs)
+        window = self.trace.quantiles[det:hi]
+        summaries = summary_vectors(window, self.thresholds)
+        sub = summaries[:, self.relevant, :].astype(float)
+        flat = sub.reshape(sub.shape[0], -1)
+        mags = np.linalg.norm(flat, axis=1)
+        out = np.full(self.max_epochs, np.nan)
+        out[: len(mags)] = mags
+        return out
+
+    def fit(self, crises: Sequence[CrisisRecord]) -> "CrisisEvolutionModel":
+        """Build profiles from diagnosed past crises, grouped by label."""
+        by_label: Dict[str, List[CrisisRecord]] = {}
+        for crisis in crises:
+            if crisis.detected_epoch is not None:
+                by_label.setdefault(crisis.label, []).append(crisis)
+        for label, group in by_label.items():
+            series = np.stack([self._magnitude_series(c) for c in group])
+            durations = [
+                c.instance.end_epoch - c.detected_epoch for c in group
+            ]
+            self.profiles[label] = EvolutionProfile(
+                label=label,
+                magnitudes=np.nanmean(series, axis=0),
+                mean_duration_epochs=float(np.mean(durations)),
+                n_crises=len(group),
+            )
+        return self
+
+    def progress(
+        self, crisis: CrisisRecord, label: str, elapsed_epochs: int
+    ) -> Dict[str, float]:
+        """Progress report for a live crisis identified as ``label``.
+
+        Returns the fraction of the expected duration elapsed, the expected
+        remaining epochs, and the current-versus-peak magnitude ratio
+        (a falling ratio means the repair is taking hold).
+        """
+        profile = self.profiles.get(label)
+        if profile is None:
+            raise KeyError(f"no evolution profile for label {label!r}")
+        series = self._magnitude_series(crisis)
+        observed = series[: elapsed_epochs + 1]
+        observed = observed[~np.isnan(observed)]
+        if observed.size == 0:
+            raise ValueError("no observed epochs yet")
+        peak = float(np.nanmax(observed))
+        current = float(observed[-1])
+        return {
+            "elapsed_epochs": float(elapsed_epochs),
+            "expected_total_epochs": profile.mean_duration_epochs,
+            "expected_remaining_epochs": profile.remaining_epochs(
+                elapsed_epochs
+            ),
+            "fraction_elapsed": min(
+                elapsed_epochs / max(profile.mean_duration_epochs, 1e-9), 1.0
+            ),
+            "magnitude_ratio": current / peak if peak > 0 else 0.0,
+        }
+
+
+__all__ = ["CrisisEvolutionModel", "EvolutionProfile"]

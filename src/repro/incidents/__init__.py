@@ -1,0 +1,19 @@
+"""Incident knowledge base and advisory workflow.
+
+The point of recognizing a recurring crisis (Section 1) is to retrieve the
+*remedy* that worked last time, avoid repeating manual diagnosis, and keep
+tier-0/1 operators effective.  This package provides that operational
+layer on top of the fingerprinting pipeline:
+
+* :mod:`repro.incidents.database` — a persistent store of diagnosed
+  incidents (label, diagnosis, remedy, fingerprints) with
+  nearest-fingerprint retrieval;
+* :mod:`repro.incidents.advisor` — the advisory-mode workflow the paper's
+  pilot program describes: on each detected crisis, either surface the
+  matching incident and its remedy, or open a new incident for diagnosis.
+"""
+
+from repro.incidents.advisor import Advice, CrisisAdvisor
+from repro.incidents.database import IncidentDatabase, IncidentRecord
+
+__all__ = ["Advice", "CrisisAdvisor", "IncidentDatabase", "IncidentRecord"]

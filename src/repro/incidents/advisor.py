@@ -1,0 +1,142 @@
+"""Advisory-mode crisis handling.
+
+The paper closes by describing a pilot program running the approach "in
+advisory mode with live data": when a crisis is detected, the system tells
+operators whether it matches a known incident (and what fixed it last
+time) or is new (skip the archive search, go straight to diagnosis).
+:class:`CrisisAdvisor` implements that loop on top of
+:class:`~repro.core.pipeline.FingerprintPipeline` and
+:class:`~repro.incidents.database.IncidentDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.identification import UNKNOWN, is_stable, sequence_label
+from repro.core.pipeline import FingerprintPipeline
+from repro.datacenter.trace import CrisisRecord
+from repro.incidents.database import IncidentDatabase, IncidentRecord
+
+
+@dataclass(frozen=True)
+class Advice:
+    """What the advisor tells the operators about a live crisis."""
+
+    crisis_id: int
+    matched: bool
+    label: Optional[str]
+    remedy: Optional[str]
+    diagnosis: Optional[str]
+    sequence: Tuple[str, ...]
+    stable: bool
+    candidates: Tuple[Tuple[int, float], ...]  # (incident_id, distance)
+
+    @property
+    def is_new_incident(self) -> bool:
+        return not self.matched
+
+
+class CrisisAdvisor:
+    """Runs the identify-then-retrieve loop for each detected crisis."""
+
+    def __init__(
+        self,
+        pipeline: FingerprintPipeline,
+        database: Optional[IncidentDatabase] = None,
+    ):
+        self.pipeline = pipeline
+        self.database = database if database is not None else IncidentDatabase()
+
+    def advise(self, crisis: CrisisRecord) -> Advice:
+        """Identify a detected crisis and retrieve the matching incident.
+
+        The pipeline must already be observed/refreshed for this crisis.
+        A match requires a *stable* identification sequence settling on a
+        label (Section 4.3) — unstable output is operationally useless and
+        reported as no-match.
+        """
+        outcome = self.pipeline.identify(crisis)
+        seq = tuple(outcome.sequence)
+        stable = is_stable(seq)
+        settled = sequence_label(seq) if stable else None
+
+        fp = self._current_fingerprint(crisis)
+        candidates = tuple(
+            (rec.incident_id, round(dist, 6))
+            for rec, dist in self.database.nearest(fp, k=3)
+        )
+
+        if settled is None:
+            return Advice(
+                crisis_id=crisis.index,
+                matched=False,
+                label=None,
+                remedy=None,
+                diagnosis=None,
+                sequence=seq,
+                stable=stable,
+                candidates=candidates,
+            )
+
+        matches = self.database.by_label(settled)
+        latest = matches[-1] if matches else None
+        return Advice(
+            crisis_id=crisis.index,
+            matched=True,
+            label=settled,
+            remedy=latest.remedy if latest else None,
+            diagnosis=latest.diagnosis if latest else None,
+            sequence=seq,
+            stable=stable,
+            candidates=candidates,
+        )
+
+    def _current_fingerprint(self, crisis: CrisisRecord):
+        from repro.core.fingerprint import crisis_fingerprint
+
+        return crisis_fingerprint(
+            self.pipeline.trace.quantiles,
+            self.pipeline.thresholds,
+            self.pipeline.relevant,
+            detection_epoch=crisis.detected_epoch,
+            config=self.pipeline.config.fingerprint,
+        ).vector
+
+    def record_diagnosis(
+        self,
+        crisis: CrisisRecord,
+        label: str,
+        diagnosis: str = "",
+        remedy: str = "",
+    ) -> IncidentRecord:
+        """Store the operators' post-hoc diagnosis for future retrieval."""
+        self.pipeline.confirm(crisis, label=label)
+        fp = self._current_fingerprint(crisis)
+        return self.database.add(
+            label=label,
+            detected_epoch=crisis.detected_epoch,
+            fingerprint=fp,
+            diagnosis=diagnosis,
+            remedy=remedy,
+            metric_indices=self.pipeline.relevant,
+        )
+
+    def refingerprint_database(self) -> None:
+        """Refresh stored fingerprints under the pipeline's current
+        parameters (the Section 6.3 bookkeeping), keeping retrieval
+        comparable as thresholds and relevant metrics move."""
+        if len(self.database) != len(self.pipeline.known):
+            raise ValueError(
+                "database and pipeline library are out of sync"
+            )
+        fps = [
+            self.pipeline._fingerprint_of(kn) for kn in self.pipeline.known
+        ]
+        self.database.update_fingerprints(
+            fps, metric_indices=self.pipeline.relevant
+        )
+
+
+__all__ = ["Advice", "CrisisAdvisor"]

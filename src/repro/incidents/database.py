@@ -1,0 +1,179 @@
+"""Persistent incident knowledge base.
+
+Each diagnosed crisis becomes an :class:`IncidentRecord` carrying the
+operator's diagnosis and remedy alongside the crisis fingerprint.  The
+database retrieves candidate matches for a live fingerprint by L2 distance
+and serializes to JSON so the knowledge survives process restarts (the
+paper's motivation: capture previous analysis for future personnel).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.similarity import l2_distance
+
+#: Schema version written into every serialized database.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class IncidentRecord:
+    """One diagnosed performance crisis and what fixed it."""
+
+    incident_id: int
+    label: str
+    detected_epoch: int
+    fingerprint: np.ndarray
+    diagnosis: str = ""
+    remedy: str = ""
+    metric_indices: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.fingerprint = np.asarray(self.fingerprint, dtype=float).ravel()
+        if not self.label:
+            raise ValueError("label must be non-empty")
+        if self.detected_epoch < 0:
+            raise ValueError("detected_epoch must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "incident_id": self.incident_id,
+            "label": self.label,
+            "detected_epoch": self.detected_epoch,
+            "fingerprint": self.fingerprint.tolist(),
+            "diagnosis": self.diagnosis,
+            "remedy": self.remedy,
+            "metric_indices": (
+                None
+                if self.metric_indices is None
+                else np.asarray(self.metric_indices).tolist()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IncidentRecord":
+        return cls(
+            incident_id=int(data["incident_id"]),
+            label=str(data["label"]),
+            detected_epoch=int(data["detected_epoch"]),
+            fingerprint=np.asarray(data["fingerprint"], dtype=float),
+            diagnosis=str(data.get("diagnosis", "")),
+            remedy=str(data.get("remedy", "")),
+            metric_indices=(
+                None
+                if data.get("metric_indices") is None
+                else np.asarray(data["metric_indices"], dtype=int)
+            ),
+        )
+
+
+@dataclass
+class IncidentDatabase:
+    """Append-only store of incidents with fingerprint retrieval."""
+
+    records: List[IncidentRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def next_id(self) -> int:
+        return max((r.incident_id for r in self.records), default=-1) + 1
+
+    def add(
+        self,
+        label: str,
+        detected_epoch: int,
+        fingerprint: np.ndarray,
+        diagnosis: str = "",
+        remedy: str = "",
+        metric_indices: Optional[np.ndarray] = None,
+    ) -> IncidentRecord:
+        record = IncidentRecord(
+            incident_id=self.next_id(),
+            label=label,
+            detected_epoch=detected_epoch,
+            fingerprint=fingerprint,
+            diagnosis=diagnosis,
+            remedy=remedy,
+            metric_indices=metric_indices,
+        )
+        self.records.append(record)
+        return record
+
+    def get(self, incident_id: int) -> IncidentRecord:
+        for record in self.records:
+            if record.incident_id == incident_id:
+                return record
+        raise KeyError(f"no incident {incident_id}")
+
+    def by_label(self, label: str) -> List[IncidentRecord]:
+        return [r for r in self.records if r.label == label]
+
+    def nearest(
+        self, fingerprint: np.ndarray, k: int = 3
+    ) -> List[Tuple[IncidentRecord, float]]:
+        """The k nearest incidents to a live fingerprint, with distances.
+
+        Records whose fingerprints have a different dimensionality (stored
+        under an older relevant-metric set) are skipped — callers that
+        re-fingerprint their library (Section 6.3) never hit this case.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        fingerprint = np.asarray(fingerprint, dtype=float).ravel()
+        scored = [
+            (r, l2_distance(fingerprint, r.fingerprint))
+            for r in self.records
+            if r.fingerprint.shape == fingerprint.shape
+        ]
+        scored.sort(key=lambda pair: pair[1])
+        return scored[:k]
+
+    def update_fingerprints(
+        self,
+        fingerprints: Sequence[np.ndarray],
+        metric_indices: Optional[np.ndarray] = None,
+    ) -> None:
+        """Replace every record's fingerprint (re-fingerprinting pass)."""
+        if len(fingerprints) != len(self.records):
+            raise ValueError("fingerprint count mismatch")
+        for record, fp in zip(self.records, fingerprints):
+            record.fingerprint = np.asarray(fp, dtype=float).ravel()
+            if metric_indices is not None:
+                record.metric_indices = np.asarray(metric_indices, dtype=int)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "records": [r.to_dict() for r in self.records],
+        }
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path) -> "IncidentDatabase":
+        payload = json.loads(pathlib.Path(path).read_text())
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported incident-db schema {version!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        return cls(
+            records=[
+                IncidentRecord.from_dict(d) for d in payload["records"]
+            ]
+        )
+
+
+__all__ = ["IncidentDatabase", "IncidentRecord", "SCHEMA_VERSION"]

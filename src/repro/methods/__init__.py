@@ -1,0 +1,33 @@
+"""Crisis-identification methods compared in the paper (Section 4.2).
+
+Four representations of datacenter state, all evaluated through the same
+offline discrimination and identification protocols:
+
+* :class:`FingerprintMethod` — the paper's contribution (relevant-metric
+  quantile fingerprints);
+* :class:`AllMetricsFingerprintMethod` — fingerprints without feature
+  selection ("fingerprints (all metrics)"), quantifying the noise
+  irrelevant metrics introduce;
+* :class:`KPIMethod` — per-KPI counts of SLA-violating machines, i.e. what
+  operators already watch;
+* :class:`SignaturesMethod` — the adaptation of Cohen et al.'s SOSP'05
+  signatures described in the paper's appendix, with every design choice
+  resolved in the signatures approach's favor.
+"""
+
+from repro.methods.base import OfflineMethod
+from repro.methods.fingerprints import (
+    AllMetricsFingerprintMethod,
+    FingerprintMethod,
+)
+from repro.methods.kpi import KPIMethod
+from repro.methods.signatures import SignatureModel, SignaturesMethod
+
+__all__ = [
+    "OfflineMethod",
+    "FingerprintMethod",
+    "AllMetricsFingerprintMethod",
+    "KPIMethod",
+    "SignatureModel",
+    "SignaturesMethod",
+]

@@ -1,0 +1,67 @@
+"""Common interface for crisis-representation methods.
+
+The offline experiments (Figures 3 and 4) compare four representations
+under identical protocols.  Each method implements:
+
+* :meth:`fit` — perfect-knowledge preparation over the whole trace (the
+  offline setting's premise);
+* :meth:`pair_distance` — distance between a (possibly partial) new crisis
+  and a known crisis.  The "known" side matters for the signatures method,
+  whose representation of a crisis depends on the known crisis's model;
+  for the vector methods the distance is symmetric.
+
+``n_epochs`` counts epochs from the start of the fingerprint summary window
+(detection − pre_epochs); online identification at epoch k passes
+``pre_epochs + k + 1`` so partial comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.similarity import pair_arrays
+from repro.datacenter.trace import CrisisRecord, DatacenterTrace
+
+
+class OfflineMethod(abc.ABC):
+    """A crisis representation evaluated in the offline setting."""
+
+    #: Human-readable method name used in result tables.
+    name: str = "method"
+
+    @abc.abstractmethod
+    def fit(self, trace: DatacenterTrace, crises: List[CrisisRecord]) -> None:
+        """Prepare the method with perfect knowledge of the whole trace."""
+
+    @abc.abstractmethod
+    def pair_distance(
+        self,
+        new: CrisisRecord,
+        known: CrisisRecord,
+        n_epochs: Optional[int] = None,
+    ) -> float:
+        """Distance between a new crisis (truncated) and a known one."""
+
+    def distance_matrix(self, crises: List[CrisisRecord]) -> np.ndarray:
+        """Symmetrized pairwise distances for discrimination ROCs."""
+        n = len(crises)
+        out = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = 0.5 * (
+                    self.pair_distance(crises[i], crises[j])
+                    + self.pair_distance(crises[j], crises[i])
+                )
+                out[i, j] = out[j, i] = d
+        return out
+
+    def discrimination_pairs(self, crises: List[CrisisRecord]):
+        """(pair_distances, is_same) arrays for a distance ROC."""
+        labels = [c.label for c in crises]
+        return pair_arrays(self.distance_matrix(crises), labels)
+
+
+__all__ = ["OfflineMethod"]

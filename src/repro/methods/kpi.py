@@ -1,0 +1,62 @@
+"""KPI baseline: fingerprints from the three operator KPIs only.
+
+"For each KPI, the fingerprint contains the number of machines in the
+datacenter that are violating the performance SLA specified for that KPI"
+(Section 4.2).  We use the violating *fraction* (equivalent up to a constant
+for a fixed fleet), averaged over the crisis summary window.  With only
+three dimensions this representation cannot distinguish crisis types that
+stress the same stage — which is the point of the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import FingerprintConfig
+from repro.datacenter.trace import CrisisRecord, DatacenterTrace
+from repro.methods.base import OfflineMethod
+
+
+class KPIMethod(OfflineMethod):
+    """Crisis vectors of per-KPI violating-machine fractions."""
+
+    name = "KPIs"
+
+    def __init__(self, fingerprint: FingerprintConfig = FingerprintConfig()):
+        self.fingerprint = fingerprint
+        self.trace: Optional[DatacenterTrace] = None
+
+    def fit(self, trace: DatacenterTrace, crises: List[CrisisRecord]) -> None:
+        self.trace = trace
+
+    def vector(
+        self, crisis: CrisisRecord, n_epochs: Optional[int] = None
+    ) -> np.ndarray:
+        if self.trace is None:
+            raise RuntimeError("method is not fitted")
+        det = crisis.detected_epoch
+        if det is None:
+            raise ValueError("crisis was never detected")
+        fp = self.fingerprint
+        lo = max(det - fp.pre_epochs, 0)
+        hi = min(det + fp.post_epochs, self.trace.n_epochs - 1)
+        window = self.trace.kpi_violation_fraction[lo : hi + 1]
+        if n_epochs is not None:
+            window = window[: max(n_epochs, 1)]
+        return window.mean(axis=0)
+
+    def pair_distance(
+        self,
+        new: CrisisRecord,
+        known: CrisisRecord,
+        n_epochs: Optional[int] = None,
+    ) -> float:
+        return float(
+            np.linalg.norm(self.vector(new, n_epochs)
+                           - self.vector(known, n_epochs))
+        )
+
+
+__all__ = ["KPIMethod"]

@@ -1,0 +1,102 @@
+"""Coordinate-descent solver for L1-regularized logistic regression.
+
+A second, independent solver for the same convex objective as
+:class:`repro.ml.logistic.L1LogisticRegression` (FISTA).  Two solvers that
+agree pin down the optimum: the test suite cross-checks them, which guards
+against subtle solver bugs corrupting feature selection — the step the
+whole method leans on.
+
+The algorithm cycles coordinates, minimizing a quadratic upper bound of
+the logistic loss in each (the classic GLMNET-style update with the 1/4
+curvature bound), applying soft-thresholding per coordinate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.logistic import LogisticModel, _sigmoid, _soft_threshold
+
+
+class CoordinateDescentL1Logistic:
+    """Cyclic coordinate descent with the 1/4 curvature bound."""
+
+    def __init__(self, lam: float = 0.01, max_sweeps: int = 200,
+                 tol: float = 1e-7):
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        if max_sweeps <= 0:
+            raise ValueError("max_sweeps must be positive")
+        self.lam = lam
+        self.max_sweeps = max_sweeps
+        self.tol = tol
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> LogisticModel:
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        n, d = X.shape
+        if y.shape != (n,):
+            raise ValueError("y length mismatch")
+        if n == 0:
+            raise ValueError("cannot fit on empty data")
+        if not np.all(np.isin(np.unique(y), (0.0, 1.0))):
+            raise ValueError("y must be binary 0/1")
+
+        w = np.zeros(d)
+        b = 0.0
+        z = X @ w + b  # cached linear predictor
+        col_sq = (X**2).sum(axis=0)
+        converged = False
+        sweep = 0
+        for sweep in range(1, self.max_sweeps + 1):
+            max_delta = 0.0
+            # Intercept (unpenalized) first.
+            p = _sigmoid(z)
+            grad_b = (p - y).mean()
+            step_b = 4.0 * grad_b  # curvature bound: hessian <= 1/4
+            b_new = b - step_b
+            z += b_new - b
+            max_delta = max(max_delta, abs(b_new - b))
+            b = b_new
+
+            for j in range(d):
+                if col_sq[j] == 0.0:
+                    continue
+                p = _sigmoid(z)
+                grad_j = X[:, j] @ (p - y) / n
+                hess_j = col_sq[j] / (4.0 * n)
+                w_j_new = _soft_threshold(
+                    np.array([w[j] - grad_j / hess_j]),
+                    self.lam / hess_j,
+                )[0]
+                if w_j_new != w[j]:
+                    z += X[:, j] * (w_j_new - w[j])
+                    max_delta = max(max_delta, abs(w_j_new - w[j]))
+                    w[j] = w_j_new
+            if max_delta < self.tol:
+                converged = True
+                break
+
+        return LogisticModel(
+            weights=w, intercept=b, lam=self.lam, n_iter=sweep,
+            converged=converged,
+        )
+
+
+def l1_objective(
+    X: np.ndarray, y: np.ndarray, model: LogisticModel
+) -> float:
+    """The shared objective both solvers minimize (for cross-checking)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    z = model.decision_function(X)
+    # Numerically stable log(1 + exp(-s*z)) with s in {-1, +1}.
+    s = 2.0 * y - 1.0
+    m = np.maximum(-s * z, 0.0)
+    loss = np.mean(m + np.log(np.exp(-m) + np.exp(-s * z - m)))
+    return float(loss + model.lam * np.abs(model.weights).sum())
+
+
+__all__ = ["CoordinateDescentL1Logistic", "l1_objective"]

@@ -1,0 +1,50 @@
+"""Cross-validation utilities.
+
+Used in tests and in the sensitivity analyses to check that classifiers in
+the pipeline generalize rather than memorize the crisis windows they were
+fit on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator = None
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` pairs for k-fold cross-validation."""
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if n < k:
+        raise ValueError("not enough samples for the requested folds")
+    idx = np.arange(n)
+    if rng is not None:
+        rng.shuffle(idx)
+    folds = np.array_split(idx, k)
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, test
+
+
+def cross_val_score(
+    fit_predict: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    rng: np.random.Generator = None,
+) -> List[float]:
+    """Accuracy of ``fit_predict(X_train, y_train, X_test)`` across folds."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y).ravel()
+    scores: List[float] = []
+    for train, test in kfold_indices(len(y), k, rng):
+        pred = np.asarray(fit_predict(X[train], y[train], X[test])).ravel()
+        scores.append(float(np.mean(pred == y[test])))
+    return scores
+
+
+__all__ = ["kfold_indices", "cross_val_score"]

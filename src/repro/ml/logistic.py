@@ -1,0 +1,251 @@
+"""L1-regularized logistic regression via proximal gradient descent.
+
+This is the feature-selection engine of Section 3.4: fitting
+``P(machine anomalous | metrics)`` with an L1 constraint forces irrelevant
+metric coefficients to exactly zero.  The paper cites Koh/Kim/Boyd's
+interior-point solver; we implement FISTA (accelerated proximal gradient
+with soft-thresholding), which reaches the same optimum of the same convex
+objective and needs only matrix-vector products.
+
+The objective (intercept unpenalized) is::
+
+    min_{w,b}  (1/n) * sum_i log(1 + exp(-z_i * (x_i . w + b)))  +  lam * ||w||_1
+
+with z_i in {-1, +1}.  ``lambda_max`` — the smallest penalty that zeroes
+every coefficient — anchors the regularization path used by
+:func:`select_top_k_features`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _soft_threshold(w: np.ndarray, t: float) -> np.ndarray:
+    return np.sign(w) * np.maximum(np.abs(w) - t, 0.0)
+
+
+@dataclass
+class LogisticModel:
+    """A fitted logistic model: ``P(y=1|x) = sigmoid(x . weights + intercept)``."""
+
+    weights: np.ndarray
+    intercept: float
+    lam: float
+    n_iter: int
+    converged: bool
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return X @ self.weights + self.intercept
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return _sigmoid(self.decision_function(X))
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    @property
+    def nonzero_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.weights != 0.0)
+
+    @property
+    def n_nonzero(self) -> int:
+        return int(np.count_nonzero(self.weights))
+
+
+def lambda_max(X: np.ndarray, y: np.ndarray) -> float:
+    """Smallest L1 penalty at which the all-zero weight vector is optimal."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = X.shape[0]
+    p_bar = y.mean()
+    # Gradient of the loss at w=0 with the optimal intercept logit(p_bar).
+    grad0 = X.T @ (p_bar - y) / n
+    return float(np.max(np.abs(grad0))) if grad0.size else 0.0
+
+
+class L1LogisticRegression:
+    """FISTA solver for L1-regularized logistic regression.
+
+    Parameters
+    ----------
+    lam:
+        L1 penalty strength.
+    max_iter, tol:
+        Iteration budget and convergence tolerance on the iterate change.
+    """
+
+    def __init__(self, lam: float = 0.01, max_iter: int = 1000,
+                 tol: float = 1e-7):
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        if max_iter <= 0:
+            raise ValueError("max_iter must be positive")
+        self.lam = lam
+        self.max_iter = max_iter
+        self.tol = tol
+
+    @staticmethod
+    def _lipschitz(X: np.ndarray) -> float:
+        """Upper bound on the gradient Lipschitz constant via power iteration.
+
+        For logistic loss, ``L <= ||[X 1]||_2^2 / (4 n)``; the constant
+        column accounts for the (unpenalized) intercept direction.
+        """
+        n = X.shape[0]
+        v = np.ones(X.shape[1] + 1)
+        v /= np.linalg.norm(v)
+        norm = 1.0
+        for _ in range(30):
+            xv = X @ v[:-1] + v[-1]
+            u = np.concatenate([X.T @ xv, [xv.sum()]])
+            norm = np.linalg.norm(u)
+            if norm < 1e-30:
+                break
+            v = u / norm
+        return max(norm / (4.0 * n), 1e-12)
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        w0: Optional[np.ndarray] = None,
+        b0: float = 0.0,
+    ) -> LogisticModel:
+        """Fit the model; ``w0``/``b0`` allow warm starts along a path."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        n, d = X.shape
+        if y.shape != (n,):
+            raise ValueError("y length mismatch")
+        if n == 0:
+            raise ValueError("cannot fit on empty data")
+        uniq = np.unique(y)
+        if not np.all(np.isin(uniq, (0.0, 1.0))):
+            raise ValueError("y must be binary 0/1")
+
+        L = self._lipschitz(X)
+        step = 1.0 / L
+
+        w = np.zeros(d) if w0 is None else np.array(w0, dtype=float)
+        b = float(b0)
+        vw, vb = w.copy(), b  # FISTA momentum point
+        t_prev = 1.0
+        converged = False
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            p = _sigmoid(X @ vw + vb)
+            resid = (p - y) / n
+            grad_w = X.T @ resid
+            grad_b = resid.sum()
+
+            w_new = _soft_threshold(vw - step * grad_w, step * self.lam)
+            b_new = vb - step * grad_b
+
+            t_new = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t_prev**2))
+            beta = (t_prev - 1.0) / t_new
+            vw = w_new + beta * (w_new - w)
+            vb = b_new + beta * (b_new - b)
+
+            delta = np.abs(w_new - w).max(initial=0.0) + abs(b_new - b)
+            w, b, t_prev = w_new, b_new, t_new
+            if delta < self.tol:
+                converged = True
+                break
+
+        return LogisticModel(
+            weights=w, intercept=b, lam=self.lam, n_iter=it,
+            converged=converged,
+        )
+
+    def path(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        lambdas: Sequence[float],
+    ) -> List[LogisticModel]:
+        """Fit models along a (descending) sequence of penalties, warm-started."""
+        models: List[LogisticModel] = []
+        w, b = None, 0.0
+        original_lam = self.lam
+        try:
+            for lam in lambdas:
+                self.lam = float(lam)
+                model = self.fit(X, y, w0=w, b0=b)
+                models.append(model)
+                w, b = model.weights.copy(), model.intercept
+        finally:
+            self.lam = original_lam
+        return models
+
+
+def select_top_k_features(
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int,
+    n_lambdas: int = 20,
+    lambda_min_ratio: float = 1e-3,
+    max_iter: int = 400,
+) -> np.ndarray:
+    """Top-k feature indices by walking down the L1 regularization path.
+
+    Starting from ``lambda_max`` (all weights zero), the penalty is relaxed
+    geometrically; the first model whose support reaches ``k`` features
+    supplies the ranking (by absolute coefficient).  If the support never
+    reaches ``k``, the densest model's features are returned ranked, padded
+    with none — callers get at most ``k`` indices.
+
+    This realizes the paper's "select the top ten metrics for each crisis"
+    step with the regularization knob tuned automatically per crisis.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if len(np.unique(y)) < 2:
+        return np.array([], dtype=int)
+
+    lmax = lambda_max(X, y)
+    if lmax <= 0:
+        return np.array([], dtype=int)
+    lambdas = np.geomspace(lmax * 0.95, lmax * lambda_min_ratio, n_lambdas)
+
+    solver = L1LogisticRegression(max_iter=max_iter, tol=1e-6)
+    best: Optional[LogisticModel] = None
+    w, b = None, 0.0
+    for lam in lambdas:
+        solver.lam = float(lam)
+        model = solver.fit(X, y, w0=w, b0=b)
+        w, b = model.weights.copy(), model.intercept
+        if best is None or model.n_nonzero > best.n_nonzero:
+            best = model
+        if model.n_nonzero >= k:
+            best = model
+            break
+    assert best is not None
+    support = best.nonzero_indices
+    order = np.argsort(-np.abs(best.weights[support]), kind="stable")
+    return support[order][:k]
+
+
+__all__ = [
+    "L1LogisticRegression",
+    "LogisticModel",
+    "lambda_max",
+    "select_top_k_features",
+]

@@ -1,0 +1,55 @@
+"""Feature standardization.
+
+L1-regularized models penalize all coefficients with one knob, so features
+must be on a common scale for the penalty to be meaningful; raw datacenter
+metrics span six orders of magnitude (queue lengths vs. byte counters).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance standardization with constant-column care.
+
+    Columns with (near-)zero variance are scaled by 1.0 instead of their
+    standard deviation, so constant metrics pass through centered without
+    producing NaNs — they then carry no information and L1 drops them.
+    """
+
+    def __init__(self, eps: float = 1e-12):
+        self.eps = eps
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > self.eps, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return X * self.scale_ + self.mean_
+
+
+__all__ = ["StandardScaler"]

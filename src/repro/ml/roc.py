@@ -1,0 +1,99 @@
+"""ROC curves, AUC, and threshold selection.
+
+The paper evaluates discrimination with a *distance ROC* (Section 5.1.1):
+sweep the identification threshold T, and for each T compute recall (the
+fraction of same-type crisis pairs whose fingerprint distance is below T)
+and the false-alarm rate (the fraction of different-type pairs below T).
+The identification threshold itself is chosen as the largest T whose
+false-alarm rate stays under the operator-chosen parameter alpha.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ROCCurve:
+    """An ROC curve over a swept threshold.
+
+    ``thresholds[i]`` is the largest score grouped into operating point
+    ``i``; ``fpr``/``tpr`` are cumulative rates when classifying
+    "positive" every sample whose score is <= the threshold (scores are
+    distances: small means "same").
+    """
+
+    thresholds: np.ndarray
+    fpr: np.ndarray
+    tpr: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve (trapezoidal)."""
+        return float(np.trapezoid(self.tpr, self.fpr))
+
+    def threshold_at_alpha(self, alpha: float) -> float:
+        """Largest distance threshold whose false-alarm rate is <= alpha."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        ok = np.flatnonzero(self.fpr <= alpha)
+        if ok.size == 0:
+            # Even the tightest threshold exceeds alpha; return something
+            # below the smallest distance so nothing matches.
+            return float(self.thresholds[0]) * 0.5 if len(self.thresholds) \
+                else 0.0
+        return float(self.thresholds[ok[-1]])
+
+
+def roc_curve(distances: np.ndarray, is_same: np.ndarray) -> ROCCurve:
+    """Distance ROC: positives are pairs labeled "same".
+
+    Parameters
+    ----------
+    distances:
+        Pairwise distance for each evaluated pair.
+    is_same:
+        Boolean; True when the pair is of the same crisis type.
+    """
+    distances = np.asarray(distances, dtype=float).ravel()
+    is_same = np.asarray(is_same, dtype=bool).ravel()
+    if distances.shape != is_same.shape:
+        raise ValueError("distances/is_same length mismatch")
+    n_pos = int(is_same.sum())
+    n_neg = int((~is_same).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("need at least one same pair and one distinct pair")
+
+    order = np.argsort(distances, kind="stable")
+    d_sorted = distances[order]
+    same_sorted = is_same[order]
+
+    # Collapse tied distances into single operating points.
+    boundaries = np.flatnonzero(np.diff(d_sorted) > 0)
+    ends = np.concatenate([boundaries, [len(d_sorted) - 1]])
+
+    tp = np.cumsum(same_sorted)[ends]
+    fp = np.cumsum(~same_sorted)[ends]
+    thresholds = d_sorted[ends]
+
+    tpr = np.concatenate([[0.0], tp / n_pos])
+    fpr = np.concatenate([[0.0], fp / n_neg])
+    thresholds = np.concatenate([[min(0.0, thresholds[0])], thresholds])
+    return ROCCurve(thresholds=thresholds, fpr=fpr, tpr=tpr)
+
+
+def auc_score(distances: np.ndarray, is_same: np.ndarray) -> float:
+    """AUC of the distance ROC."""
+    return roc_curve(distances, is_same).auc
+
+
+def threshold_at_alpha(
+    distances: np.ndarray, is_same: np.ndarray, alpha: float
+) -> float:
+    """Identification threshold at false-alarm budget alpha (Section 5.1.2)."""
+    return roc_curve(distances, is_same).threshold_at_alpha(alpha)
+
+
+__all__ = ["ROCCurve", "roc_curve", "auc_score", "threshold_at_alpha"]

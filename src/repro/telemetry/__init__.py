@@ -1,0 +1,55 @@
+"""Telemetry substrate: epochs, quantile summaries, and rolling stores.
+
+This package provides the monitoring plumbing the fingerprinting method sits
+on: a 15-minute epoch timebase, exact datacenter-wide quantile computation,
+streaming quantile sketches (Greenwald-Khanna and P-square) for deployments
+where exact computation is too expensive, and a rolling store of quantile
+history used to maintain hot/cold thresholds online.
+"""
+
+from repro.telemetry.epochs import (
+    EpochClock,
+    epoch_of_minute,
+    epochs_per_day,
+    minutes_of_epoch,
+)
+from repro.telemetry.quantiles import (
+    QuantileSummarizer,
+    empirical_quantiles,
+    summarize_epoch,
+)
+from repro.telemetry.collector import (
+    CollectionPipeline,
+    EpochAggregator,
+    EpochSummary,
+    MachineAgent,
+)
+from repro.telemetry.sketches import GKQuantileSketch, P2QuantileEstimator
+from repro.telemetry.store import QuantileStore
+from repro.telemetry.validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_epoch_summary,
+    validate_history,
+)
+
+__all__ = [
+    "EpochClock",
+    "epoch_of_minute",
+    "epochs_per_day",
+    "minutes_of_epoch",
+    "QuantileSummarizer",
+    "empirical_quantiles",
+    "summarize_epoch",
+    "GKQuantileSketch",
+    "P2QuantileEstimator",
+    "QuantileStore",
+    "CollectionPipeline",
+    "EpochAggregator",
+    "EpochSummary",
+    "MachineAgent",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_epoch_summary",
+    "validate_history",
+]

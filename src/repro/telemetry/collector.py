@@ -1,0 +1,192 @@
+"""Telemetry collection pipeline: agents, aggregator, epoch summaries.
+
+The paper's datacenter collects ~100 metrics per machine per 15-minute
+epoch with off-the-shelf monitoring (HP OpenView, Ganglia).  This module
+provides that plumbing for live deployments of the pipeline:
+
+* :class:`MachineAgent` buffers one machine's samples for the current
+  epoch (metrics may be sampled more often than the epoch length and are
+  averaged, as in the paper's dataset);
+* :class:`EpochAggregator` collects agent reports and reduces them to the
+  datacenter-wide quantile summary — exactly, or with Greenwald-Khanna
+  sketches when the fleet is too large to gather raw values.
+
+The aggregator's output is the ``(n_metrics, n_quantiles)`` matrix the
+fingerprinting pipeline consumes, so a live deployment swaps the simulator
+for agents without touching anything downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry.quantiles import summarize_epoch
+from repro.telemetry.sketches import GKQuantileSketch
+
+
+class MachineAgent:
+    """Buffers one machine's metric samples within an epoch."""
+
+    def __init__(self, machine_id: str, metric_names: Sequence[str]):
+        if not metric_names:
+            raise ValueError("need at least one metric")
+        self.machine_id = machine_id
+        self.metric_names = list(metric_names)
+        self._index = {m: i for i, m in enumerate(self.metric_names)}
+        self._sums = np.zeros(len(self.metric_names))
+        self._counts = np.zeros(len(self.metric_names), dtype=int)
+
+    def record(self, metric: str, value: float) -> None:
+        """Record one sample (metrics may be sampled sub-epoch)."""
+        try:
+            i = self._index[metric]
+        except KeyError:
+            raise KeyError(f"unknown metric {metric!r}") from None
+        if not np.isfinite(value):
+            raise ValueError(f"non-finite sample for {metric}")
+        self._sums[i] += value
+        self._counts[i] += 1
+
+    def record_all(self, values: Sequence[float]) -> None:
+        """Record one sample for every metric at once."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(self.metric_names),):
+            raise ValueError("value count mismatch")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("non-finite sample")
+        self._sums += values
+        self._counts += 1
+
+    def flush(self) -> np.ndarray:
+        """Epoch aggregate (mean per metric); unreported metrics are NaN."""
+        with np.errstate(invalid="ignore"):
+            out = np.where(
+                self._counts > 0, self._sums / np.maximum(self._counts, 1),
+                np.nan,
+            )
+        self._sums[:] = 0.0
+        self._counts[:] = 0
+        return out
+
+
+@dataclass
+class EpochSummary:
+    """One epoch's datacenter-wide summary."""
+
+    epoch: int
+    quantiles: np.ndarray  # (n_metrics, n_quantiles)
+    n_machines_reporting: int
+
+
+class EpochAggregator:
+    """Reduces agent reports to datacenter-wide metric quantiles.
+
+    With ``mode="exact"`` all reports are gathered and quantiles computed
+    exactly (what the paper did for several hundred machines).  With
+    ``mode="sketch"`` each metric feeds a Greenwald-Khanna sketch, keeping
+    aggregator memory sublinear in the fleet size.
+    """
+
+    def __init__(
+        self,
+        metric_names: Sequence[str],
+        quantiles: Sequence[float] = (0.25, 0.50, 0.95),
+        mode: str = "exact",
+        sketch_eps: float = 0.01,
+    ):
+        if mode not in ("exact", "sketch"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.metric_names = list(metric_names)
+        self.quantiles = tuple(quantiles)
+        self.mode = mode
+        self.sketch_eps = sketch_eps
+        self._epoch = 0
+        self._reports: List[np.ndarray] = []
+        self._sketches: Optional[List[GKQuantileSketch]] = None
+        if mode == "sketch":
+            self._reset_sketches()
+
+    def _reset_sketches(self) -> None:
+        self._sketches = [
+            GKQuantileSketch(eps=self.sketch_eps)
+            for _ in self.metric_names
+        ]
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def submit(self, report: np.ndarray) -> None:
+        """Accept one machine's epoch aggregate."""
+        report = np.asarray(report, dtype=float)
+        if report.shape != (len(self.metric_names),):
+            raise ValueError("report length mismatch")
+        if self.mode == "exact":
+            self._reports.append(report)
+        else:
+            for sketch, value in zip(self._sketches, report):
+                if np.isfinite(value):
+                    sketch.insert(float(value))
+            self._reports.append(np.empty(0))  # count only
+
+    def close_epoch(self) -> EpochSummary:
+        """Finish the current epoch and emit its summary."""
+        n = len(self._reports)
+        if n == 0:
+            raise ValueError("no machine reported this epoch")
+        if self.mode == "exact":
+            matrix = np.vstack(self._reports)
+            q = summarize_epoch(matrix, self.quantiles)
+        else:
+            q = np.empty((len(self.metric_names), len(self.quantiles)))
+            for i, sketch in enumerate(self._sketches):
+                if len(sketch) == 0:
+                    q[i] = np.nan
+                else:
+                    q[i] = [sketch.query(p) for p in self.quantiles]
+            self._reset_sketches()
+        summary = EpochSummary(
+            epoch=self._epoch, quantiles=q, n_machines_reporting=n
+        )
+        self._reports = []
+        self._epoch += 1
+        return summary
+
+
+class CollectionPipeline:
+    """Agents plus aggregator for a whole fleet, driven epoch by epoch."""
+
+    def __init__(
+        self,
+        machine_ids: Sequence[str],
+        metric_names: Sequence[str],
+        quantiles: Sequence[float] = (0.25, 0.50, 0.95),
+        mode: str = "exact",
+    ):
+        if not machine_ids:
+            raise ValueError("need at least one machine")
+        self.agents: Dict[str, MachineAgent] = {
+            mid: MachineAgent(mid, metric_names) for mid in machine_ids
+        }
+        self.aggregator = EpochAggregator(
+            metric_names, quantiles=quantiles, mode=mode
+        )
+
+    def close_epoch(self) -> EpochSummary:
+        """Flush every agent into the aggregator and emit the summary."""
+        for agent in self.agents.values():
+            report = agent.flush()
+            if not np.all(np.isnan(report)):
+                self.aggregator.submit(report)
+        return self.aggregator.close_epoch()
+
+
+__all__ = [
+    "CollectionPipeline",
+    "EpochAggregator",
+    "EpochSummary",
+    "MachineAgent",
+]

@@ -1,0 +1,87 @@
+"""Epoch timebase utilities.
+
+All telemetry in this system is aggregated over fixed-length epochs (15
+minutes in the paper's datacenter).  Epochs are identified by a non-negative
+integer index counted from the start of the trace; helper functions convert
+between epochs, minutes, and days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import EPOCH_MINUTES
+
+
+def epochs_per_day(epoch_minutes: int = EPOCH_MINUTES) -> int:
+    """Number of epochs in one day.
+
+    Raises ValueError if the epoch length does not evenly divide a day, since
+    threshold windows are expressed in whole days.
+    """
+    day_minutes = 24 * 60
+    if epoch_minutes <= 0 or day_minutes % epoch_minutes:
+        raise ValueError(f"epoch length {epoch_minutes} must divide 1440 min")
+    return day_minutes // epoch_minutes
+
+
+def epoch_of_minute(minute: int, epoch_minutes: int = EPOCH_MINUTES) -> int:
+    """Epoch index containing the given absolute minute."""
+    if minute < 0:
+        raise ValueError("minute must be non-negative")
+    return minute // epoch_minutes
+
+
+def minutes_of_epoch(epoch: int, epoch_minutes: int = EPOCH_MINUTES) -> int:
+    """Absolute minute at which the given epoch starts."""
+    if epoch < 0:
+        raise ValueError("epoch must be non-negative")
+    return epoch * epoch_minutes
+
+
+@dataclass(frozen=True)
+class EpochClock:
+    """Converts between epochs, minutes, and days for one trace.
+
+    The clock is purely arithmetic; it exists so the rest of the system never
+    hard-codes the aggregation period.
+    """
+
+    epoch_minutes: int = EPOCH_MINUTES
+
+    def __post_init__(self) -> None:
+        epochs_per_day(self.epoch_minutes)  # validates divisibility
+
+    @property
+    def per_day(self) -> int:
+        return epochs_per_day(self.epoch_minutes)
+
+    def to_minutes(self, epoch: int) -> int:
+        return minutes_of_epoch(epoch, self.epoch_minutes)
+
+    def to_epoch(self, minute: int) -> int:
+        return epoch_of_minute(minute, self.epoch_minutes)
+
+    def day_of(self, epoch: int) -> int:
+        """Zero-based day index containing the epoch."""
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return epoch // self.per_day
+
+    def time_of_day(self, epoch: int) -> float:
+        """Fraction of the day elapsed at the epoch start, in [0, 1)."""
+        return (epoch % self.per_day) / self.per_day
+
+    def span_epochs(self, days: int) -> int:
+        """Number of epochs spanned by the given number of days."""
+        if days < 0:
+            raise ValueError("days must be non-negative")
+        return days * self.per_day
+
+
+__all__ = [
+    "EpochClock",
+    "epochs_per_day",
+    "epoch_of_minute",
+    "minutes_of_epoch",
+]

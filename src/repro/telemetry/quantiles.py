@@ -1,0 +1,134 @@
+"""Datacenter-wide quantile summaries of per-machine metrics.
+
+The fingerprinting method's first step (Section 3.2 of the paper) replaces
+per-machine metric values with a handful of quantiles computed across all
+machines in the datacenter, so the representation scales with the number of
+metrics rather than the number of machines.  This module provides the exact
+computation used when the fleet is small enough to see every sample (the
+paper computed quantiles exactly for several hundred machines); streaming
+sketches for larger fleets live in :mod:`repro.telemetry.sketches`.
+
+The empirical quantile convention follows the paper: the p-th quantile of N
+ordered samples is the ``ceil(N * p)``-th order statistic (1-based), i.e. the
+smallest observed value x such that at least a fraction p of samples are <= x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import QuantileConfig
+
+
+def empirical_quantiles(values: np.ndarray, quantiles: Sequence[float]) -> np.ndarray:
+    """Exact empirical quantiles of a 1-D sample.
+
+    Uses the order-statistic definition from Section 3.2 of the paper
+    (``N*p``-th ordered value) rather than interpolation, so results are
+    always actual observed values.  NaN samples (machines that failed to
+    report) are dropped; an all-NaN or empty sample raises ValueError.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        raise ValueError("cannot take quantiles of an empty sample")
+    arr = np.sort(arr)
+    out = np.empty(len(quantiles), dtype=float)
+    n = arr.size
+    for i, q in enumerate(quantiles):
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        # ceil(n*q) as a 1-based rank, clipped to [1, n].
+        rank = min(max(int(np.ceil(n * q)), 1), n)
+        out[i] = arr[rank - 1]
+    return out
+
+
+def summarize_epoch(
+    samples: np.ndarray, quantiles: Sequence[float]
+) -> np.ndarray:
+    """Summarize one epoch of per-machine samples into quantiles per metric.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(n_machines, n_metrics)`` with this epoch's values.
+    quantiles:
+        Quantile levels in [0, 1].
+
+    Returns
+    -------
+    Array of shape ``(n_metrics, n_quantiles)``.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2:
+        raise ValueError("samples must be (n_machines, n_metrics)")
+    n_machines, n_metrics = samples.shape
+    if n_machines == 0:
+        raise ValueError("need at least one machine")
+    qs = np.asarray(quantiles, dtype=float)
+    ordered = np.sort(samples, axis=0)
+    ranks = np.clip(np.ceil(n_machines * qs).astype(int), 1, n_machines) - 1
+    # (n_metrics, n_quantiles)
+    return ordered[ranks, :].T.copy()
+
+
+def summarize_chunk(
+    samples: np.ndarray, quantiles: Sequence[float]
+) -> np.ndarray:
+    """Vectorized :func:`summarize_epoch` over a chunk of epochs.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(n_epochs, n_machines, n_metrics)``.
+
+    Returns
+    -------
+    Array of shape ``(n_epochs, n_metrics, n_quantiles)``.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 3:
+        raise ValueError("samples must be (n_epochs, n_machines, n_metrics)")
+    n_epochs, n_machines, _ = samples.shape
+    if n_machines == 0:
+        raise ValueError("need at least one machine")
+    qs = np.asarray(quantiles, dtype=float)
+    ordered = np.sort(samples, axis=1)
+    ranks = np.clip(np.ceil(n_machines * qs).astype(int), 1, n_machines) - 1
+    # ordered[:, ranks, :] -> (n_epochs, n_quantiles, n_metrics)
+    return np.transpose(ordered[:, ranks, :], (0, 2, 1)).copy()
+
+
+@dataclass
+class QuantileSummarizer:
+    """Stateless helper bound to one :class:`QuantileConfig`.
+
+    Wraps the module functions so callers carry a single object instead of
+    threading quantile levels through every call site.
+    """
+
+    config: QuantileConfig = QuantileConfig()
+
+    def metric(self, values: np.ndarray) -> np.ndarray:
+        """Quantiles of one metric's per-machine samples for one epoch."""
+        return empirical_quantiles(values, self.config.quantiles)
+
+    def epoch(self, samples: np.ndarray) -> np.ndarray:
+        """Quantiles of all metrics for one epoch."""
+        return summarize_epoch(samples, self.config.quantiles)
+
+    def chunk(self, samples: np.ndarray) -> np.ndarray:
+        """Quantiles of all metrics for a chunk of epochs."""
+        return summarize_chunk(samples, self.config.quantiles)
+
+
+__all__ = [
+    "empirical_quantiles",
+    "summarize_epoch",
+    "summarize_chunk",
+    "QuantileSummarizer",
+]

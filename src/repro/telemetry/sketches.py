@@ -1,0 +1,233 @@
+"""Streaming quantile estimators.
+
+Section 3.2 of the paper notes that as the datacenter grows, quantiles can be
+estimated with bounded error from a stream (citing Guha & McGregor).  This
+module provides two classic online estimators so the summarization step keeps
+scaling when exact computation over all machines becomes impractical:
+
+* :class:`GKQuantileSketch` -- the Greenwald-Khanna epsilon-approximate
+  sketch, giving rank error at most ``eps * n`` for any quantile with
+  O(1/eps * log(eps * n)) space.
+* :class:`P2QuantileEstimator` -- the P-square algorithm of Jain & Chlamtac,
+  tracking a single quantile in O(1) space with parabolic marker updates.
+
+Both are exercised by the scaling benchmark (experiment E11 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class _GKTuple:
+    value: float
+    g: int  # rank gap to the previous tuple's minimum rank
+    delta: int  # uncertainty of this tuple's rank
+
+
+class GKQuantileSketch:
+    """Greenwald-Khanna epsilon-approximate quantile sketch.
+
+    Supports :meth:`insert` of single observations and :meth:`query` of any
+    quantile with guaranteed rank error ``<= eps * n``.
+    """
+
+    def __init__(self, eps: float = 0.01):
+        if not 0.0 < eps < 1.0:
+            raise ValueError("eps must lie in (0, 1)")
+        self.eps = eps
+        self._tuples: List[_GKTuple] = []
+        self._n = 0
+        # Compress every ~1/(2 eps) inserts, the standard schedule.
+        self._compress_interval = max(int(1.0 / (2.0 * eps)), 1)
+        self._since_compress = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size(self) -> int:
+        """Number of stored tuples (the sketch's space usage)."""
+        return len(self._tuples)
+
+    def insert(self, value: float) -> None:
+        """Add one observation to the sketch."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot insert NaN")
+        tuples = self._tuples
+        # Find insertion point (first tuple with larger value).
+        lo, hi = 0, len(tuples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tuples[mid].value < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        idx = lo
+        if idx == 0 or idx == len(tuples):
+            delta = 0  # new minimum or maximum is known exactly
+        else:
+            delta = max(int(math.floor(2.0 * self.eps * self._n)) - 1, 0)
+        tuples.insert(idx, _GKTuple(value, 1, delta))
+        self._n += 1
+        self._since_compress += 1
+        if self._since_compress >= self._compress_interval:
+            self._compress()
+            self._since_compress = 0
+
+    def extend(self, values) -> None:
+        for v in values:
+            self.insert(v)
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples whose combined uncertainty stays in bound."""
+        tuples = self._tuples
+        if len(tuples) < 3:
+            return
+        threshold = math.floor(2.0 * self.eps * self._n)
+        out: List[_GKTuple] = [tuples[0]]
+        # Never merge into the last tuple's slot from the right; iterate and
+        # greedily absorb tuples into their successor when allowed.
+        for i in range(1, len(tuples)):
+            cur = tuples[i]
+            prev = out[-1]
+            mergeable = (
+                len(out) > 1  # keep the minimum exact
+                and i < len(tuples)  # successor exists (cur absorbs prev)
+                and prev.g + cur.g + cur.delta <= threshold
+            )
+            if mergeable:
+                cur = _GKTuple(cur.value, prev.g + cur.g, cur.delta)
+                out[-1] = cur
+            else:
+                out.append(cur)
+        self._tuples = out
+
+    def query(self, q: float) -> float:
+        """Value whose rank is within ``eps * n`` of the q-th quantile."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if self._n == 0:
+            raise ValueError("sketch is empty")
+        target = max(int(math.ceil(q * self._n)), 1)
+        bound = math.floor(self.eps * self._n)
+        r_min = 0
+        for i, t in enumerate(self._tuples):
+            r_min += t.g
+            r_max = r_min + t.delta
+            if r_max >= target - bound and r_min >= target - bound:
+                return t.value
+            if i + 1 < len(self._tuples):
+                nxt = self._tuples[i + 1]
+                if r_min + nxt.g + nxt.delta > target + bound:
+                    return t.value
+        return self._tuples[-1].value
+
+
+class P2QuantileEstimator:
+    """P-square single-quantile estimator (Jain & Chlamtac, 1985).
+
+    Maintains five markers whose heights approximate the min, the target
+    quantile and its half-way points, and the max; marker heights are
+    adjusted with a piecewise-parabolic formula as observations arrive.
+    Constant space, suitable for per-metric tracking on an aggregator node.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must lie in (0, 1)")
+        self.q = q
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def insert(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot insert NaN")
+        self._n += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._desired = [
+                    1.0,
+                    1.0 + 2.0 * q,
+                    1.0 + 4.0 * q,
+                    3.0 + 2.0 * q,
+                    5.0,
+                ]
+            return
+
+        h, pos = self._heights, self._positions
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = 0
+            while k < 3 and value >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust interior markers.
+        for i in range(1, 4):
+            d = self._desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def extend(self, values) -> None:
+        for v in values:
+            self.insert(v)
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + d / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, p = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (p[j] - p[i])
+
+    def query(self) -> float:
+        """Current estimate of the tracked quantile."""
+        if self._n == 0:
+            raise ValueError("estimator is empty")
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            rank = min(
+                max(int(math.ceil(self.q * len(ordered))), 1), len(ordered)
+            )
+            return ordered[rank - 1]
+        return self._heights[2]
+
+
+__all__ = ["GKQuantileSketch", "P2QuantileEstimator"]

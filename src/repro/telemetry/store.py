@@ -1,0 +1,138 @@
+"""Rolling store of datacenter-wide quantile history.
+
+Online threshold maintenance (Section 3.3) needs the raw quantile values of
+every tracked metric over a trailing window of up to 240 days, restricted to
+crisis-free epochs.  :class:`QuantileStore` keeps that history in a growing
+array together with a per-epoch "anomalous" flag, and serves trailing-window
+views to the threshold estimator.
+
+The store also backs Section 6.3's bookkeeping: because raw quantile values
+(not discretized summaries) are kept for past crises, fingerprints of old
+crises can be recomputed whenever thresholds move.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class QuantileStore:
+    """Append-only history of per-epoch metric-quantile values.
+
+    Parameters
+    ----------
+    n_metrics, n_quantiles:
+        Shape of each epoch's summary.
+    capacity_hint:
+        Initial buffer capacity in epochs; the buffer grows geometrically.
+    """
+
+    def __init__(
+        self, n_metrics: int, n_quantiles: int, capacity_hint: int = 4096
+    ):
+        if n_metrics <= 0 or n_quantiles <= 0:
+            raise ValueError("n_metrics and n_quantiles must be positive")
+        self.n_metrics = n_metrics
+        self.n_quantiles = n_quantiles
+        cap = max(capacity_hint, 16)
+        self._values = np.empty((cap, n_metrics, n_quantiles), dtype=float)
+        self._anomalous = np.zeros(cap, dtype=bool)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self, needed: int) -> None:
+        cap = self._values.shape[0]
+        if needed <= cap:
+            return
+        new_cap = cap
+        while new_cap < needed:
+            new_cap *= 2
+        values = np.empty(
+            (new_cap, self.n_metrics, self.n_quantiles), dtype=float
+        )
+        values[: self._n] = self._values[: self._n]
+        anomalous = np.zeros(new_cap, dtype=bool)
+        anomalous[: self._n] = self._anomalous[: self._n]
+        self._values = values
+        self._anomalous = anomalous
+
+    def append(self, epoch_quantiles: np.ndarray, anomalous: bool) -> int:
+        """Record one epoch's summary; returns its epoch index."""
+        arr = np.asarray(epoch_quantiles, dtype=float)
+        if arr.shape != (self.n_metrics, self.n_quantiles):
+            raise ValueError(
+                f"expected shape {(self.n_metrics, self.n_quantiles)}, "
+                f"got {arr.shape}"
+            )
+        self._grow(self._n + 1)
+        self._values[self._n] = arr
+        self._anomalous[self._n] = bool(anomalous)
+        self._n += 1
+        return self._n - 1
+
+    def extend(self, chunk: np.ndarray, anomalous: np.ndarray) -> None:
+        """Record a chunk of epochs at once."""
+        chunk = np.asarray(chunk, dtype=float)
+        anomalous = np.asarray(anomalous, dtype=bool)
+        if chunk.ndim != 3 or chunk.shape[1:] != (
+            self.n_metrics,
+            self.n_quantiles,
+        ):
+            raise ValueError("chunk shape mismatch")
+        if anomalous.shape != (chunk.shape[0],):
+            raise ValueError("anomalous flags must match chunk length")
+        self._grow(self._n + chunk.shape[0])
+        self._values[self._n : self._n + chunk.shape[0]] = chunk
+        self._anomalous[self._n : self._n + chunk.shape[0]] = anomalous
+        self._n += chunk.shape[0]
+
+    def values(
+        self, start: Optional[int] = None, stop: Optional[int] = None
+    ) -> np.ndarray:
+        """Read-only view of quantile history in ``[start, stop)``."""
+        view = self._values[: self._n][start:stop]
+        view.flags.writeable = False
+        return view
+
+    def anomalous_mask(
+        self, start: Optional[int] = None, stop: Optional[int] = None
+    ) -> np.ndarray:
+        view = self._anomalous[: self._n][start:stop]
+        view.flags.writeable = False
+        return view
+
+    def epoch(self, index: int) -> np.ndarray:
+        """Quantile summary of one epoch (negative indices allowed)."""
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError("epoch index out of range")
+        view = self._values[index]
+        view.flags.writeable = False
+        return view
+
+    def trailing_window(
+        self, end: int, window_epochs: int, crisis_free: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Window of history ending at (excluding) ``end``.
+
+        Returns ``(values, epoch_indices)``.  With ``crisis_free=True``
+        (default, matching Section 3.3 step 1), epochs flagged anomalous are
+        excluded so thresholds reflect only normal operation.
+        """
+        if not 0 <= end <= self._n:
+            raise IndexError("end out of range")
+        start = max(end - window_epochs, 0)
+        idx = np.arange(start, end)
+        if crisis_free:
+            keep = ~self._anomalous[start:end]
+            idx = idx[keep]
+        values = self._values[idx]
+        return values, idx
+
+
+__all__ = ["QuantileStore"]

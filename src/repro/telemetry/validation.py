@@ -1,0 +1,132 @@
+"""Telemetry data-quality validation.
+
+Fingerprints inherit whatever problems the telemetry has: a metric that
+silently stops reporting reads as "cold", a stuck agent makes a machine
+look healthy, a counter reset looks like a crisis.  This module provides
+the checks a deployment runs on each epoch summary (and periodically on
+the quantile history) before feeding the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One data-quality finding."""
+
+    severity: str  # "warn" or "error"
+    code: str
+    message: str
+    metric_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in ("warn", "error"):
+            raise ValueError("severity must be warn or error")
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one validation pass."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(i.severity == "error" for i in self.issues)
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "warn"]
+
+    def add(self, severity: str, code: str, message: str,
+            metric_index: Optional[int] = None) -> None:
+        self.issues.append(
+            ValidationIssue(severity, code, message, metric_index)
+        )
+
+
+def validate_epoch_summary(
+    quantiles: np.ndarray,
+    metric_names: Optional[Sequence[str]] = None,
+) -> ValidationReport:
+    """Checks on one epoch's ``(n_metrics, n_quantiles)`` summary.
+
+    Errors: non-finite values, quantile inversion (q25 > q95).
+    Warnings: all-zero metrics (often a dead collector).
+    """
+    q = np.asarray(quantiles, dtype=float)
+    report = ValidationReport()
+    if q.ndim != 2:
+        report.add("error", "bad-shape",
+                   f"expected 2-D summary, got shape {q.shape}")
+        return report
+
+    def name(m: int) -> str:
+        if metric_names is not None and m < len(metric_names):
+            return metric_names[m]
+        return f"metric[{m}]"
+
+    bad = ~np.isfinite(q)
+    for m in np.flatnonzero(bad.any(axis=1)):
+        report.add("error", "non-finite",
+                   f"{name(m)} has non-finite quantiles", int(m))
+    ordered = np.all(np.diff(q, axis=1) >= -1e-9, axis=1)
+    for m in np.flatnonzero(~ordered & ~bad.any(axis=1)):
+        report.add("error", "quantile-inversion",
+                   f"{name(m)} quantiles are not non-decreasing", int(m))
+    zero = np.all(q == 0.0, axis=1)
+    for m in np.flatnonzero(zero):
+        report.add("warn", "all-zero",
+                   f"{name(m)} reports all-zero quantiles "
+                   f"(dead collector?)", int(m))
+    return report
+
+
+def validate_history(
+    history: np.ndarray,
+    metric_names: Optional[Sequence[str]] = None,
+    stuck_epochs: int = 96,
+) -> ValidationReport:
+    """Checks on a quantile history ``(n_epochs, n_metrics, n_quantiles)``.
+
+    Warnings: metrics stuck at a constant value for ``stuck_epochs``
+    consecutive epochs (frozen agent — their hot/cold thresholds collapse
+    to a point and flag everything thereafter).
+    """
+    h = np.asarray(history, dtype=float)
+    report = ValidationReport()
+    if h.ndim != 3:
+        report.add("error", "bad-shape",
+                   f"expected 3-D history, got shape {h.shape}")
+        return report
+    if h.shape[0] < 2:
+        return report
+
+    def name(m: int) -> str:
+        if metric_names is not None and m < len(metric_names):
+            return metric_names[m]
+        return f"metric[{m}]"
+
+    window = min(stuck_epochs, h.shape[0])
+    tail = h[-window:]
+    constant = np.all(tail == tail[0], axis=0).all(axis=1)
+    for m in np.flatnonzero(constant):
+        report.add("warn", "stuck",
+                   f"{name(m)} unchanged for the last {window} epochs",
+                   int(m))
+    if not np.all(np.isfinite(h)):
+        report.add("error", "non-finite", "history has non-finite values")
+    return report
+
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_epoch_summary",
+           "validate_history"]

@@ -1,0 +1,19 @@
+"""Text visualizations: fingerprint heatmaps (Figure 1) and ROC curves.
+
+The paper notes fingerprints are interpretable by human operators — when
+shown rendered fingerprints, the datacenter's operators recognized most
+crises on sight.  These renderers produce the same artifact in a terminal.
+"""
+
+from repro.viz.dossier import crisis_dossier
+from repro.viz.render import render_fingerprint, render_roc, render_series
+from repro.viz.timeline import render_distance_matrix, render_timeline
+
+__all__ = [
+    "crisis_dossier",
+    "render_fingerprint",
+    "render_roc",
+    "render_series",
+    "render_distance_matrix",
+    "render_timeline",
+]

@@ -1,0 +1,116 @@
+"""ASCII renderers for fingerprints, ROC curves, and accuracy series."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Glyphs for cold / normal / hot, mirroring Figure 1's white/gray/black.
+_GLYPHS = {-1: ".", 0: " ", 1: "#"}
+
+
+def render_fingerprint(
+    summaries: np.ndarray,
+    metric_names: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render an epoch-by-column fingerprint heatmap (Figure 1).
+
+    ``summaries`` is ``(n_epochs, n_columns)`` with entries in {-1, 0, +1}
+    (column = one metric quantile); each row of output is one epoch.
+    ``.`` is cold, space is normal, ``#`` is hot.
+    """
+    summaries = np.asarray(summaries)
+    if summaries.ndim != 2:
+        raise ValueError("summaries must be (n_epochs, n_columns)")
+    if not np.isin(summaries, (-1, 0, 1)).all():
+        raise ValueError("summaries must be ternary")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * summaries.shape[1] + "+")
+    for row in summaries.astype(int):
+        lines.append("|" + "".join(_GLYPHS[v] for v in row) + "|")
+    lines.append("+" + "-" * summaries.shape[1] + "+")
+    if metric_names is not None:
+        lines.append("columns: " + ", ".join(metric_names))
+    return "\n".join(lines)
+
+
+def render_roc(
+    fpr: np.ndarray,
+    tpr: np.ndarray,
+    width: int = 41,
+    height: int = 17,
+    title: str = "",
+) -> str:
+    """Plot an ROC curve with text; x = false-alarm rate, y = recall."""
+    fpr = np.asarray(fpr, dtype=float)
+    tpr = np.asarray(tpr, dtype=float)
+    if fpr.shape != tpr.shape or fpr.ndim != 1 or fpr.size == 0:
+        raise ValueError("fpr/tpr must be equal-length 1-D arrays")
+    grid = [[" "] * width for _ in range(height)]
+    # Interpolate the curve densely so the plot is connected.
+    xs = np.linspace(0.0, 1.0, width * 4)
+    ys = np.interp(xs, fpr, tpr)
+    for x, y in zip(xs, ys):
+        col = min(int(x * (width - 1)), width - 1)
+        row = height - 1 - min(int(y * (height - 1)), height - 1)
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("recall")
+    for i, row in enumerate(grid):
+        label = "1.0" if i == 0 else ("0.0" if i == height - 1 else "   ")
+        lines.append(f"{label} |" + "".join(row))
+    lines.append("    +" + "-" * width)
+    lines.append("     0.0" + " " * (width - 11) + "1.0")
+    lines.append("     false-alarm rate")
+    return "\n".join(lines)
+
+
+def render_series(
+    x: np.ndarray,
+    series: Sequence[np.ndarray],
+    labels: Sequence[str],
+    width: int = 61,
+    height: int = 15,
+    title: str = "",
+) -> str:
+    """Overlay several y(x) series (e.g. known/unknown accuracy vs alpha)."""
+    x = np.asarray(x, dtype=float)
+    if len(series) != len(labels) or not series:
+        raise ValueError("series/labels mismatch")
+    marks = "ox+*%@"
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(x.min()), float(x.max())
+    span = max(x_hi - x_lo, 1e-12)
+    for s_idx, ys in enumerate(series):
+        ys = np.asarray(ys, dtype=float)
+        if ys.shape != x.shape:
+            raise ValueError("series length mismatch")
+        for xi, yi in zip(x, ys):
+            if np.isnan(yi):
+                continue
+            col = min(int((xi - x_lo) / span * (width - 1)), width - 1)
+            yi = min(max(yi, 0.0), 1.0)
+            row = height - 1 - min(int(yi * (height - 1)), height - 1)
+            grid[row][col] = marks[s_idx % len(marks)]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = "1.0" if i == 0 else ("0.0" if i == height - 1 else "   ")
+        lines.append(f"{label} |" + "".join(row))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {x_lo:.2f}" + " " * (width - 12) + f"{x_hi:.2f}")
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={lab}" for i, lab in enumerate(labels)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+__all__ = ["render_fingerprint", "render_roc", "render_series"]

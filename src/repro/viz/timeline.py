@@ -1,0 +1,97 @@
+"""Trace timeline and distance-matrix renderers.
+
+Complements :mod:`repro.viz.render` with two operator-facing views:
+
+* :func:`render_timeline` — a day-by-day strip of the trace showing where
+  crises were injected and what the SLA detector flagged;
+* :func:`render_distance_matrix` — a shaded pairwise-distance heatmap of
+  crisis fingerprints (dark = close), making recurring types visible at a
+  glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.datacenter.trace import DatacenterTrace
+
+#: Shading ramp from close (dark) to far (light).
+_SHADES = "#@%*+=-:. "
+
+
+def render_timeline(
+    trace: DatacenterTrace,
+    days_per_row: int = 60,
+    include_bootstrap: bool = True,
+) -> str:
+    """One character per day: '.' quiet, '!' anomalous epochs present,
+    letters mark injected crisis types (uppercase = labeled)."""
+    per_day = trace.epochs_per_day
+    n_days = trace.n_epochs // per_day
+    chars = []
+    anomalous_by_day = [
+        trace.anomalous[d * per_day : (d + 1) * per_day].any()
+        for d in range(n_days)
+    ]
+    day_labels: List[Optional[str]] = [None] * n_days
+    for crisis in trace.crises:
+        if not include_bootstrap and not crisis.labeled:
+            continue
+        day = crisis.instance.start_epoch // per_day
+        if day < n_days:
+            label = crisis.label
+            day_labels[day] = label if crisis.labeled else label.lower()
+    for d in range(n_days):
+        if day_labels[d] is not None:
+            chars.append(day_labels[d])
+        elif anomalous_by_day[d]:
+            chars.append("!")
+        else:
+            chars.append(".")
+    lines = ["trace timeline (one character per day; letters = injected "
+             "crises, lowercase = undiagnosed)"]
+    for start in range(0, n_days, days_per_row):
+        chunk = "".join(chars[start : start + days_per_row])
+        lines.append(f"day {start:4d} | {chunk}")
+    return "\n".join(lines)
+
+
+def render_distance_matrix(
+    distances: np.ndarray,
+    labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """Shaded pairwise-distance heatmap with label axes (dark = close)."""
+    distances = np.asarray(distances, dtype=float)
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise ValueError("distances must be square")
+    if len(labels) != n:
+        raise ValueError("labels length mismatch")
+    if n == 0:
+        raise ValueError("empty matrix")
+    off_diag = distances[~np.eye(n, dtype=bool)]
+    hi = float(off_diag.max()) if off_diag.size else 1.0
+    hi = hi if hi > 0 else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("    " + " ".join(f"{lab:>2s}" for lab in labels))
+    for i in range(n):
+        cells = []
+        for j in range(n):
+            if i == j:
+                cells.append(" \\")
+                continue
+            level = min(int(distances[i, j] / hi * (len(_SHADES) - 1)),
+                        len(_SHADES) - 1)
+            cells.append(" " + _SHADES[level])
+        lines.append(f"{labels[i]:>3s} " + " ".join(c.strip().rjust(2)
+                                                    for c in cells))
+    lines.append("(dark '#' = similar fingerprints, light '.' = distant)")
+    return "\n".join(lines)
+
+
+__all__ = ["render_distance_matrix", "render_timeline"]

@@ -1,0 +1,26 @@
+"""Shared fixtures.
+
+The small trace fixture is session-scoped because trace generation is the
+expensive step; tests must treat it as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datacenter import DatacenterSimulator
+from repro.datacenter.scenarios import tiny
+
+SMALL_SIM_CONFIG = tiny(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small but complete trace: warmup, 5 bootstrap + 19 labeled crises."""
+    return DatacenterSimulator(SMALL_SIM_CONFIG).run()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.persistence import save_trace
+
+
+@pytest.fixture(scope="module")
+def trace_path(small_trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.npz"
+    save_trace(small_trace, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "out.npz"])
+        assert args.machines == 40
+        assert args.command == "simulate"
+
+    def test_identify_options(self):
+        args = build_parser().parse_args(
+            ["identify", "t.npz", "--relevant-metrics", "15",
+             "--window-days", "30"]
+        )
+        assert args.relevant_metrics == 15
+        assert args.window_days == 30
+
+
+class TestCommands:
+    def test_simulate_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        rc = main([
+            "simulate", str(out),
+            "--machines", "10",
+            "--warmup-days", "8",
+            "--bootstrap-days", "20",
+            "--labeled-days", "45",
+            "--bootstrap-crises", "2",
+            "--seed", "3",
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "detected crises" in capsys.readouterr().out
+
+    def test_render(self, trace_path, small_trace, capsys):
+        crisis = small_trace.detected_crises[0]
+        rc = main(["render", trace_path, str(crisis.index),
+                   "--relevant-metrics", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"crisis {crisis.index}" in out
+        assert "metrics:" in out
+
+    def test_render_missing_crisis(self, trace_path, capsys):
+        rc = main(["render", trace_path, "9999"])
+        assert rc == 1
+
+    def test_identify_runs(self, trace_path, capsys):
+        rc = main([
+            "identify", trace_path,
+            "--relevant-metrics", "15",
+            "--window-days", "30",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out

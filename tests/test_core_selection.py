@@ -1,0 +1,135 @@
+"""Tests for relevant-metric selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    crisis_training_set,
+    select_crisis_metrics,
+    select_relevant_metrics,
+    stabilize,
+)
+
+
+def synthetic_crisis(seed=0, n_epochs=20, n_machines=15, n_metrics=12,
+                     signal=(2, 7), crisis_start=12):
+    """Raw window where metrics in ``signal`` move on violating machines."""
+    rng = np.random.default_rng(seed)
+    values = rng.lognormal(2.0, 0.3, (n_epochs, n_machines, n_metrics))
+    violations = np.zeros((n_epochs, n_machines), dtype=bool)
+    affected = rng.choice(n_machines, size=n_machines // 2, replace=False)
+    for e in range(crisis_start, n_epochs):
+        violations[e, affected] = True
+        for m in signal:
+            values[e, affected, m] *= 12.0
+    return values, violations, set(signal)
+
+
+class TestStabilize:
+    def test_monotone(self):
+        x = np.array([0.0, 1.0, 10.0, 1e6])
+        out = stabilize(x)
+        assert np.all(np.diff(out) > 0)
+
+    def test_sign_preserved(self):
+        np.testing.assert_allclose(stabilize(np.array([-5.0])),
+                                   -stabilize(np.array([5.0])))
+
+    def test_compresses_tails(self):
+        assert stabilize(np.array([1e9]))[0] < 25
+
+
+class TestCrisisTrainingSet:
+    def test_shapes(self):
+        values, violations, _ = synthetic_crisis()
+        X, y = crisis_training_set(values, violations)
+        assert X.shape == (20 * 15, 12)
+        assert y.shape == (20 * 15,)
+
+    def test_label_alignment(self):
+        values, violations, _ = synthetic_crisis()
+        X, y = crisis_training_set(values, violations)
+        # Row for (epoch e, machine m) is e*n_machines + m.
+        assert y[13 * 15 + 3] == float(violations[13, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crisis_training_set(np.zeros((3, 4)), np.zeros((3, 4), bool))
+        with pytest.raises(ValueError):
+            crisis_training_set(np.zeros((3, 4, 5)), np.zeros((3, 5), bool))
+
+
+class TestSelectCrisisMetrics:
+    def test_finds_signal_metrics(self):
+        values, violations, signal = synthetic_crisis()
+        picked = select_crisis_metrics(values, violations, top_k=4)
+        assert signal <= set(picked.tolist())
+
+    def test_exclude_removes_metrics(self):
+        values, violations, signal = synthetic_crisis()
+        picked = select_crisis_metrics(
+            values, violations, top_k=4, exclude=[2]
+        )
+        assert 2 not in picked
+
+    def test_no_violations_returns_empty(self):
+        values, violations, _ = synthetic_crisis()
+        picked = select_crisis_metrics(
+            values, np.zeros_like(violations), top_k=4
+        )
+        assert picked.size == 0
+
+    def test_respects_top_k(self):
+        values, violations, _ = synthetic_crisis()
+        assert len(select_crisis_metrics(values, violations, top_k=3)) <= 3
+
+
+class TestSelectRelevantMetrics:
+    def test_frequency_ordering(self):
+        selections = [
+            np.array([1, 2, 3]),
+            np.array([1, 2, 4]),
+            np.array([1, 5, 6]),
+        ]
+        out = select_relevant_metrics(selections, n_relevant=2)
+        assert out.tolist() == [1, 2]
+
+    def test_pool_limits_history(self):
+        old = [np.array([9])] * 10
+        recent = [np.array([1])] * 3
+        out = select_relevant_metrics(old + recent, n_relevant=1, pool=3)
+        assert out.tolist() == [1]
+
+    def test_returns_sorted_indices(self):
+        selections = [np.array([7, 3, 5])] * 2
+        out = select_relevant_metrics(selections, n_relevant=3)
+        assert out.tolist() == sorted(out.tolist())
+
+    def test_rank_tiebreak(self):
+        # 8 and 9 both appear once; 8 is ranked first in its selection.
+        selections = [np.array([8, 1]), np.array([1, 9])]
+        out = select_relevant_metrics(selections, n_relevant=2,
+                                      min_count=1)
+        assert 1 in out  # appears twice
+        assert 8 in out  # wins the tie against 9 on rank
+
+    def test_min_count_drops_one_off_selections(self):
+        selections = [np.array([1, 7]), np.array([1, 8]), np.array([1, 9])]
+        out = select_relevant_metrics(selections, n_relevant=2)
+        # 7/8/9 each appear once; with min_count=2 only metric 1 recurs,
+        # and one recurring metric satisfies half of n_relevant=2.
+        assert out.tolist() == [1]
+
+    def test_min_count_relaxed_when_too_few_recur(self):
+        selections = [np.array([1, 7]), np.array([2, 8])]
+        out = select_relevant_metrics(selections, n_relevant=4)
+        # Nothing recurs; the filter falls back to frequency order.
+        assert len(out) == 4
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            select_relevant_metrics([], n_relevant=3)
+        with pytest.raises(ValueError):
+            select_relevant_metrics([np.array([])], n_relevant=3)
+        with pytest.raises(ValueError):
+            select_relevant_metrics([np.array([1])], n_relevant=0)

@@ -1,0 +1,157 @@
+"""Tests for similarity, identification thresholds, and stability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identification import (
+    UNKNOWN,
+    Identifier,
+    estimate_threshold_online,
+    first_correct_epoch,
+    is_stable,
+    sequence_label,
+    threshold_from_pairs,
+)
+from repro.core.similarity import l2_distance, pair_arrays, pairwise_distances
+
+
+class TestL2Distance:
+    def test_basic(self):
+        assert l2_distance(np.array([0, 0]), np.array([3, 4])) == 5.0
+
+    def test_symmetry(self):
+        a, b = np.array([1.0, 2.0]), np.array([-1.0, 0.5])
+        assert l2_distance(a, b) == l2_distance(b, a)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            l2_distance(np.zeros(2), np.zeros(3))
+
+
+class TestPairwiseDistances:
+    def test_matrix_properties(self):
+        rng = np.random.default_rng(0)
+        vecs = [rng.normal(size=5) for _ in range(4)]
+        D = pairwise_distances(vecs)
+        assert D.shape == (4, 4)
+        np.testing.assert_allclose(D, D.T)
+        np.testing.assert_allclose(np.diag(D), 0.0)
+        assert D[0, 1] == pytest.approx(l2_distance(vecs[0], vecs[1]))
+
+    def test_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+
+class TestPairArrays:
+    def test_upper_triangle_extraction(self):
+        D = np.array([[0, 1, 2], [1, 0, 3], [2, 3, 0.0]])
+        d, same = pair_arrays(D, ["A", "A", "B"])
+        np.testing.assert_array_equal(d, [1, 2, 3])
+        np.testing.assert_array_equal(same, [True, False, False])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pair_arrays(np.zeros((2, 3)), ["A", "B"])
+        with pytest.raises(ValueError):
+            pair_arrays(np.zeros((2, 2)), ["A"])
+
+
+class TestThresholdRules:
+    """Section 5.3's online threshold-estimation rules."""
+
+    def test_only_same_pairs(self):
+        t = threshold_from_pairs(np.array([1.0, 2.0]),
+                                 np.array([True, True]), alpha=0.1)
+        assert t == pytest.approx(2.0 * 1.1)
+
+    def test_only_diff_pairs(self):
+        t = threshold_from_pairs(np.array([3.0, 5.0]),
+                                 np.array([False, False]), alpha=0.1)
+        assert t == pytest.approx(3.0 * 0.9)
+
+    def test_separable_interpolates(self):
+        d = np.array([1.0, 2.0, 4.0, 6.0])
+        same = np.array([True, True, False, False])
+        t = threshold_from_pairs(d, same, alpha=0.5)
+        assert t == pytest.approx(2.0 + 0.5 * (4.0 - 2.0))
+
+    def test_non_separable_uses_roc(self):
+        d = np.array([1.0, 3.0, 2.0, 6.0])
+        same = np.array([True, True, False, False])
+        t = threshold_from_pairs(d, same, alpha=0.0)
+        # ROC threshold with zero false alarms admits distances < 2.
+        assert 1.0 <= t < 2.0
+
+    def test_wrapper_from_vectors(self):
+        vecs = [np.array([0.0]), np.array([0.5]), np.array([5.0])]
+        labels = ["B", "B", "C"]
+        t = estimate_threshold_online(vecs, labels, alpha=0.2)
+        assert 0.5 < t < 4.5
+
+    def test_wrapper_validation(self):
+        with pytest.raises(ValueError):
+            estimate_threshold_online([np.zeros(2)], ["A"], 0.1)
+
+
+class TestIdentifier:
+    def test_empty_library_unknown(self):
+        res = Identifier(1.0).identify(np.zeros(3), [])
+        assert res.label == UNKNOWN
+        assert not res.matched
+
+    def test_nearest_below_threshold_matches(self):
+        lib = [(np.array([0.0, 0.0]), "B"), (np.array([5.0, 5.0]), "C")]
+        res = Identifier(1.0).identify(np.array([0.1, 0.1]), lib)
+        assert res.label == "B"
+        assert res.nearest_label == "B"
+
+    def test_nearest_above_threshold_unknown(self):
+        lib = [(np.array([5.0, 5.0]), "C")]
+        res = Identifier(1.0).identify(np.array([0.0, 0.0]), lib)
+        assert res.label == UNKNOWN
+        assert res.nearest_label == "C"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Identifier(-1.0)
+
+
+class TestStability:
+    @pytest.mark.parametrize(
+        "seq", [["x", "x", "A", "A", "A"], ["B"] * 5, ["x"] * 5, [], ["A"]]
+    )
+    def test_stable(self, seq):
+        assert is_stable(seq)
+
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            ["x", "x", "A", "x", "A"],
+            ["x", "x", "A", "A", "B"],
+            ["A", "A", "A", "A", "B"],
+            ["A", "x"],
+        ],
+    )
+    def test_unstable(self, seq):
+        assert not is_stable(seq)
+
+    def test_sequence_label(self):
+        assert sequence_label(["x", "A", "A"]) == "A"
+        assert sequence_label(["x", "x"]) is None
+        with pytest.raises(ValueError):
+            sequence_label(["A", "x"])
+
+    def test_first_correct_epoch(self):
+        assert first_correct_epoch(["x", "B", "B"], "B") == 1
+        assert first_correct_epoch(["x", "x"], "B") is None
+
+    @given(st.lists(st.sampled_from(["x", "A", "B"]), max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_stability_matches_regex_definition(self, seq):
+        """x* L* is exactly the stable language."""
+        import re
+
+        stable_re = re.compile(r"^x*(A*|B*)$")
+        assert is_stable(seq) == bool(stable_re.match("".join(seq)))

@@ -1,0 +1,77 @@
+"""Tests for summary vectors (hot/cold/normal discretization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.summary import flatten_summary, summary_vectors
+from repro.core.thresholds import QuantileThresholds
+
+
+def thresholds(n_metrics=3, n_q=2, cold=10.0, hot=20.0):
+    return QuantileThresholds(
+        cold=np.full((n_metrics, n_q), cold),
+        hot=np.full((n_metrics, n_q), hot),
+    )
+
+
+class TestSummaryVectors:
+    def test_discretization(self):
+        t = thresholds(1, 3)
+        q = np.array([[5.0, 15.0, 25.0]])
+        np.testing.assert_array_equal(summary_vectors(q, t), [[-1, 0, 1]])
+
+    def test_boundary_values_are_normal(self):
+        """Values exactly at a threshold are normal (strict comparison)."""
+        t = thresholds(1, 2)
+        q = np.array([[10.0, 20.0]])
+        np.testing.assert_array_equal(summary_vectors(q, t), [[0, 0]])
+
+    def test_window_shape(self):
+        t = thresholds()
+        window = np.full((5, 3, 2), 15.0)
+        out = summary_vectors(window, t)
+        assert out.shape == (5, 3, 2)
+        assert out.dtype == np.int8
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            summary_vectors(np.zeros((2, 4, 2)), thresholds(3, 2))
+
+    @given(
+        hnp.arrays(np.float64, (4, 3, 2),
+                   elements=st.floats(-100, 100, allow_nan=False))
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_values_always_ternary(self, q):
+        out = summary_vectors(q, thresholds())
+        assert set(np.unique(out)) <= {-1, 0, 1}
+
+    @given(
+        hnp.arrays(np.float64, (3, 2),
+                   elements=st.floats(-100, 100, allow_nan=False)),
+        st.floats(0.1, 50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shift_invariance_direction(self, q, delta):
+        """Raising values never turns a summary colder."""
+        t = thresholds()
+        before = summary_vectors(q, t)
+        after = summary_vectors(q + delta, t)
+        assert np.all(after >= before)
+
+
+class TestFlattenSummary:
+    def test_flatten_epoch(self):
+        s = np.zeros((4, 3), dtype=np.int8)
+        assert flatten_summary(s).shape == (12,)
+
+    def test_flatten_window(self):
+        s = np.zeros((5, 4, 3), dtype=np.int8)
+        assert flatten_summary(s).shape == (5, 12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            flatten_summary(np.zeros(3))

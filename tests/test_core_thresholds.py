@@ -1,0 +1,99 @@
+"""Tests for hot/cold threshold estimation (all three methods)."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    QuantileThresholds,
+    kpi_correlation_thresholds,
+    percentile_thresholds,
+    timeseries_thresholds,
+)
+
+
+def history(n=1000, n_metrics=5, n_q=3, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(10, 100, (n_metrics, n_q))
+    return base[None] * rng.lognormal(0.0, 0.1, (n, n_metrics, n_q))
+
+
+class TestQuantileThresholds:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            QuantileThresholds(cold=np.zeros((2, 3)), hot=np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            QuantileThresholds(cold=np.zeros(3), hot=np.zeros(3))
+
+    def test_rejects_cold_above_hot(self):
+        with pytest.raises(ValueError):
+            QuantileThresholds(cold=np.ones((1, 1)), hot=np.zeros((1, 1)))
+
+    def test_restrict(self):
+        t = percentile_thresholds(history())
+        sub = t.restrict(np.array([1, 3]))
+        assert sub.n_metrics == 2
+        np.testing.assert_array_equal(sub.cold, t.cold[[1, 3]])
+
+
+class TestPercentileThresholds:
+    def test_fraction_outside_matches_percentiles(self):
+        h = history(n=5000)
+        t = percentile_thresholds(h, 2.0, 98.0)
+        outside = np.mean((h < t.cold[None]) | (h > t.hot[None]))
+        assert outside == pytest.approx(0.04, abs=0.01)
+
+    def test_wider_percentiles_tighter_band(self):
+        h = history()
+        narrow = percentile_thresholds(h, 2.0, 98.0)
+        wide = percentile_thresholds(h, 10.0, 90.0)
+        assert np.all(wide.hot <= narrow.hot)
+        assert np.all(wide.cold >= narrow.cold)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile_thresholds(history(), 98.0, 2.0)
+        with pytest.raises(ValueError):
+            percentile_thresholds(np.zeros((1, 2, 3)))
+        with pytest.raises(ValueError):
+            percentile_thresholds(np.zeros((5, 3)))
+
+
+class TestTimeseriesThresholds:
+    def test_contains_typical_values(self):
+        h = history(n=2000)
+        t = timeseries_thresholds(h)
+        median = np.median(h, axis=0)
+        assert np.all(median > t.cold)
+        assert np.all(median < t.hot)
+
+    def test_more_sigma_wider(self):
+        h = history()
+        t2 = timeseries_thresholds(h, n_sigma=2.0)
+        t4 = timeseries_thresholds(h, n_sigma=4.0)
+        assert np.all(t4.hot >= t2.hot)
+        assert np.all(t4.cold <= t2.cold)
+
+
+class TestKPICorrelationThresholds:
+    def test_finds_separating_threshold(self):
+        rng = np.random.default_rng(1)
+        n = 600
+        anomalous = np.zeros(n, bool)
+        anomalous[200:230] = True
+        h = rng.normal(50.0, 2.0, (n, 2, 3))
+        h[anomalous, 0, :] += 30.0  # metric 0 moves with violations
+        t = kpi_correlation_thresholds(h, anomalous)
+        # Metric 0's hot threshold separates crisis values from normal.
+        assert np.all(t.hot[0] > 52.0)
+        assert np.all(t.hot[0] < 80.0)
+
+    def test_requires_mixed_mask(self):
+        h = history(n=50)
+        with pytest.raises(ValueError):
+            kpi_correlation_thresholds(h, np.zeros(50, bool))
+        with pytest.raises(ValueError):
+            kpi_correlation_thresholds(h, np.ones(50, bool))
+
+    def test_mask_length_checked(self):
+        with pytest.raises(ValueError):
+            kpi_correlation_thresholds(history(n=50), np.zeros(49, bool))

@@ -1,0 +1,115 @@
+"""Per-type metric signatures: each crisis type moves its own metrics.
+
+End-to-end checks that the simulator's ten failure modes produce the
+metric movements their descriptions promise, as seen through the actual
+fingerprinting lens (hot/cold summaries under 2/98 thresholds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.summary import summary_vectors
+from repro.core.thresholds import percentile_thresholds
+
+
+@pytest.fixture(scope="module")
+def signature_tools(small_trace):
+    history = small_trace.quantiles[small_trace.crisis_free_mask()]
+    thresholds = percentile_thresholds(history)
+    index = {name: i for i, name in enumerate(small_trace.metric_names)}
+
+    def mean_summary(crisis):
+        det = crisis.detected_epoch
+        window = small_trace.quantiles[det : det + 4]
+        return summary_vectors(window, thresholds).astype(float).mean(axis=0)
+
+    def crises_of(label):
+        return [c for c in small_trace.labeled_crises if c.label == label]
+
+    return mean_summary, crises_of, index
+
+
+def _col(summary, index, metric, quantile):
+    q = {"q25": 0, "q50": 1, "q95": 2}[quantile]
+    return summary[index[metric], q]
+
+
+class TestTypeSignatures:
+    def test_b_backlog(self, signature_tools):
+        mean_summary, crises_of, index = signature_tools
+        hits = 0
+        for crisis in crises_of("B"):
+            s = mean_summary(crisis)
+            if _col(s, index, "post.pending_archive", "q95") > 0.5:
+                hits += 1
+        assert hits >= len(crises_of("B")) * 0.8
+
+    def test_b_output_drops(self, signature_tools):
+        mean_summary, crises_of, index = signature_tools
+        crisis = crises_of("B")[0]
+        s = mean_summary(crisis)
+        assert _col(s, index, "post.archive_throughput", "q50") <= 0
+
+    def test_c_database_waits(self, signature_tools):
+        mean_summary, crises_of, index = signature_tools
+        (crisis,) = crises_of("C")
+        s = mean_summary(crisis)
+        assert _col(s, index, "heavy.db_time_ms", "q95") > 0.5
+        assert _col(s, index, "cpu.iowait_pct", "q95") > 0.5
+
+    def test_a_and_d_saturate_frontend(self, signature_tools):
+        mean_summary, crises_of, index = signature_tools
+        for label in ("A", "D"):
+            for crisis in crises_of(label):
+                s = mean_summary(crisis)
+                assert _col(s, index, "frontend.queue", "q95") > 0.5, label
+
+    def test_d_config_reloads(self, signature_tools):
+        mean_summary, crises_of, index = signature_tools
+        (crisis,) = crises_of("D")
+        s = mean_summary(crisis)
+        assert _col(s, index, "app.config_reloads", "q95") > 0
+
+    def test_g_lock_contention(self, signature_tools):
+        mean_summary, crises_of, index = signature_tools
+        (crisis,) = crises_of("G")
+        s = mean_summary(crisis)
+        assert _col(s, index, "heavy.queue", "q95") > 0.5
+        assert _col(s, index, "heavy.lock_wait_ms", "q95") > 0
+
+    def test_f_memory_pressure(self, signature_tools):
+        mean_summary, crises_of, index = signature_tools
+        (crisis,) = crises_of("F")
+        s = mean_summary(crisis)
+        assert _col(s, index, "heavy.queue", "q95") > 0.5
+        assert _col(s, index, "mem.used_pct", "q95") > 0
+
+    def test_h_skews_quantiles(self, signature_tools):
+        """Routing error: 95th percentiles hot while 25th are not."""
+        mean_summary, crises_of, index = signature_tools
+        (crisis,) = crises_of("H")
+        s = mean_summary(crisis)
+        hot95 = _col(s, index, "heavy.queue", "q95")
+        cold25 = _col(s, index, "frontend.requests", "q25")
+        assert hot95 > 0.5
+        assert cold25 < 0.1  # starved majority keeps the 25th from rising
+
+    def test_j_moves_everything(self, signature_tools):
+        mean_summary, crises_of, index = signature_tools
+        (crisis,) = crises_of("J")
+        s = mean_summary(crisis)
+        for metric in ("frontend.requests", "net.in_mbps", "app.sessions"):
+            assert _col(s, index, metric, "q50") > 0.5, metric
+
+    def test_junk_metrics_stay_quiet(self, signature_tools, small_trace):
+        """Noise metrics should rarely flag during crises."""
+        mean_summary, crises_of, index = signature_tools
+        junk_cols = [
+            i for i, n in enumerate(small_trace.metric_names)
+            if n.startswith("misc.noise")
+        ]
+        rates = []
+        for crisis in small_trace.labeled_crises:
+            s = mean_summary(crisis)
+            rates.append(np.mean(np.abs(s[junk_cols]) > 0.5))
+        assert np.mean(rates) < 0.15

@@ -1,0 +1,178 @@
+"""Tests for crisis types, instances, effect fields, and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.crises import (
+    CRISIS_TYPES,
+    TABLE1_LABELED_COUNTS,
+    CrisisInstance,
+    CrisisSchedule,
+    EffectFields,
+    build_effect_fields,
+)
+from repro.telemetry.epochs import EpochClock
+
+
+def make_instance(code="A", start=100, duration=6, machines=None, seed=3):
+    return CrisisInstance(
+        type_code=code,
+        start_epoch=start,
+        duration_epochs=duration,
+        intensity=1.0,
+        machines=np.arange(5) if machines is None else machines,
+        seed=seed,
+    )
+
+
+class TestCrisisTypes:
+    def test_registry_covers_table1(self):
+        assert sorted(CRISIS_TYPES) == list("ABCDEFGHIJ")
+        assert sum(TABLE1_LABELED_COUNTS.values()) == 19
+        assert TABLE1_LABELED_COUNTS["B"] == 9
+
+    @pytest.mark.parametrize("code", sorted(CRISIS_TYPES))
+    def test_each_type_perturbs_fields(self, code):
+        inst = make_instance(code, machines=np.arange(4))
+        fields = build_effect_fields([inst], 100, 10, 8)
+        assert not fields.is_neutral()
+
+    def test_neutral_outside_crisis(self):
+        inst = make_instance("A")
+        fields = build_effect_fields([inst], 0, 50, 8)  # before the crisis
+        assert fields.is_neutral()
+
+    def test_chunking_invariance(self):
+        """Splitting generation into chunks must not change the effects."""
+        inst = make_instance("I", start=10, duration=8)
+        whole = build_effect_fields([inst], 0, 30, 8)
+        part1 = build_effect_fields([inst], 0, 15, 8)
+        part2 = build_effect_fields([inst], 15, 15, 8)
+        np.testing.assert_allclose(
+            whole.load_mult, np.vstack([part1.load_mult, part2.load_mult])
+        )
+        np.testing.assert_allclose(
+            whole.alert_add, np.vstack([part1.alert_add, part2.alert_add])
+        )
+
+    def test_jitter_deterministic_per_instance(self):
+        inst = make_instance("B", seed=42)
+        f1 = build_effect_fields([inst], 95, 20, 8)
+        f2 = build_effect_fields([inst], 95, 20, 8)
+        np.testing.assert_array_equal(f1.backpressure, f2.backpressure)
+
+    def test_jitter_differs_between_instances(self):
+        a = make_instance("B", seed=1)
+        b = make_instance("B", seed=2)
+        fa = build_effect_fields([a], 95, 20, 8)
+        fb = build_effect_fields([b], 95, 20, 8)
+        assert not np.array_equal(fa.backpressure, fb.backpressure)
+
+    def test_routing_error_skews_both_ways(self):
+        inst = make_instance("H", machines=np.array([0, 1]))
+        fields = build_effect_fields([inst], 100, 10, 8)
+        hot = fields.load_mult[5, :2]
+        cold = fields.load_mult[5, 2:]
+        assert np.all(hot > 1.5)
+        assert np.all(cold < 0.7)
+
+    def test_power_cycle_has_outage_then_surge(self):
+        inst = make_instance("I", duration=10)
+        fields = build_effect_fields([inst], 100, 10, 8)
+        assert np.all(fields.load_mult[0] < 0.1)  # outage
+        assert np.all(fields.load_mult[-1] > 1.5)  # surge
+
+
+class TestCrisisInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_instance(start=-1)
+        with pytest.raises(ValueError):
+            make_instance(duration=0)
+
+    def test_overlaps(self):
+        inst = make_instance(start=10, duration=5)
+        assert inst.overlaps(0, 11)
+        assert inst.overlaps(14, 20)
+        assert not inst.overlaps(15, 20)
+        assert not inst.overlaps(0, 10)
+
+
+class TestEffectFields:
+    def test_neutral_initially(self):
+        assert EffectFields(4, 3).is_neutral()
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            EffectFields(0, 3)
+
+
+class TestCrisisSchedule:
+    def make_schedule(self, seed=0):
+        return CrisisSchedule.paper_timeline(
+            n_machines=20,
+            clock=EpochClock(),
+            rng=np.random.default_rng(seed),
+            warmup_days=10,
+            bootstrap_days=50,
+            labeled_days=60,
+            n_bootstrap=8,
+        )
+
+    def test_counts(self):
+        sched = self.make_schedule()
+        labeled = [c for c in sched if c.labeled]
+        boot = [c for c in sched if not c.labeled]
+        assert len(labeled) == 19
+        assert len(boot) == 8
+
+    def test_labeled_type_distribution(self):
+        sched = self.make_schedule()
+        from collections import Counter
+
+        counts = Counter(c.type_code for c in sched if c.labeled)
+        assert counts == TABLE1_LABELED_COUNTS
+
+    def test_no_overlap_and_sorted(self):
+        sched = self.make_schedule(seed=5)
+        starts = [c.start_epoch for c in sched]
+        assert starts == sorted(starts)
+        for a, b in zip(sched.instances, sched.instances[1:]):
+            assert b.start_epoch >= a.end_epoch
+
+    def test_warmup_is_clean(self):
+        sched = self.make_schedule()
+        warmup_end = 10 * EpochClock().per_day
+        assert all(c.start_epoch >= warmup_end for c in sched)
+
+    def test_business_hours_placement(self):
+        sched = self.make_schedule(seed=7)
+        per_day = EpochClock().per_day
+        for c in sched:
+            hour = (c.start_epoch % per_day) * 24 / per_day
+            assert 9 <= hour < 17
+
+    def test_in_range(self):
+        sched = self.make_schedule()
+        first = sched.instances[0]
+        found = sched.in_range(first.start_epoch, first.start_epoch + 1)
+        assert first in found
+
+    def test_crisis_epochs_mask(self):
+        sched = self.make_schedule()
+        n = 130 * EpochClock().per_day
+        mask = sched.crisis_epochs_mask(n)
+        total = sum(c.duration_epochs for c in sched)
+        assert mask.sum() == total
+
+    def test_too_dense_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            CrisisSchedule.paper_timeline(
+                n_machines=20,
+                clock=EpochClock(),
+                rng=np.random.default_rng(0),
+                warmup_days=2,
+                bootstrap_days=3,
+                labeled_days=5,
+                n_bootstrap=5,
+            )

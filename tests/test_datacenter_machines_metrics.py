@@ -1,0 +1,149 @@
+"""Tests for the machine latent model and the metric catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.crises import EffectFields, build_effect_fields
+from repro.datacenter.machines import (
+    MachineFleet,
+    queue_length,
+)
+from repro.datacenter.metrics import build_catalog
+
+
+def make_latents(n_epochs=8, n_machines=10, seed=0, fields=None,
+                 n_periodic=0):
+    rng = np.random.default_rng(seed)
+    fleet = MachineFleet(n_machines, rng)
+    workload = np.ones(n_epochs)
+    if fields is None:
+        fields = EffectFields(n_epochs, n_machines)
+    drift = 100.0 * np.ones((n_epochs, 25))
+    periodic = 50.0 * np.ones((n_epochs, n_periodic))
+    return fleet.latents(workload, fields, drift, rng, periodic=periodic)
+
+
+class TestQueueLength:
+    def test_zero_at_zero(self):
+        assert queue_length(np.array([0.0]))[0] == 0.0
+
+    def test_monotone_increasing(self):
+        rho = np.linspace(0.0, 2.0, 200)
+        q = queue_length(rho)
+        assert np.all(np.diff(q) > 0)
+
+    def test_continuous_at_saturation(self):
+        below = queue_length(np.array([0.9699]))[0]
+        above = queue_length(np.array([0.9701]))[0]
+        assert abs(above - below) < 1.0
+
+    def test_mm1_form_below_saturation(self):
+        assert queue_length(np.array([0.5]))[0] == pytest.approx(1.0)
+
+    def test_keeps_growing_past_saturation(self):
+        q1 = queue_length(np.array([1.2]))[0]
+        q2 = queue_length(np.array([1.5]))[0]
+        assert q2 > q1 > 30
+
+
+class TestMachineFleet:
+    def test_balance_normalized(self):
+        fleet = MachineFleet(50, np.random.default_rng(0))
+        assert fleet.balance.mean() == pytest.approx(1.0)
+        assert fleet.speed.mean() == pytest.approx(1.0)
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            MachineFleet(0, np.random.default_rng(0))
+
+    def test_latents_shapes(self):
+        lt = make_latents(n_epochs=6, n_machines=9)
+        assert lt.shape == (6, 9)
+        assert lt.lat_hv_ms.shape == (6, 9)
+
+    def test_latencies_positive(self):
+        lt = make_latents()
+        assert np.all(lt.lat_fe_ms > 0)
+        assert np.all(lt.lat_hv_ms > 0)
+        assert np.all(lt.lat_po_ms > 0)
+
+    def test_cpu_mem_bounded(self):
+        lt = make_latents()
+        assert np.all((lt.cpu > 0) & (lt.cpu <= 1))
+        assert np.all((lt.mem > 0) & (lt.mem <= 1))
+
+    def test_backpressure_raises_post_queue(self):
+        fields = EffectFields(8, 10)
+        fields.backpressure[:] = 0.85
+        stressed = make_latents(fields=fields)
+        normal = make_latents()
+        assert stressed.q_po.mean() > 5 * normal.q_po.mean()
+
+    def test_db_add_raises_heavy_latency(self):
+        fields = EffectFields(8, 10)
+        fields.db_add_ms[:] = 3000.0
+        stressed = make_latents(fields=fields)
+        normal = make_latents()
+        assert stressed.lat_hv_ms.mean() > normal.lat_hv_ms.mean() + 2000
+
+    def test_shape_mismatch_rejected(self):
+        fleet = MachineFleet(10, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            fleet.latents(
+                np.ones(5),
+                EffectFields(6, 10),
+                np.ones((5, 1)),
+                np.random.default_rng(0),
+            )
+
+
+class TestMetricCatalog:
+    def test_default_size_about_one_hundred(self):
+        catalog = build_catalog()
+        assert 100 <= len(catalog) <= 135
+
+    def test_names_unique(self):
+        catalog = build_catalog()
+        assert len(set(catalog.names)) == len(catalog)
+
+    def test_three_kpis(self):
+        catalog = build_catalog()
+        assert catalog.kpi_names == [
+            "frontend.latency_ms",
+            "heavy.latency_ms",
+            "post.latency_ms",
+        ]
+
+    def test_index_of(self):
+        catalog = build_catalog()
+        idx = catalog.index_of("cpu.user_pct")
+        assert catalog.specs[idx].name == "cpu.user_pct"
+        with pytest.raises(KeyError):
+            catalog.index_of("nope")
+
+    def test_evaluate_shape_and_finite(self):
+        catalog = build_catalog(n_noise=5, n_drift=5, n_periodic=4)
+        lt = make_latents(n_epochs=4, n_machines=6, n_periodic=4)
+        values = catalog.evaluate(lt, np.random.default_rng(1))
+        assert values.shape == (4, 6, len(catalog))
+        assert np.all(np.isfinite(values))
+
+    def test_drift_metrics_track_global_series(self):
+        catalog = build_catalog(n_noise=0, n_drift=3, n_periodic=0)
+        lt = make_latents(n_epochs=4, n_machines=6)
+        lt.drift[:, 1] = 500.0
+        values = catalog.evaluate(lt, np.random.default_rng(2))
+        drift1 = values[:, :, catalog.index_of("misc.drift_01")]
+        assert np.all(drift1 > 300)
+
+    def test_drift_width_validated(self):
+        catalog = build_catalog(n_noise=0, n_drift=30, n_periodic=0)
+        lt = make_latents(n_epochs=2, n_machines=3)  # only 25 drift series
+        with pytest.raises(ValueError):
+            catalog.evaluate(lt, np.random.default_rng(3))
+
+    def test_group_structure(self):
+        catalog = build_catalog()
+        groups = {s.group for s in catalog}
+        assert {"cpu", "memory", "disk", "network", "frontend", "heavy",
+                "post", "app", "noise", "drift", "periodic"} <= groups

@@ -1,0 +1,49 @@
+"""Tests for the named simulation scenarios."""
+
+import pytest
+
+from repro.datacenter.scenarios import (
+    SCENARIOS,
+    clean_metrics,
+    junk_heavy,
+    paper_scale,
+    quick,
+    tiny,
+)
+
+
+class TestScenarios:
+    def test_registry_complete(self):
+        assert set(SCENARIOS) == {
+            "paper-scale", "quick", "tiny", "clean-metrics",
+            "junk-heavy", "large-fleet",
+        }
+
+    def test_paper_scale_supports_240_day_window(self):
+        cfg = paper_scale()
+        assert cfg.warmup_days + cfg.bootstrap_days >= 240
+        assert cfg.n_bootstrap_crises == 20
+
+    def test_clean_metrics_has_no_junk(self):
+        cfg = clean_metrics()
+        assert cfg.n_noise_metrics == 0
+        assert cfg.n_drift_metrics == 0
+        assert cfg.n_periodic_metrics == 0
+
+    def test_junk_heavy_doubles_junk(self):
+        base = quick()
+        heavy = junk_heavy()
+        base_junk = (base.n_noise_metrics + base.n_drift_metrics
+                     + base.n_periodic_metrics)
+        heavy_junk = (heavy.n_noise_metrics + heavy.n_drift_metrics
+                      + heavy.n_periodic_metrics)
+        assert heavy_junk >= 2 * base_junk
+
+    def test_seed_threading(self):
+        assert paper_scale(seed=13).seed == 13
+        assert tiny(seed=99).seed == 99
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_all_scenarios_valid(self, name):
+        cfg = SCENARIOS[name]() if name != "tiny" else SCENARIOS[name]()
+        assert cfg.total_days > 0

@@ -1,0 +1,150 @@
+"""Integration tests for the simulator and the trace container.
+
+These use the session-scoped small trace (cheap) plus a few tiny ad-hoc
+runs for determinism checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datacenter import DatacenterSimulator, SimulationConfig
+from repro.datacenter.trace import RawWindow
+
+
+class TestTraceStructure:
+    def test_dimensions(self, small_trace):
+        t = small_trace
+        assert t.n_epochs == (20 + 45 + 60) * 96
+        assert t.n_metrics == len(t.metric_names)
+        assert t.quantiles.shape == (t.n_epochs, t.n_metrics, 3)
+
+    def test_quantiles_ordered(self, small_trace):
+        q = small_trace.quantiles
+        assert np.all(q[:, :, 0] <= q[:, :, 1] + 1e-9)
+        assert np.all(q[:, :, 1] <= q[:, :, 2] + 1e-9)
+
+    def test_kpis_resolved(self, small_trace):
+        t = small_trace
+        assert len(t.kpi_names) == 3
+        for name, idx in zip(t.kpi_names, t.kpi_metric_indices):
+            assert t.metric_names[idx] == name
+
+    def test_all_labeled_crises_detected(self, small_trace):
+        labeled = [c for c in small_trace.crises if c.labeled]
+        assert len(labeled) == 19
+        assert all(c.detected for c in labeled)
+
+    def test_detection_close_to_injection(self, small_trace):
+        for c in small_trace.detected_crises:
+            lag = c.detected_epoch - c.instance.start_epoch
+            assert -2 <= lag <= 10
+
+    def test_warmup_has_no_anomalies(self, small_trace):
+        warmup = 20 * 96
+        assert not small_trace.anomalous[:warmup].any()
+
+    def test_anomalous_epochs_only_near_crises(self, small_trace):
+        t = small_trace
+        near = np.zeros(t.n_epochs, bool)
+        for c in t.crises:
+            lo = max(c.instance.start_epoch - 2, 0)
+            near[lo : c.instance.end_epoch + 4] = True
+        spurious = t.anomalous & ~near
+        assert spurious.sum() <= t.n_epochs * 0.001
+
+    def test_raw_windows_cover_fingerprint_span(self, small_trace):
+        for c in small_trace.detected_crises:
+            assert c.raw is not None
+            assert c.raw.start_epoch <= c.detected_epoch - 2
+            assert c.raw.end_epoch > c.detected_epoch + 4
+
+    def test_raw_window_violations_present_in_crisis(self, small_trace):
+        c = small_trace.labeled_crises[0]
+        inst = c.instance
+        rows = np.arange(inst.start_epoch + 1, inst.end_epoch) \
+            - c.raw.start_epoch
+        frac = c.raw.violations[rows].mean()
+        assert frac > 0.05
+
+    def test_crisis_free_mask_margin(self, small_trace):
+        base = small_trace.crisis_free_mask()
+        wide = small_trace.crisis_free_mask(margin=4)
+        assert wide.sum() < base.sum()
+
+    def test_threshold_history_excludes_anomalous(self, small_trace):
+        t = small_trace
+        end = t.n_epochs
+        hist = t.threshold_history(end, end)
+        assert hist.shape[0] == (~t.anomalous).sum()
+
+    def test_quantile_window_bounds(self, small_trace):
+        with pytest.raises(IndexError):
+            small_trace.quantile_window(10, 10)
+
+
+class TestDeterminism:
+    CFG = dict(
+        n_machines=10,
+        warmup_days=6,
+        bootstrap_days=12,
+        labeled_days=40,
+        n_bootstrap_crises=2,
+        n_noise_metrics=4,
+        n_drift_metrics=3,
+    )
+
+    def test_same_seed_same_trace(self):
+        a = DatacenterSimulator(SimulationConfig(seed=5, **self.CFG)).run()
+        b = DatacenterSimulator(SimulationConfig(seed=5, **self.CFG)).run()
+        np.testing.assert_array_equal(a.quantiles, b.quantiles)
+        np.testing.assert_array_equal(a.anomalous, b.anomalous)
+
+    def test_different_seed_differs(self):
+        a = DatacenterSimulator(SimulationConfig(seed=5, **self.CFG)).run()
+        b = DatacenterSimulator(SimulationConfig(seed=6, **self.CFG)).run()
+        assert not np.array_equal(a.quantiles, b.quantiles)
+
+    def test_chunk_size_does_not_change_quantiles(self):
+        a = DatacenterSimulator(
+            SimulationConfig(seed=5, chunk_days=2, **self.CFG)
+        ).run()
+        b = DatacenterSimulator(
+            SimulationConfig(seed=5, chunk_days=7, **self.CFG)
+        ).run()
+        # Chunking changes RNG consumption order, so values differ, but the
+        # structural outcome (crisis schedule and detection) must match.
+        assert [c.instance.start_epoch for c in a.crises] == [
+            c.instance.start_epoch for c in b.crises
+        ]
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_machines=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(warmup_days=0)
+
+    def test_total_days(self):
+        cfg = SimulationConfig(
+            warmup_days=10, bootstrap_days=20, labeled_days=30
+        )
+        assert cfg.total_days == 60
+
+
+class TestRawWindow:
+    def test_epoch_rows(self):
+        win = RawWindow(
+            start_epoch=100,
+            values=np.zeros((5, 2, 3), dtype=np.float32),
+            violations=np.zeros((5, 2), dtype=bool),
+        )
+        np.testing.assert_array_equal(win.epoch_rows([100, 104]), [0, 4])
+        with pytest.raises(IndexError):
+            win.epoch_rows([105])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RawWindow(0, np.zeros((5, 2)), np.zeros((5, 2), bool))
+        with pytest.raises(ValueError):
+            RawWindow(0, np.zeros((5, 2, 3)), np.zeros((5, 3), bool))

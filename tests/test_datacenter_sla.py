@@ -1,0 +1,115 @@
+"""Tests for KPIs, SLA policies, and crisis detection."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.sla import (
+    KPIDefinition,
+    SLAPolicy,
+    detect_crises,
+)
+
+
+def policy(thresholds=(100.0, 200.0), fraction=0.10):
+    kpis = tuple(
+        KPIDefinition(f"kpi{j}", metric_index=j, threshold=t)
+        for j, t in enumerate(thresholds)
+    )
+    return SLAPolicy(kpis, violation_fraction=fraction)
+
+
+class TestKPIDefinition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KPIDefinition("x", -1, 10.0)
+        with pytest.raises(ValueError):
+            KPIDefinition("x", 0, -5.0)
+        with pytest.raises(ValueError):
+            KPIDefinition("x", 0, float("inf"))
+
+
+class TestSLAPolicy:
+    def test_machine_violations_any_kpi(self):
+        p = policy()
+        values = np.zeros((1, 3, 2))
+        values[0, 0, 0] = 150.0  # machine 0 violates kpi0
+        values[0, 1, 1] = 250.0  # machine 1 violates kpi1
+        v = p.machine_violations(values)
+        np.testing.assert_array_equal(v[0], [True, True, False])
+
+    def test_per_kpi_fraction(self):
+        p = policy()
+        values = np.zeros((1, 4, 2))
+        values[0, :2, 0] = 150.0
+        frac = p.per_kpi_violation_fraction(values)
+        np.testing.assert_allclose(frac[0], [0.5, 0.0])
+
+    def test_epoch_anomalous_threshold(self):
+        p = policy(fraction=0.5)
+        assert p.epoch_anomalous(np.array([[0.5, 0.0]]))[0]
+        assert not p.epoch_anomalous(np.array([[0.49, 0.1]]))[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLAPolicy((), 0.1)
+        with pytest.raises(ValueError):
+            policy(fraction=0.0)
+
+    def test_calibrate_sets_threshold_above_reference(self):
+        rng = np.random.default_rng(0)
+        ref = rng.lognormal(3.0, 0.2, (200, 20, 2))
+        p = SLAPolicy.calibrate(
+            ["a", "b"], [5, 9], ref, percentile=99.0, margin=1.2
+        )
+        # Essentially no reference sample violates the calibrated SLA.
+        viol = ref > p.thresholds[None, None, :]
+        assert viol.mean() < 0.01
+        assert p.metric_indices == [5, 9]
+
+    def test_calibrate_validation(self):
+        with pytest.raises(ValueError):
+            SLAPolicy.calibrate(["a"], [0], np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            SLAPolicy.calibrate(["a", "b"], [0, 1], np.ones((5, 3, 1)))
+
+
+class TestDetectCrises:
+    def test_single_run(self):
+        mask = np.zeros(30, bool)
+        mask[10:15] = True
+        det = detect_crises(mask, [(10, 15)])
+        assert len(det) == 1
+        assert det[0].detected_epoch == 10
+        assert det[0].last_epoch == 14
+        assert det[0].schedule_index == 0
+
+    def test_gap_merging(self):
+        mask = np.zeros(30, bool)
+        mask[10:13] = True
+        mask[14:17] = True  # 1-epoch dip
+        det = detect_crises(mask, [(10, 17)], merge_gap=2)
+        assert len(det) == 1
+        assert det[0].duration_epochs == 7
+
+    def test_gap_beyond_merge_limit_splits(self):
+        mask = np.zeros(40, bool)
+        mask[5:8] = True
+        mask[20:23] = True
+        det = detect_crises(mask, [(5, 8), (20, 23)], merge_gap=2)
+        assert len(det) == 2
+        assert det[1].schedule_index == 1
+
+    def test_unmatched_run_flagged(self):
+        mask = np.zeros(30, bool)
+        mask[25:27] = True
+        det = detect_crises(mask, [(5, 8)])
+        assert det[0].schedule_index is None
+
+    def test_detection_lag_tolerated(self):
+        mask = np.zeros(30, bool)
+        mask[12:18] = True  # crisis injected at 10 but detected late
+        det = detect_crises(mask, [(10, 16)], match_slack=4)
+        assert det[0].schedule_index == 0
+
+    def test_no_crises(self):
+        assert detect_crises(np.zeros(10, bool), []) == []

@@ -1,0 +1,89 @@
+"""Additional trace-container behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.trace import CrisisRecord, DatacenterTrace
+from repro.datacenter.crises import CrisisInstance
+from repro.datacenter.sla import KPIDefinition, SLAPolicy
+
+
+def tiny_trace(n_epochs=20, n_metrics=4, anomalous_epochs=(5, 6)):
+    rng = np.random.default_rng(0)
+    quantiles = rng.uniform(1, 2, (n_epochs, n_metrics, 3))
+    anomalous = np.zeros(n_epochs, bool)
+    anomalous[list(anomalous_epochs)] = True
+    sla = SLAPolicy((KPIDefinition("k", 0, 10.0),))
+    return DatacenterTrace(
+        metric_names=[f"m{i}" for i in range(n_metrics)],
+        quantile_levels=(0.25, 0.5, 0.95),
+        quantiles=quantiles,
+        anomalous=anomalous,
+        kpi_violation_fraction=np.zeros((n_epochs, 1)),
+        sla=sla,
+        crises=[],
+        n_machines=5,
+    )
+
+
+class TestTraceValidation:
+    def test_metric_name_count_checked(self):
+        with pytest.raises(ValueError):
+            trace = tiny_trace()
+            DatacenterTrace(
+                metric_names=["only_one"],
+                quantile_levels=trace.quantile_levels,
+                quantiles=trace.quantiles,
+                anomalous=trace.anomalous,
+                kpi_violation_fraction=trace.kpi_violation_fraction,
+                sla=trace.sla,
+            )
+
+    def test_mask_shape_checked(self):
+        trace = tiny_trace()
+        with pytest.raises(ValueError):
+            DatacenterTrace(
+                metric_names=trace.metric_names,
+                quantile_levels=trace.quantile_levels,
+                quantiles=trace.quantiles,
+                anomalous=np.zeros(3, bool),
+                kpi_violation_fraction=trace.kpi_violation_fraction,
+                sla=trace.sla,
+            )
+
+
+class TestThresholdHistory:
+    def test_excludes_anomalous(self):
+        trace = tiny_trace(anomalous_epochs=(2, 3, 4))
+        hist = trace.threshold_history(10, 10)
+        assert hist.shape[0] == 7
+
+    def test_window_clipping(self):
+        trace = tiny_trace(anomalous_epochs=())
+        hist = trace.threshold_history(5, 100)
+        assert hist.shape[0] == 5
+
+
+class TestCrisisRecordProperties:
+    def test_label_and_detected(self):
+        inst = CrisisInstance("B", 10, 4, 1.0, np.array([0]), labeled=True)
+        rec = CrisisRecord(index=0, instance=inst, detected_epoch=11)
+        assert rec.label == "B"
+        assert rec.detected
+        undetected = CrisisRecord(index=1, instance=inst,
+                                  detected_epoch=None)
+        assert not undetected.detected
+
+    def test_trace_crisis_filters(self):
+        trace = tiny_trace()
+        inst_l = CrisisInstance("A", 2, 2, 1.0, np.array([0]), labeled=True)
+        inst_b = CrisisInstance("B", 8, 2, 1.0, np.array([0]),
+                                labeled=False)
+        trace.crises = [
+            CrisisRecord(0, inst_l, detected_epoch=2),
+            CrisisRecord(1, inst_b, detected_epoch=8),
+            CrisisRecord(2, inst_l, detected_epoch=None),
+        ]
+        assert [c.index for c in trace.labeled_crises] == [0]
+        assert [c.index for c in trace.bootstrap_crises] == [1]
+        assert [c.index for c in trace.detected_crises] == [0, 1]

@@ -1,0 +1,74 @@
+"""Tests for the workload model."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.workload import WorkloadConfig, WorkloadModel
+from repro.telemetry.epochs import EpochClock
+
+
+def series(n_days=14, seed=0, **kwargs):
+    cfg = WorkloadConfig(**kwargs)
+    clock = EpochClock()
+    return WorkloadModel(cfg, clock).generate(
+        n_days * clock.per_day, np.random.default_rng(seed)
+    )
+
+
+class TestWorkloadModel:
+    def test_mean_near_one(self):
+        w = series(28, growth=0.0)
+        assert 0.8 < w.mean() < 1.2
+
+    def test_positive(self):
+        assert np.all(series(28) > 0)
+
+    def test_diurnal_peak_hour(self):
+        cfg = WorkloadConfig(noise_sigma=0.0, slow_sigma=0.0, growth=0.0,
+                             weekend_factor=1.0)
+        clock = EpochClock()
+        w = WorkloadModel(cfg, clock).generate(
+            clock.per_day, np.random.default_rng(0)
+        )
+        peak_epoch = int(np.argmax(w))
+        peak_hour = peak_epoch * 24 / clock.per_day
+        assert abs(peak_hour - cfg.peak_hour) < 1.0
+
+    def test_weekend_dip(self):
+        w = series(28, noise_sigma=0.0, slow_sigma=0.0, growth=0.0)
+        clock = EpochClock()
+        day = np.arange(len(w)) // clock.per_day
+        weekend = (day % 7) >= 5
+        assert w[weekend].mean() < w[~weekend].mean()
+
+    def test_growth_trend(self):
+        w = series(60, noise_sigma=0.0, slow_sigma=0.0, growth=0.2,
+                   weekend_factor=1.0)
+        n = len(w)
+        assert w[-n // 10 :].mean() > w[: n // 10].mean() * 1.1
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(series(7, seed=5), series(7, seed=5))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(series(7, seed=1), series(7, seed=2))
+
+    def test_rejects_nonpositive_length(self):
+        model = WorkloadModel(WorkloadConfig(), EpochClock())
+        with pytest.raises(ValueError):
+            model.generate(0, np.random.default_rng(0))
+
+
+class TestWorkloadConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"diurnal_amplitude": 1.5},
+            {"weekend_factor": 0.0},
+            {"noise_sigma": -0.1},
+            {"slow_rho": 1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)

@@ -1,0 +1,188 @@
+"""Tests for the evaluation harness: scoring, experiments, results."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FingerprintingConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+from repro.evaluation.discrimination import discrimination_auc
+from repro.evaluation.experiments import (
+    OfflineIdentificationExperiment,
+    OnlineIdentificationExperiment,
+    default_initial_set,
+)
+from repro.evaluation.identification import (
+    CrisisOutcome,
+    IdentificationCurves,
+    score_outcomes,
+)
+from repro.evaluation.results import format_percent, format_table
+from repro.methods import FingerprintMethod
+
+SMALL_CONFIG = FingerprintingConfig(
+    selection=SelectionConfig(n_relevant=20),
+    thresholds=ThresholdConfig(window_days=15),
+)
+
+
+class TestCrisisOutcome:
+    def test_known_accurate(self):
+        o = CrisisOutcome(1, "B", True, ("x", "B", "B", "B", "B"))
+        assert o.accurate
+        assert o.time_to_identification_minutes == 15.0
+
+    def test_known_all_unknown_is_miss(self):
+        o = CrisisOutcome(1, "B", True, ("x",) * 5)
+        assert not o.accurate
+
+    def test_known_unstable_is_miss(self):
+        o = CrisisOutcome(1, "B", True, ("A", "B", "B", "B", "B"))
+        assert not o.accurate
+        assert o.time_to_identification_minutes is None
+
+    def test_unknown_accurate_only_if_all_x(self):
+        assert CrisisOutcome(1, "Z", False, ("x",) * 5).accurate
+        assert not CrisisOutcome(1, "Z", False,
+                                 ("x", "B", "B", "B", "B")).accurate
+
+    def test_immediate_identification_time_zero(self):
+        o = CrisisOutcome(1, "B", True, ("B",) * 5)
+        assert o.time_to_identification_minutes == 0.0
+
+
+class TestScoreOutcomes:
+    def test_aggregation(self):
+        outcomes = [
+            CrisisOutcome(0, "B", True, ("B",) * 5),
+            CrisisOutcome(1, "B", True, ("x",) * 5),
+            CrisisOutcome(2, "Z", False, ("x",) * 5),
+            CrisisOutcome(3, "Y", False, ("B",) * 5),
+        ]
+        s = score_outcomes(outcomes)
+        assert s.known_accuracy == 0.5
+        assert s.unknown_accuracy == 0.5
+        assert s.n_known == 2 and s.n_unknown == 2
+        assert s.mean_time_minutes == 0.0
+        assert s.stability_rate == 1.0
+
+    def test_empty_known_gives_nan(self):
+        s = score_outcomes([CrisisOutcome(0, "Z", False, ("x",) * 5)])
+        assert np.isnan(s.known_accuracy)
+        assert s.unknown_accuracy == 1.0
+
+
+class TestIdentificationCurves:
+    def test_operating_point_picks_crossing(self):
+        curves = IdentificationCurves(alphas=np.array([0.0, 0.5, 1.0]))
+        from repro.evaluation.identification import IdentificationScore
+
+        curves.scores = [
+            IdentificationScore(0.2, 1.0, 0.0, 5, 5, 1.0),
+            IdentificationScore(0.8, 0.8, 0.0, 5, 5, 1.0),
+            IdentificationScore(1.0, 0.1, 0.0, 5, 5, 1.0),
+        ]
+        op = curves.operating_point()
+        assert op["alpha"] == 0.5
+        assert op["known_accuracy"] == 0.8
+
+
+class TestDefaultInitialSet:
+    def test_composition(self, small_trace):
+        crises = small_trace.labeled_crises
+        rng = np.random.default_rng(0)
+        initial = default_initial_set(crises, rng)
+        labels = [crises[i].label for i in initial]
+        assert len(initial) == 5
+        assert labels.count("B") >= 2
+        assert "A" in labels
+
+
+@pytest.fixture(scope="module")
+def offline_curves(small_trace):
+    method = FingerprintMethod(
+        FingerprintingConfig(selection=SelectionConfig(n_relevant=15))
+    )
+    crises = small_trace.labeled_crises
+    method.fit(small_trace, crises)
+    exp = OfflineIdentificationExperiment(
+        method, crises, n_runs=3, seed=0,
+        alphas=np.array([0.0, 0.05, 0.1, 0.3, 0.6, 1.0]),
+    )
+    return exp.run(), method, crises
+
+
+class TestOfflineExperiment:
+    def test_curve_lengths(self, offline_curves):
+        curves, _, _ = offline_curves
+        assert len(curves.scores) == 6
+
+    def test_unknown_accuracy_decreases_with_alpha(self, offline_curves):
+        curves, _, _ = offline_curves
+        u = curves.unknown_accuracy
+        assert u[0] >= u[-1]
+
+    def test_alpha_one_matches_everything(self, offline_curves):
+        curves, _, _ = offline_curves
+        # At alpha=1 every nearest neighbor is below threshold, so no
+        # unknown crisis can be labeled unknown.
+        assert curves.unknown_accuracy[-1] <= 0.05
+
+    def test_reasonable_accuracy(self, offline_curves):
+        curves, _, _ = offline_curves
+        op = curves.operating_point()
+        assert (op["known_accuracy"] + op["unknown_accuracy"]) / 2 > 0.5
+
+    def test_discrimination_auc(self, offline_curves):
+        _, method, crises = offline_curves
+        assert discrimination_auc(method, crises) > 0.8
+
+
+class TestOnlineExperiment:
+    @pytest.fixture(scope="class")
+    def exp(self, small_trace):
+        return OnlineIdentificationExperiment(small_trace, SMALL_CONFIG)
+
+    def test_precompute_parameters(self, exp):
+        params = exp.precompute()
+        assert len(params) == len(exp.labeled)
+        p = params[-1]
+        assert len(p.relevant) == 20
+        assert p.full.shape == (len(exp.labeled), 20 * 3)
+        assert p.trunc_distances.shape[0] == 5
+
+    def test_online_run_shapes(self, exp):
+        curves = exp.run(mode="online", bootstrap=2, n_runs=3,
+                         alphas=np.array([0.1, 0.5]), seed=0)
+        assert len(curves.scores) == 2
+        assert curves.scores[0].n_known + curves.scores[0].n_unknown > 0
+
+    def test_quasi_mode(self, exp):
+        curves = exp.run(mode="quasi-online", bootstrap=2, n_runs=2,
+                         alphas=np.array([0.1]), seed=0)
+        assert len(curves.scores) == 1
+
+    def test_bad_mode_rejected(self, exp):
+        with pytest.raises(ValueError):
+            exp.run(mode="nope")
+
+    def test_bad_bootstrap_rejected(self, exp):
+        with pytest.raises(ValueError):
+            exp.run(bootstrap=0)
+        with pytest.raises(ValueError):
+            exp.run(bootstrap=len(exp.labeled))
+
+
+class TestResultsFormatting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [["x", 1.5], ["y", float("nan")]],
+                            title="T")
+        assert text.startswith("T")
+        assert "1.500" in text
+        assert "-" in text
+
+    def test_format_percent(self):
+        assert format_percent(0.805) == "80%"
+        assert format_percent(float("nan")) == "-"

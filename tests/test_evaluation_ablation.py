@@ -1,0 +1,48 @@
+"""Tests for experiment ablation switches."""
+
+import numpy as np
+import pytest
+
+from repro.config import FingerprintingConfig, SelectionConfig
+from repro.evaluation.experiments import OfflineIdentificationExperiment
+from repro.methods import FingerprintMethod
+
+
+@pytest.fixture(scope="module")
+def fitted(small_trace):
+    method = FingerprintMethod(
+        FingerprintingConfig(selection=SelectionConfig(n_relevant=15))
+    )
+    crises = small_trace.labeled_crises
+    method.fit(small_trace, crises)
+    return method, crises
+
+
+class TestPerEpochThresholdAblation:
+    def test_single_threshold_mode_runs(self, fitted):
+        method, crises = fitted
+        exp = OfflineIdentificationExperiment(
+            method, crises, n_runs=2, seed=0,
+            alphas=np.array([0.05, 0.2]),
+            per_epoch_thresholds=False,
+        )
+        curves = exp.run()
+        assert len(curves.scores) == 2
+
+    def test_threshold_arrays_differ(self, fitted):
+        method, crises = fitted
+        scaled = OfflineIdentificationExperiment(
+            method, crises, n_runs=1, seed=0, per_epoch_thresholds=True
+        )
+        single = OfflineIdentificationExperiment(
+            method, crises, n_runs=1, seed=0, per_epoch_thresholds=False
+        )
+        scaled._precompute_distances()
+        single._precompute_distances()
+        t_scaled = scaled._thresholds(0.1)
+        t_single = single._thresholds(0.1)
+        # Single mode repeats one value; scaled mode grows with the window.
+        assert np.allclose(t_single, t_single[0])
+        assert not np.allclose(t_scaled, t_scaled[0])
+        assert t_scaled[0] <= t_scaled[-1] + 1e-9 or \
+            t_scaled[0] < t_single[0]

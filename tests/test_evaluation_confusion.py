@@ -1,0 +1,57 @@
+"""Tests for confusion analysis."""
+
+import pytest
+
+from repro.evaluation.confusion import (
+    NO_MATCH,
+    UNSTABLE,
+    confusion_counts,
+    confusion_table,
+    top_confusions,
+)
+from repro.evaluation.identification import CrisisOutcome
+
+
+def outcomes():
+    return [
+        CrisisOutcome(0, "B", True, ("B",) * 5),          # correct
+        CrisisOutcome(1, "B", True, ("E",) * 5),          # B -> E
+        CrisisOutcome(2, "E", False, ("B",) * 5),         # E -> B
+        CrisisOutcome(3, "E", False, ("B",) * 5),         # E -> B
+        CrisisOutcome(4, "A", True, ("x",) * 5),          # A -> unknown
+        CrisisOutcome(5, "D", False, ("A", "D", "D", "D", "A")),  # unstable
+    ]
+
+
+class TestConfusionCounts:
+    def test_counts(self):
+        counts = confusion_counts(outcomes())
+        assert counts[("B", "B")] == 1
+        assert counts[("B", "E")] == 1
+        assert counts[("E", "B")] == 2
+        assert counts[("A", NO_MATCH)] == 1
+        assert counts[("D", UNSTABLE)] == 1
+
+
+class TestConfusionTable:
+    def test_renders_all_rows(self):
+        table = confusion_table(outcomes())
+        for label in ("A", "B", "D", "E"):
+            assert f"\n{label}" in "\n" + table
+        assert NO_MATCH in table
+        assert UNSTABLE in table
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confusion_table([])
+
+
+class TestTopConfusions:
+    def test_ordering(self):
+        top = top_confusions(outcomes())
+        assert top[0] == ("E", "B", 2)
+        assert ("B", "E", 1) in top
+
+    def test_excludes_unknown_and_unstable(self):
+        top = top_confusions(outcomes(), k=10)
+        assert all(e not in (NO_MATCH, UNSTABLE) for _, e, _ in top)

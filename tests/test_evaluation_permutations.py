@@ -1,0 +1,71 @@
+"""Tests for order-sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FingerprintingConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+from repro.evaluation.experiments import OnlineIdentificationExperiment
+from repro.evaluation.permutations import (
+    PermutationDistribution,
+    permutation_distribution,
+)
+
+CONFIG = FingerprintingConfig(
+    selection=SelectionConfig(n_relevant=20),
+    thresholds=ThresholdConfig(window_days=30),
+)
+
+
+@pytest.fixture(scope="module")
+def experiment(small_trace):
+    return OnlineIdentificationExperiment(small_trace, CONFIG)
+
+
+class TestExplicitOrders:
+    def test_orders_override(self, experiment):
+        n = len(experiment.labeled)
+        order = np.arange(n)[::-1]
+        curves = experiment.run(
+            mode="online", bootstrap=5, alphas=np.array([0.05]),
+            orders=[order],
+        )
+        assert len(curves.scores) == 1
+
+    def test_invalid_order_rejected(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.run(orders=[np.array([0, 0, 1])])
+
+
+class TestPermutationDistribution:
+    @pytest.fixture(scope="class")
+    def dist(self, experiment):
+        return permutation_distribution(
+            experiment, mode="online", bootstrap=5, n_orders=6, seed=3
+        )
+
+    def test_one_accuracy_per_order(self, dist):
+        assert dist.balanced_accuracies.shape == (6,)
+        assert np.all((dist.balanced_accuracies >= 0)
+                      & (dist.balanced_accuracies <= 1))
+
+    def test_summary_statistics(self, dist):
+        assert dist.worst <= dist.mean <= dist.best
+        assert dist.std >= 0
+
+    def test_chronological_typicality_defined(self, dist):
+        assert dist.chronological_is_typical(z=10.0)
+
+    def test_needs_multiple_orders(self, experiment):
+        with pytest.raises(ValueError):
+            permutation_distribution(experiment, n_orders=1)
+
+
+class TestDistributionObject:
+    def test_degenerate_distribution(self):
+        d = PermutationDistribution(0.1, np.full(3, 0.8))
+        assert d.std == pytest.approx(0.0, abs=1e-12)
+        assert d.chronological_is_typical()

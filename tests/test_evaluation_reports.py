@@ -1,0 +1,50 @@
+"""Tests for the one-shot evaluation report (small trace, no baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reports import full_report
+
+
+@pytest.fixture(scope="module")
+def report(small_trace):
+    return full_report(
+        small_trace,
+        n_offline_runs=2,
+        n_online_runs=3,
+        seed=0,
+        include_baselines=False,
+    )
+
+
+class TestFullReport:
+    def test_contains_fingerprint_auc(self, report):
+        assert "fingerprints" in report.aucs
+        assert 0.5 < report.aucs["fingerprints"] <= 1.0
+
+    def test_offline_operating_point(self, report):
+        op = report.offline["fingerprints"]
+        assert 0.0 <= op["known_accuracy"] <= 1.0
+        assert "alpha" in op
+
+    def test_offline_has_confidence_interval(self, report):
+        op = report.offline["fingerprints"]
+        assert op["known_accuracy_lo"] <= op["known_accuracy"] \
+            <= op["known_accuracy_hi"]
+
+    def test_online_settings_present(self, report):
+        assert set(report.online) == {
+            "quasi-online",
+            "online, bootstrap 10",
+            "online, bootstrap 2",
+        }
+
+    def test_forecasting_measured(self, report):
+        assert 0.0 <= report.forecasting["recall"] <= 1.0
+        assert 0.0 <= report.forecasting["false_alarm_rate"] <= 1.0
+
+    def test_text_renders_sections(self, report):
+        assert "Discrimination + offline identification" in report.text
+        assert "Online identification" in report.text
+        assert "Forecasting:" in report.text
+        assert "Confusion structure" in report.text

@@ -1,0 +1,62 @@
+"""Tests for the sensitivity-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.sensitivity import (
+    summary_window_sweep,
+    threshold_method_sweep,
+    threshold_percentile_sweep,
+)
+from repro.methods import FingerprintMethod
+
+
+@pytest.fixture(scope="module")
+def fitted_method(small_trace):
+    method = FingerprintMethod()
+    method.fit(small_trace, small_trace.labeled_crises)
+    return method
+
+
+class TestSummaryWindowSweep:
+    def test_sweep_keys_and_range(self, small_trace, fitted_method):
+        crises = small_trace.labeled_crises
+        aucs = summary_window_sweep(
+            small_trace, crises,
+            start_offsets=(-2, 0),
+            end_offsets=(1, 4),
+            method=fitted_method,
+        )
+        assert set(aucs) == {(-2, 1), (-2, 4), (0, 1), (0, 4)}
+        for v in aucs.values():
+            assert 0.0 <= v <= 1.0
+
+    def test_invalid_window_skipped(self, small_trace, fitted_method):
+        aucs = summary_window_sweep(
+            small_trace, small_trace.labeled_crises,
+            start_offsets=(2,), end_offsets=(1,),
+            method=fitted_method,
+        )
+        assert aucs == {}
+
+
+class TestThresholdSweeps:
+    def test_percentile_sweep(self, small_trace):
+        crises = small_trace.labeled_crises
+        out = threshold_percentile_sweep(
+            small_trace, crises, pairs=((2.0, 98.0), (10.0, 90.0))
+        )
+        assert set(out) == {(2.0, 98.0), (10.0, 90.0)}
+        for v in out.values():
+            assert 0.0 <= v <= 1.0
+
+    def test_method_sweep_contains_all_three(self, small_trace):
+        out = threshold_method_sweep(small_trace,
+                                     small_trace.labeled_crises)
+        assert set(out) == {
+            "percentile 2/98",
+            "time-series +/-3 sigma",
+            "KPI-correlation fit",
+        }
+        # The paper's chosen method should be competitive on any trace.
+        assert out["percentile 2/98"] >= max(out.values()) - 0.1

@@ -1,0 +1,91 @@
+"""Tests for bootstrap confidence intervals and paired comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.identification import CrisisOutcome
+from repro.evaluation.uncertainty import (
+    accuracy_intervals,
+    bootstrap_ci,
+    mcnemar_exact,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(size=100)
+        ci = bootstrap_ci(values, seed=1)
+        assert ci.lower <= ci.point <= ci.upper
+
+    def test_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.uniform(size=20), seed=2)
+        large = bootstrap_ci(rng.uniform(size=2000), seed=2)
+        assert large.width < small.width
+
+    def test_higher_confidence_wider(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=60)
+        narrow = bootstrap_ci(values, confidence=0.5, seed=3)
+        wide = bootstrap_ci(values, confidence=0.99, seed=3)
+        assert wide.width > narrow.width
+
+    def test_deterministic_given_seed(self):
+        values = np.arange(30, dtype=float)
+        a = bootstrap_ci(values, seed=7)
+        b = bootstrap_ci(values, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)
+
+
+class TestAccuracyIntervals:
+    def make_outcomes(self, n_known=20, n_unknown=10, acc=0.8, seed=0):
+        rng = np.random.default_rng(seed)
+        outcomes = []
+        for i in range(n_known):
+            ok = rng.uniform() < acc
+            seq = ("B",) * 5 if ok else ("x",) * 5
+            outcomes.append(CrisisOutcome(i, "B", True, seq))
+        for i in range(n_unknown):
+            ok = rng.uniform() < acc
+            seq = ("x",) * 5 if ok else ("B",) * 5
+            outcomes.append(CrisisOutcome(100 + i, "Z", False, seq))
+        return outcomes
+
+    def test_intervals_bracket_accuracy(self):
+        outcomes = self.make_outcomes()
+        cis = accuracy_intervals(outcomes)
+        assert set(cis) == {"known_accuracy", "unknown_accuracy"}
+        for ci in cis.values():
+            assert 0.0 <= ci.lower <= ci.point <= ci.upper <= 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_intervals([])
+
+
+class TestMcNemar:
+    def test_identical_methods_p_one(self):
+        a = [True, False, True, True]
+        assert mcnemar_exact(a, a) == 1.0
+
+    def test_clear_difference_small_p(self):
+        a = [True] * 30
+        b = [False] * 30
+        assert mcnemar_exact(a, b) < 0.01
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(size=50) < 0.8
+        b = rng.uniform(size=50) < 0.5
+        assert mcnemar_exact(a, b) == pytest.approx(mcnemar_exact(b, a))
+
+    def test_alignment_checked(self):
+        with pytest.raises(ValueError):
+            mcnemar_exact([True], [True, False])

@@ -1,0 +1,108 @@
+"""Tests for unsupervised crisis-catalog discovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.catalog import (
+    catalog_summary,
+    cluster_crises,
+    cluster_purity,
+)
+from repro.methods import FingerprintMethod
+
+
+def blob_vectors(seed=0, centers=((0, 0), (5, 5), (10, 0)), per=4,
+                 spread=0.3):
+    rng = np.random.default_rng(seed)
+    vectors, labels = [], []
+    for k, center in enumerate(centers):
+        for _ in range(per):
+            vectors.append(np.array(center) + rng.normal(0, spread, 2))
+            labels.append(f"type{k}")
+    return vectors, labels
+
+
+class TestClusterCrises:
+    def test_recovers_blobs(self):
+        vectors, labels = blob_vectors()
+        clusters = cluster_crises(vectors, threshold=2.0)
+        assert len(clusters) == 3
+        assert cluster_purity(clusters, labels) == 1.0
+
+    def test_zero_threshold_keeps_singletons(self):
+        vectors, _ = blob_vectors()
+        clusters = cluster_crises(vectors, threshold=0.0)
+        assert len(clusters) == len(vectors)
+
+    def test_huge_threshold_merges_everything(self):
+        vectors, _ = blob_vectors()
+        clusters = cluster_crises(vectors, threshold=1e9)
+        assert len(clusters) == 1
+
+    def test_linkages(self):
+        vectors, labels = blob_vectors()
+        for linkage in ("single", "complete", "average"):
+            clusters = cluster_crises(vectors, threshold=2.0,
+                                      linkage=linkage)
+            assert cluster_purity(clusters, labels) == 1.0
+        with pytest.raises(ValueError):
+            cluster_crises(vectors, threshold=1.0, linkage="median")
+
+    def test_medoid_is_member(self):
+        vectors, _ = blob_vectors()
+        for cluster in cluster_crises(vectors, threshold=2.0):
+            assert cluster.medoid in cluster.members
+
+    def test_empty_input(self):
+        assert cluster_crises([], threshold=1.0) == []
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValueError):
+            cluster_crises([np.zeros(2)], threshold=-1.0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_members_partition_input(self, seed):
+        vectors, _ = blob_vectors(seed=seed)
+        clusters = cluster_crises(vectors, threshold=1.5)
+        seen = sorted(m for c in clusters for m in c.members)
+        assert seen == list(range(len(vectors)))
+
+
+class TestClusterPurity:
+    def test_mixed_cluster(self):
+        from repro.extensions.catalog import CrisisCluster
+
+        clusters = [CrisisCluster(0, (0, 1, 2), 0)]
+        assert cluster_purity(clusters, ["a", "a", "b"]) == pytest.approx(
+            2 / 3
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cluster_purity([], [])
+
+
+class TestCatalogSummary:
+    def test_rows(self):
+        vectors, labels = blob_vectors()
+        clusters = cluster_crises(vectors, threshold=2.0)
+        rows = catalog_summary(clusters, labels)
+        assert len(rows) == len(clusters)
+        assert all("true_labels" in r for r in rows)
+
+
+class TestOnRealFingerprints:
+    def test_bootstrap_catalog_mostly_pure(self, small_trace):
+        """Clustering real crisis fingerprints groups same-type crises."""
+        crises = small_trace.labeled_crises
+        method = FingerprintMethod()
+        method.fit(small_trace, crises)
+        vectors = [method.vector(c) for c in crises]
+        labels = [c.label for c in crises]
+        clusters = cluster_crises(vectors, threshold=2.0)
+        assert cluster_purity(clusters, labels) > 0.7
+        # B recurs nine times; at least one multi-member cluster exists.
+        assert any(c.size >= 2 for c in clusters)

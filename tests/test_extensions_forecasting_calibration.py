@@ -1,0 +1,49 @@
+"""Tests for forecaster threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import CrisisForecaster
+from repro.methods import FingerprintMethod
+
+
+@pytest.fixture(scope="module")
+def forecaster(small_trace):
+    method = FingerprintMethod()
+    crises = small_trace.labeled_crises
+    method.fit(small_trace, crises)
+    fc = CrisisForecaster(
+        small_trace, method.thresholds, method.relevant,
+        lead_epochs=1, window_epochs=3,
+    ).fit(crises[:10])
+    return fc, crises
+
+
+class TestCalibrateThreshold:
+    def test_respects_false_alarm_budget(self, forecaster):
+        fc, crises = forecaster
+        threshold = fc.calibrate_threshold(crises[:10],
+                                           false_alarm_budget=0.02)
+        result = fc.evaluate(crises[10:], threshold=threshold,
+                             n_normal=1500)
+        # Holdout false alarms should stay near the budget.
+        assert result.false_alarm_rate <= 0.10
+
+    def test_smaller_budget_stricter(self, forecaster):
+        fc, crises = forecaster
+        loose = fc.calibrate_threshold(crises[:10],
+                                       false_alarm_budget=0.10)
+        strict = fc.calibrate_threshold(crises[:10],
+                                        false_alarm_budget=0.005)
+        assert strict >= loose
+
+    def test_threshold_in_unit_interval(self, forecaster):
+        fc, crises = forecaster
+        t = fc.calibrate_threshold(crises[:10])
+        assert 0.0 <= t <= 1.0
+
+    def test_deterministic(self, forecaster):
+        fc, crises = forecaster
+        a = fc.calibrate_threshold(crises[:10], seed=5)
+        b = fc.calibrate_threshold(crises[:10], seed=5)
+        assert a == b

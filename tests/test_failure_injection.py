@@ -1,0 +1,110 @@
+"""Failure injection: the pipeline under degraded telemetry.
+
+Real deployments see reporting gaps, dead collectors, and stuck agents.
+These tests corrupt a copy of the small trace and assert the method
+degrades gracefully instead of crashing or emitting garbage.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FingerprintingConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+from repro.core.pipeline import FingerprintPipeline
+from repro.core.summary import summary_vectors
+from repro.core.thresholds import percentile_thresholds
+
+CONFIG = FingerprintingConfig(
+    selection=SelectionConfig(n_relevant=20),
+    thresholds=ThresholdConfig(window_days=30),
+)
+
+
+def corrupted_trace(small_trace, corruption):
+    trace = copy.copy(small_trace)
+    trace.quantiles = small_trace.quantiles.copy()
+    # Experiment-level caches belong to the pristine trace.
+    trace.__dict__.pop("_selection_cache", None)
+    trace.__dict__.pop("_threshold_cache", None)
+    corruption(trace)
+    return trace
+
+
+class TestNaNGaps:
+    def test_thresholds_skip_nan_epochs(self, small_trace):
+        rng = np.random.default_rng(0)
+
+        def corrupt(trace):
+            # 2% of epochs lose one metric's quantiles entirely.
+            epochs = rng.choice(trace.n_epochs, trace.n_epochs // 50,
+                                replace=False)
+            trace.quantiles[epochs, 3, :] = np.nan
+
+        trace = corrupted_trace(small_trace, corrupt)
+        hist = trace.quantiles[trace.crisis_free_mask()]
+        thresholds = percentile_thresholds(hist)
+        assert np.all(np.isfinite(thresholds.cold))
+        assert np.all(np.isfinite(thresholds.hot))
+
+    def test_all_nan_metric_rejected(self, small_trace):
+        def corrupt(trace):
+            trace.quantiles[:, 5, :] = np.nan
+
+        trace = corrupted_trace(small_trace, corrupt)
+        hist = trace.quantiles[trace.crisis_free_mask()]
+        with pytest.raises(ValueError):
+            percentile_thresholds(hist)
+
+    def test_nan_epoch_reads_normal(self, small_trace):
+        hist = small_trace.quantiles[small_trace.crisis_free_mask()]
+        thresholds = percentile_thresholds(hist)
+        epoch = small_trace.quantiles[100].copy()
+        epoch[7, :] = np.nan
+        summary = summary_vectors(epoch, thresholds)
+        np.testing.assert_array_equal(summary[7], 0)
+
+
+class TestPipelineUnderGaps:
+    def test_identification_survives_metric_outage(self, small_trace):
+        """A metric going dark mid-trace must not break identification."""
+        rng = np.random.default_rng(1)
+
+        def corrupt(trace):
+            start = trace.n_epochs // 2
+            dark = rng.choice(trace.n_metrics, 2, replace=False)
+            for m in dark:
+                epochs = rng.choice(
+                    np.arange(start, trace.n_epochs),
+                    (trace.n_epochs - start) // 10,
+                    replace=False,
+                )
+                trace.quantiles[epochs, m, :] = np.nan
+
+        trace = corrupted_trace(small_trace, corrupt)
+        pipe = FingerprintPipeline(trace, CONFIG)
+        crises = trace.detected_crises
+        for crisis in crises[:4]:
+            pipe.observe(crisis)
+            pipe.refresh(crisis.detected_epoch)
+            pipe.confirm(crisis)
+        pipe.update_identification_threshold()
+        outcome = pipe.identify(crises[4])
+        assert len(outcome.sequence) == 5
+
+    def test_fingerprints_stay_bounded_under_gaps(self, small_trace):
+        def corrupt(trace):
+            trace.quantiles[::17, 2, :] = np.nan
+
+        trace = corrupted_trace(small_trace, corrupt)
+        pipe = FingerprintPipeline(trace, CONFIG)
+        crisis = trace.detected_crises[0]
+        pipe.observe(crisis)
+        pipe.refresh(crisis.detected_epoch)
+        known = pipe.confirm(crisis)
+        assert np.all(np.abs(known.fingerprint) <= 1.0)
+        assert np.all(np.isfinite(known.fingerprint))

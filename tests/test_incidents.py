@@ -1,0 +1,167 @@
+"""Tests for the incident knowledge base and advisory workflow."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FingerprintingConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+from repro.core.pipeline import FingerprintPipeline
+from repro.incidents import CrisisAdvisor, IncidentDatabase
+from repro.incidents.database import SCHEMA_VERSION, IncidentRecord
+
+
+class TestIncidentRecord:
+    def test_roundtrip_dict(self):
+        rec = IncidentRecord(
+            incident_id=3,
+            label="B",
+            detected_epoch=100,
+            fingerprint=np.array([0.5, -0.5]),
+            diagnosis="backlog",
+            remedy="drain queue",
+            metric_indices=np.array([1, 2]),
+        )
+        back = IncidentRecord.from_dict(rec.to_dict())
+        assert back.incident_id == 3
+        assert back.remedy == "drain queue"
+        np.testing.assert_array_equal(back.fingerprint, rec.fingerprint)
+        np.testing.assert_array_equal(back.metric_indices, [1, 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncidentRecord(0, "", 0, np.zeros(2))
+        with pytest.raises(ValueError):
+            IncidentRecord(0, "B", -1, np.zeros(2))
+
+
+class TestIncidentDatabase:
+    def make_db(self):
+        db = IncidentDatabase()
+        db.add("B", 100, np.array([1.0, 0.0]), remedy="restart archiver")
+        db.add("A", 200, np.array([0.0, 1.0]), remedy="add capacity")
+        db.add("B", 300, np.array([0.9, 0.1]), remedy="drain backlog")
+        return db
+
+    def test_ids_monotone(self):
+        db = self.make_db()
+        assert [r.incident_id for r in db] == [0, 1, 2]
+
+    def test_get_and_by_label(self):
+        db = self.make_db()
+        assert db.get(1).label == "A"
+        assert len(db.by_label("B")) == 2
+        with pytest.raises(KeyError):
+            db.get(99)
+
+    def test_nearest(self):
+        db = self.make_db()
+        hits = db.nearest(np.array([0.95, 0.05]), k=2)
+        assert [h[0].label for h in hits] == ["B", "B"]
+        assert hits[0][1] <= hits[1][1]
+
+    def test_nearest_skips_mismatched_dims(self):
+        db = self.make_db()
+        db.add("C", 400, np.array([1.0, 2.0, 3.0]))
+        hits = db.nearest(np.array([1.0, 0.0]), k=10)
+        assert all(h[0].label != "C" for h in hits)
+
+    def test_nearest_validation(self):
+        with pytest.raises(ValueError):
+            self.make_db().nearest(np.zeros(2), k=0)
+
+    def test_update_fingerprints(self):
+        db = self.make_db()
+        new_fps = [np.full(4, 0.1 * i) for i in range(3)]
+        db.update_fingerprints(new_fps, metric_indices=np.array([7, 8]))
+        np.testing.assert_array_equal(db.get(2).fingerprint, new_fps[2])
+        with pytest.raises(ValueError):
+            db.update_fingerprints([np.zeros(2)])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        db = self.make_db()
+        path = tmp_path / "incidents.json"
+        db.save(path)
+        back = IncidentDatabase.load(path)
+        assert len(back) == 3
+        assert back.get(0).remedy == "restart archiver"
+        np.testing.assert_allclose(back.get(2).fingerprint,
+                                   db.get(2).fingerprint)
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 999, "records": []}')
+        with pytest.raises(ValueError):
+            IncidentDatabase.load(path)
+        assert SCHEMA_VERSION == 1
+
+
+@pytest.fixture(scope="module")
+def advisor_setup(small_trace):
+    config = FingerprintingConfig(
+        selection=SelectionConfig(n_relevant=20),
+        thresholds=ThresholdConfig(window_days=30),
+    )
+    pipeline = FingerprintPipeline(small_trace, config)
+    advisor = CrisisAdvisor(pipeline)
+    crises = small_trace.detected_crises
+    remedies = {}
+    for crisis in crises[:6]:
+        pipeline.observe(crisis)
+        pipeline.refresh(crisis.detected_epoch)
+        remedy = f"remedy for {crisis.label}"
+        advisor.record_diagnosis(crisis, crisis.label, remedy=remedy)
+        remedies[crisis.label] = remedy
+    pipeline.update_identification_threshold()
+    advisor.refingerprint_database()
+    return advisor, crises, remedies
+
+
+class TestCrisisAdvisor:
+    def test_database_populated(self, advisor_setup):
+        advisor, crises, _ = advisor_setup
+        assert len(advisor.database) == 6
+
+    def test_match_retrieves_remedy(self, advisor_setup):
+        advisor, crises, remedies = advisor_setup
+        known_labels = {r.label for r in advisor.database}
+        matched = 0
+        correct_remedy = 0
+        for crisis in crises[6:14]:
+            advisor.pipeline.observe(crisis)
+            advisor.pipeline.refresh(crisis.detected_epoch)
+            advisor.refingerprint_database()
+            advice = advisor.advise(crisis)
+            if crisis.label in known_labels and advice.matched:
+                matched += 1
+                if advice.remedy == remedies.get(advice.label):
+                    correct_remedy += 1
+            advisor.record_diagnosis(
+                crisis, crisis.label,
+                remedy=remedies.setdefault(
+                    crisis.label, f"remedy for {crisis.label}"
+                ),
+            )
+            known_labels.add(crisis.label)
+        assert matched >= 1
+        assert correct_remedy == matched or matched == 0
+
+    def test_advice_fields(self, advisor_setup):
+        advisor, crises, _ = advisor_setup
+        advice = advisor.advise(crises[14])
+        assert advice.crisis_id == crises[14].index
+        assert len(advice.sequence) == 5
+        assert len(advice.candidates) <= 3
+
+    def test_out_of_sync_refingerprint_rejected(self, small_trace):
+        config = FingerprintingConfig(
+            selection=SelectionConfig(n_relevant=20),
+            thresholds=ThresholdConfig(window_days=30),
+        )
+        pipeline = FingerprintPipeline(small_trace, config)
+        advisor = CrisisAdvisor(pipeline, IncidentDatabase())
+        advisor.database.add("B", 1, np.zeros(3))
+        with pytest.raises(ValueError):
+            advisor.refingerprint_database()

@@ -1,0 +1,105 @@
+"""End-to-end shape checks on the small trace.
+
+Small-scale versions of the paper's headline claims — the full-scale runs
+live in benchmarks/ — plus cross-module consistency checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FingerprintingConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+from repro.evaluation.discrimination import discrimination_auc
+from repro.evaluation.experiments import (
+    OfflineIdentificationExperiment,
+    OnlineIdentificationExperiment,
+)
+from repro.methods import (
+    AllMetricsFingerprintMethod,
+    FingerprintMethod,
+    KPIMethod,
+)
+
+
+@pytest.fixture(scope="module")
+def crises(small_trace):
+    return small_trace.labeled_crises
+
+
+@pytest.fixture(scope="module")
+def fitted_fp(small_trace, crises):
+    method = FingerprintMethod()
+    method.fit(small_trace, crises)
+    return method
+
+
+class TestDiscriminationShape:
+    def test_fingerprints_high_auc(self, fitted_fp, crises):
+        assert discrimination_auc(fitted_fp, crises) > 0.85
+
+    def test_fingerprints_beat_kpis(self, small_trace, fitted_fp, crises):
+        kpi = KPIMethod()
+        kpi.fit(small_trace, crises)
+        assert discrimination_auc(fitted_fp, crises) >= \
+            discrimination_auc(kpi, crises) - 0.05
+
+    def test_selection_avoids_junk_metrics(self, small_trace, fitted_fp):
+        names = [small_trace.metric_names[i] for i in fitted_fp.relevant]
+        junk = [n for n in names if n.startswith("misc.")]
+        assert len(junk) <= len(names) * 0.2
+
+
+class TestOfflineIdentificationShape:
+    def test_operating_point_accuracy(self, fitted_fp, crises):
+        exp = OfflineIdentificationExperiment(
+            fitted_fp, crises, n_runs=3, seed=1,
+            alphas=np.linspace(0, 1, 21),
+        )
+        op = exp.run().operating_point()
+        balanced = (op["known_accuracy"] + op["unknown_accuracy"]) / 2
+        assert balanced > 0.6
+        assert op["mean_time_minutes"] <= 45
+
+
+class TestOnlineIdentificationShape:
+    @pytest.fixture(scope="class")
+    def online_config(self):
+        return FingerprintingConfig(
+            selection=SelectionConfig(n_relevant=20),
+            thresholds=ThresholdConfig(window_days=30),
+        )
+
+    def test_online_beats_chance(self, small_trace, online_config):
+        exp = OnlineIdentificationExperiment(small_trace, online_config)
+        curves = exp.run(mode="online", bootstrap=5, n_runs=7,
+                         alphas=np.linspace(0, 1, 11), seed=1)
+        op = curves.operating_point()
+        balanced = (op["known_accuracy"] + op["unknown_accuracy"]) / 2
+        assert balanced > 0.5
+
+    def test_quasi_at_least_matches_online(self, small_trace,
+                                           online_config):
+        exp = OnlineIdentificationExperiment(small_trace, online_config)
+        alphas = np.linspace(0, 1, 11)
+        quasi = exp.run(mode="quasi-online", bootstrap=5, n_runs=5,
+                        alphas=alphas, seed=1).operating_point()
+        online = exp.run(mode="online", bootstrap=5, n_runs=5,
+                         alphas=alphas, seed=1).operating_point()
+
+        def balanced(op):
+            return (op["known_accuracy"] + op["unknown_accuracy"]) / 2
+
+        # Quasi-online has strictly more information (full-knowledge
+        # threshold), so it should not be much worse.
+        assert balanced(quasi) >= balanced(online) - 0.15
+
+
+class TestAllMetricsConsistency:
+    def test_same_protocol_runs(self, small_trace, crises):
+        method = AllMetricsFingerprintMethod()
+        method.fit(small_trace, crises)
+        auc = discrimination_auc(method, crises)
+        assert 0.5 < auc <= 1.0

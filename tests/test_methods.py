@@ -1,0 +1,126 @@
+"""Tests for the four crisis-representation methods."""
+
+import numpy as np
+import pytest
+
+from repro.methods import (
+    AllMetricsFingerprintMethod,
+    FingerprintMethod,
+    KPIMethod,
+    SignaturesMethod,
+)
+
+
+@pytest.fixture(scope="module")
+def crises(small_trace):
+    return small_trace.labeled_crises
+
+
+@pytest.fixture(scope="module")
+def fingerprints(small_trace, crises):
+    m = FingerprintMethod()
+    m.fit(small_trace, crises)
+    return m
+
+
+@pytest.fixture(scope="module")
+def signatures(small_trace, crises):
+    m = SignaturesMethod()
+    m.fit(small_trace, crises)
+    return m
+
+
+class TestFingerprintMethod:
+    def test_unfitted_raises(self, crises):
+        with pytest.raises(RuntimeError):
+            FingerprintMethod().vector(crises[0])
+
+    def test_relevant_metric_count(self, fingerprints):
+        assert len(fingerprints.relevant) == 15  # paper's offline setting
+
+    def test_vector_dimension(self, fingerprints, crises):
+        v = fingerprints.vector(crises[0])
+        assert v.shape == (15 * 3,)
+        assert np.all(np.abs(v) <= 1.0)
+
+    def test_truncation_changes_vector(self, fingerprints, crises):
+        full = fingerprints.vector(crises[0])
+        partial = fingerprints.vector(crises[0], n_epochs=3)
+        assert full.shape == partial.shape
+
+    def test_distance_symmetric(self, fingerprints, crises):
+        d_ab = fingerprints.pair_distance(crises[0], crises[1])
+        d_ba = fingerprints.pair_distance(crises[1], crises[0])
+        assert d_ab == pytest.approx(d_ba)
+
+    def test_same_type_closer_than_different(self, fingerprints, crises):
+        labels = [c.label for c in crises]
+        D = fingerprints.distance_matrix(crises)
+        same, diff = [], []
+        for i in range(len(crises)):
+            for j in range(i + 1, len(crises)):
+                (same if labels[i] == labels[j] else diff).append(D[i, j])
+        assert np.mean(same) < np.mean(diff)
+
+    def test_discrimination_pairs_counts(self, fingerprints, crises):
+        d, is_same = fingerprints.discrimination_pairs(crises)
+        n = len(crises)
+        assert len(d) == n * (n - 1) // 2
+        assert is_same.sum() >= 36  # nine B crises alone give 36 pairs
+
+
+class TestAllMetricsMethod:
+    def test_uses_every_metric(self, small_trace, crises):
+        m = AllMetricsFingerprintMethod()
+        m.fit(small_trace, crises)
+        assert len(m.relevant) == small_trace.n_metrics
+        v = m.vector(crises[0])
+        assert v.shape == (small_trace.n_metrics * 3,)
+
+
+class TestKPIMethod:
+    def test_vector_is_violation_fractions(self, small_trace, crises):
+        m = KPIMethod()
+        m.fit(small_trace, crises)
+        v = m.vector(crises[0])
+        assert v.shape == (3,)
+        assert np.all((v >= 0) & (v <= 1))
+
+    def test_crisis_vector_larger_than_normal(self, small_trace, crises):
+        m = KPIMethod()
+        m.fit(small_trace, crises)
+        assert m.vector(crises[0]).max() >= 0.10  # detection rule
+
+
+class TestSignaturesMethod:
+    def test_model_per_crisis(self, signatures, crises):
+        assert set(signatures.models) == {c.index for c in crises}
+
+    def test_model_has_top_k_features(self, signatures, crises):
+        model = signatures.models[crises[0].index]
+        assert 1 <= len(model.feature_indices) <= 10
+
+    def test_signature_entries_ternary_after_averaging(self, signatures,
+                                                       crises):
+        model = signatures.models[crises[0].index]
+        sig = signatures.signature(crises[0], model)
+        assert np.all(np.abs(sig) <= 1.0)
+        # Entries outside the model's features are exactly zero.
+        outside = np.setdiff1d(np.arange(sig.size), model.feature_indices)
+        np.testing.assert_array_equal(sig[outside], 0.0)
+
+    def test_own_model_attributes_own_crisis(self, signatures, crises):
+        """Under its own model, a crisis's signature is mostly +1.
+
+        Uses a step-onset crisis (not type B, whose gradual buildup keeps
+        early window epochs unattributed by design)."""
+        crisis = next(c for c in crises if c.label != "B")
+        model = signatures.models[crisis.index]
+        sig = signatures.signature(crisis, model)
+        active = sig[model.feature_indices]
+        assert active.mean() > 0.2
+
+    def test_pair_distance_uses_known_model(self, signatures, crises):
+        # Distance to a crisis with no prebuilt model builds one on demand.
+        d = signatures.pair_distance(crises[0], crises[1])
+        assert d >= 0.0

@@ -1,0 +1,51 @@
+"""Tests for the offline method's surrounding-period threshold window."""
+
+import numpy as np
+import pytest
+
+from repro.methods import FingerprintMethod
+
+
+class TestSurroundingWindowThresholds:
+    def test_thresholds_use_crisis_period(self, small_trace):
+        """Offline thresholds come from data surrounding the crises (the
+        paper's 'four months of data'), not the whole trace."""
+        crises = small_trace.labeled_crises
+        method = FingerprintMethod()
+        method.fit(small_trace, crises)
+
+        detections = [c.detected_epoch for c in crises]
+        margin = 15 * small_trace.epochs_per_day
+        lo = max(min(detections) - margin, 0)
+        hi = min(max(detections) + margin, small_trace.n_epochs)
+        mask = small_trace.crisis_free_mask()
+        mask[:lo] = False
+        mask[hi:] = False
+        from repro.core.thresholds import percentile_thresholds
+
+        expected = percentile_thresholds(small_trace.quantiles[mask])
+        np.testing.assert_allclose(method.thresholds.hot, expected.hot)
+        np.testing.assert_allclose(method.thresholds.cold, expected.cold)
+
+    def test_warmup_period_excluded(self, small_trace):
+        """Growth means warmup epochs sit lower than the crisis period;
+        including them would drag the cold thresholds down."""
+        crises = small_trace.labeled_crises
+        method = FingerprintMethod()
+        method.fit(small_trace, crises)
+        from repro.core.thresholds import percentile_thresholds
+
+        whole = percentile_thresholds(
+            small_trace.quantiles[small_trace.crisis_free_mask()]
+        )
+        # The two threshold sets must genuinely differ somewhere.
+        assert not np.allclose(method.thresholds.cold, whole.cold)
+
+    def test_vector_stable_across_fits(self, small_trace):
+        crises = small_trace.labeled_crises
+        a = FingerprintMethod()
+        a.fit(small_trace, crises)
+        b = FingerprintMethod()
+        b.fit(small_trace, crises)
+        np.testing.assert_array_equal(a.vector(crises[0]),
+                                      b.vector(crises[0]))

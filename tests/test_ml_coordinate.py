@@ -1,0 +1,76 @@
+"""Cross-checks between the two independent L1-logistic solvers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.coordinate import CoordinateDescentL1Logistic, l1_objective
+from repro.ml.logistic import L1LogisticRegression
+
+from tests.test_ml_logistic import make_sparse_problem
+
+
+class TestCoordinateDescent:
+    def test_recovers_support(self):
+        X, y, support = make_sparse_problem()
+        model = CoordinateDescentL1Logistic(lam=0.02, max_sweeps=300).fit(
+            X, y
+        )
+        assert support <= set(model.nonzero_indices.tolist())
+        assert model.n_nonzero < 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoordinateDescentL1Logistic(lam=-1.0)
+        solver = CoordinateDescentL1Logistic()
+        with pytest.raises(ValueError):
+            solver.fit(np.zeros((3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            solver.fit(np.zeros((2, 2)), np.array([0, 2]))
+
+    def test_constant_column_ignored(self):
+        X, y, _ = make_sparse_problem()
+        X = np.hstack([X, np.zeros((len(y), 1))])
+        model = CoordinateDescentL1Logistic(lam=0.02).fit(X, y)
+        assert model.weights[-1] == 0.0
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("lam", [0.005, 0.02, 0.08])
+    def test_same_objective_value(self, lam):
+        """Both solvers minimize the same convex objective; their optima
+        must agree to high precision."""
+        X, y, _ = make_sparse_problem(n=300, d=40)
+        fista = L1LogisticRegression(lam=lam, max_iter=5000,
+                                     tol=1e-10).fit(X, y)
+        cd = CoordinateDescentL1Logistic(lam=lam, max_sweeps=2000,
+                                         tol=1e-10).fit(X, y)
+        f_fista = l1_objective(X, y, fista)
+        f_cd = l1_objective(X, y, cd)
+        assert f_cd == pytest.approx(f_fista, rel=1e-4, abs=1e-6)
+
+    def test_same_support_at_moderate_penalty(self):
+        X, y, _ = make_sparse_problem(n=500, d=40)
+        lam = 0.03
+        fista = L1LogisticRegression(lam=lam, max_iter=5000,
+                                     tol=1e-10).fit(X, y)
+        cd = CoordinateDescentL1Logistic(lam=lam, max_sweeps=2000,
+                                         tol=1e-10).fit(X, y)
+        strong_f = set(np.flatnonzero(np.abs(fista.weights) > 1e-3))
+        strong_c = set(np.flatnonzero(np.abs(cd.weights) > 1e-3))
+        assert strong_f == strong_c
+
+    def test_objective_helper_penalizes_weights(self):
+        X, y, _ = make_sparse_problem()
+        model = L1LogisticRegression(lam=0.02).fit(X, y)
+        base = l1_objective(X, y, model)
+        heavier = l1_objective(
+            X, y,
+            type(model)(
+                weights=model.weights * 3,
+                intercept=model.intercept,
+                lam=model.lam,
+                n_iter=model.n_iter,
+                converged=model.converged,
+            ),
+        )
+        assert heavier > base

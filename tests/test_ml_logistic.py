@@ -1,0 +1,123 @@
+"""Tests for L1-regularized logistic regression and feature selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.logistic import (
+    L1LogisticRegression,
+    lambda_max,
+    select_top_k_features,
+)
+
+
+def make_sparse_problem(seed=0, n=500, d=40, support=(3, 11, 27),
+                        coefs=(2.0, -1.5, 1.2), intercept=0.2):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = np.zeros(d)
+    for i, c in zip(support, coefs):
+        w[i] = c
+    p = 1.0 / (1.0 + np.exp(-(X @ w + intercept)))
+    y = (rng.uniform(size=n) < p).astype(float)
+    return X, y, set(support)
+
+
+class TestFit:
+    def test_recovers_support(self):
+        X, y, support = make_sparse_problem()
+        model = L1LogisticRegression(lam=0.02).fit(X, y)
+        assert support <= set(model.nonzero_indices.tolist())
+        assert model.n_nonzero < 20  # most irrelevant features zeroed
+
+    def test_stronger_penalty_sparser(self):
+        X, y, _ = make_sparse_problem()
+        weak = L1LogisticRegression(lam=0.005).fit(X, y)
+        strong = L1LogisticRegression(lam=0.08).fit(X, y)
+        assert strong.n_nonzero <= weak.n_nonzero
+
+    def test_train_accuracy_reasonable(self):
+        X, y, _ = make_sparse_problem()
+        model = L1LogisticRegression(lam=0.01).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.75
+
+    def test_lambda_above_max_gives_zero(self):
+        X, y, _ = make_sparse_problem()
+        lam = lambda_max(X, y) * 1.05
+        model = L1LogisticRegression(lam=lam).fit(X, y)
+        assert model.n_nonzero == 0
+
+    def test_predict_proba_in_unit_interval(self):
+        X, y, _ = make_sparse_problem()
+        p = L1LogisticRegression(lam=0.02).fit(X, y).predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_separable_data_converges(self):
+        X = np.array([[-2.0], [-1.0], [1.0], [2.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = L1LogisticRegression(lam=0.01, max_iter=2000).fit(X, y)
+        assert np.array_equal(model.predict(X), y.astype(int))
+
+    def test_input_validation(self):
+        solver = L1LogisticRegression()
+        with pytest.raises(ValueError):
+            solver.fit(np.zeros((3, 2)), np.array([0, 1]))  # length mismatch
+        with pytest.raises(ValueError):
+            solver.fit(np.zeros((3, 2)), np.array([0, 1, 2]))  # non-binary
+        with pytest.raises(ValueError):
+            solver.fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            L1LogisticRegression(lam=-1.0)
+
+    def test_warm_start_path_monotone_support(self):
+        X, y, _ = make_sparse_problem()
+        lmax = lambda_max(X, y)
+        lambdas = np.geomspace(lmax * 0.9, lmax * 0.01, 8)
+        models = L1LogisticRegression().path(X, y, lambdas)
+        sizes = [m.n_nonzero for m in models]
+        # Support grows (weakly) as the penalty relaxes.
+        assert all(a <= b + 2 for a, b in zip(sizes, sizes[1:]))
+
+
+class TestLambdaMax:
+    def test_zero_for_constant_features(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5, dtype=float)
+        assert lambda_max(X, y) == pytest.approx(0.0)
+
+    def test_positive_for_informative_feature(self):
+        X, y, _ = make_sparse_problem()
+        assert lambda_max(X, y) > 0
+
+
+class TestSelectTopK:
+    def test_finds_true_support(self):
+        X, y, support = make_sparse_problem(n=800)
+        picked = select_top_k_features(X, y, k=3)
+        assert set(picked.tolist()) == support
+
+    def test_respects_k(self):
+        X, y, _ = make_sparse_problem()
+        assert len(select_top_k_features(X, y, k=5)) <= 5
+
+    def test_single_class_returns_empty(self):
+        X = np.random.default_rng(0).normal(size=(20, 5))
+        assert select_top_k_features(X, np.zeros(20), k=3).size == 0
+
+    def test_ranked_by_strength(self):
+        X, y, _ = make_sparse_problem(n=2000)
+        picked = select_top_k_features(X, y, k=3)
+        # Strongest coefficient (index 3, coef 2.0) should rank first.
+        assert picked[0] == 3
+
+    def test_rejects_nonpositive_k(self):
+        X, y, _ = make_sparse_problem()
+        with pytest.raises(ValueError):
+            select_top_k_features(X, y, k=0)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_never_exceeds_k(self, k):
+        X, y, _ = make_sparse_problem(seed=k)
+        assert len(select_top_k_features(X, y, k=k)) <= k

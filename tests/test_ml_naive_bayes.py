@@ -1,0 +1,60 @@
+"""Tests for Gaussian naive Bayes."""
+
+import numpy as np
+import pytest
+
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+
+def gaussian_problem(seed=0, n=400, sep=3.0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0.0, 1.0, (n // 2, 4))
+    X1 = rng.normal(sep, 1.0, (n // 2, 4))
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(n // 2), np.ones(n // 2)]).astype(int)
+    return X, y
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_problem_high_accuracy(self):
+        X, y = gaussian_problem()
+        nb = GaussianNaiveBayes().fit(X, y)
+        assert np.mean(nb.predict(X) == y) > 0.98
+
+    def test_predict_proba_normalized(self):
+        X, y = gaussian_problem()
+        p = GaussianNaiveBayes().fit(X, y).predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_priors_reflect_imbalance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = np.array([1] * 10 + [0] * 90)
+        nb = GaussianNaiveBayes().fit(X, y)
+        assert nb.class_prior_[1] == pytest.approx(0.1)
+
+    def test_brier_score_better_for_better_model(self):
+        X, y = gaussian_problem(sep=3.0)
+        Xw, yw = gaussian_problem(seed=1, sep=0.2)
+        good = GaussianNaiveBayes().fit(X, y).brier_score(X, y)
+        bad = GaussianNaiveBayes().fit(Xw, yw).brier_score(Xw, yw)
+        assert good < bad
+
+    def test_requires_both_classes(self):
+        X = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(X, np.zeros(5, dtype=int))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict(np.zeros((2, 2)))
+
+    def test_constant_feature_no_nan(self):
+        X, y = gaussian_problem()
+        X = np.hstack([X, np.ones((len(y), 1))])  # constant column
+        p = GaussianNaiveBayes().fit(X, y).predict_proba(X)
+        assert np.all(np.isfinite(p))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(np.zeros((4, 2)), np.zeros(3, dtype=int))

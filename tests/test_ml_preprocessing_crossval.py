@@ -1,0 +1,80 @@
+"""Tests for StandardScaler and cross-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import cross_val_score, kfold_indices
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.preprocessing import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, (200, 4))
+        Xs = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Xs.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Xs.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_passes_through(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Xs))
+        np.testing.assert_allclose(Xs[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(2.0, 0.5, (50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_rejects_empty_and_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestKFold:
+    def test_partitions_all_indices(self):
+        folds = list(kfold_indices(20, 4))
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(17, 5):
+            assert not set(train) & set(test)
+            assert len(train) + len(test) == 17
+
+    def test_shuffling_changes_order(self):
+        rng = np.random.default_rng(2)
+        plain = [t.tolist() for _, t in kfold_indices(10, 2)]
+        shuffled = [t.tolist() for _, t in kfold_indices(10, 2, rng)]
+        assert plain != shuffled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, 1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 5))
+
+
+class TestCrossValScore:
+    def test_separable_problem_scores_high(self):
+        rng = np.random.default_rng(3)
+        X = np.vstack([rng.normal(0, 1, (60, 3)), rng.normal(4, 1, (60, 3))])
+        y = np.array([0] * 60 + [1] * 60)
+
+        def fit_predict(Xtr, ytr, Xte):
+            return GaussianNaiveBayes().fit(Xtr, ytr).predict(Xte)
+
+        scores = cross_val_score(fit_predict, X, y, k=4,
+                                 rng=np.random.default_rng(4))
+        assert len(scores) == 4
+        assert min(scores) > 0.9

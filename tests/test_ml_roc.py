@@ -1,0 +1,106 @@
+"""Tests for distance-ROC curves, AUC, and threshold selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.roc import auc_score, roc_curve, threshold_at_alpha
+
+
+class TestROCCurve:
+    def test_perfect_separation(self):
+        d = np.array([1.0, 1.2, 4.0, 5.0])
+        same = np.array([True, True, False, False])
+        roc = roc_curve(d, same)
+        assert roc.auc == pytest.approx(1.0)
+
+    def test_inverted_separation(self):
+        d = np.array([4.0, 5.0, 1.0, 1.2])
+        same = np.array([True, True, False, False])
+        assert roc_curve(d, same).auc == pytest.approx(0.0)
+
+    def test_random_distances_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        d = rng.uniform(size=2000)
+        same = rng.uniform(size=2000) < 0.5
+        assert 0.45 < roc_curve(d, same).auc < 0.55
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        d = np.concatenate([rng.normal(1, 0.5, 50), rng.normal(2, 0.5, 80)])
+        same = np.concatenate([np.ones(50, bool), np.zeros(80, bool)])
+        roc = roc_curve(d, same)
+        assert np.all(np.diff(roc.fpr) >= 0)
+        assert np.all(np.diff(roc.tpr) >= 0)
+
+    def test_ties_collapse_to_one_point(self):
+        d = np.array([1.0, 1.0, 1.0, 2.0])
+        same = np.array([True, False, True, False])
+        roc = roc_curve(d, same)
+        # Operating points: start, d<=1, d<=2.
+        assert len(roc.fpr) == 3
+
+    def test_needs_both_pair_kinds(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1.0, 2.0]), np.array([True, True]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1.0]), np.array([True, False]))
+
+
+class TestThresholdAtAlpha:
+    def test_zero_alpha_separating_case(self):
+        d = np.array([1.0, 1.2, 4.0, 5.0])
+        same = np.array([True, True, False, False])
+        t = threshold_at_alpha(d, same, alpha=0.0)
+        # All same-pairs below t, no distinct pairs below t.
+        assert 1.2 <= t < 4.0
+
+    def test_alpha_one_admits_everything(self):
+        d = np.array([1.0, 3.0, 2.0, 5.0])
+        same = np.array([True, False, True, False])
+        t = threshold_at_alpha(d, same, alpha=1.0)
+        assert t >= 5.0
+
+    def test_monotone_in_alpha(self):
+        rng = np.random.default_rng(2)
+        d = np.concatenate([rng.normal(1, 0.4, 40), rng.normal(2.5, 0.6, 60)])
+        same = np.concatenate([np.ones(40, bool), np.zeros(60, bool)])
+        ts = [threshold_at_alpha(d, same, a) for a in (0.0, 0.1, 0.3, 0.8)]
+        assert ts == sorted(ts)
+
+    def test_invalid_alpha(self):
+        roc = roc_curve(np.array([1.0, 2.0]), np.array([True, False]))
+        with pytest.raises(ValueError):
+            roc.threshold_at_alpha(1.5)
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_fpr_at_selected_threshold_within_alpha(self, alpha):
+        rng = np.random.default_rng(3)
+        d = np.concatenate([rng.normal(1, 0.5, 30), rng.normal(2, 0.7, 70)])
+        same = np.concatenate([np.ones(30, bool), np.zeros(70, bool)])
+        t = threshold_at_alpha(d, same, alpha)
+        fpr = np.mean(d[~same] <= t)
+        assert fpr <= alpha + 1e-9
+
+
+class TestAUCScore:
+    def test_matches_curve_auc(self):
+        rng = np.random.default_rng(4)
+        d = rng.uniform(size=100)
+        same = rng.uniform(size=100) < 0.4
+        assert auc_score(d, same) == pytest.approx(roc_curve(d, same).auc)
+
+    def test_auc_is_pair_ranking_probability(self):
+        """AUC equals P(same-pair distance < distinct-pair distance) for
+        continuous distances (Mann-Whitney equivalence)."""
+        rng = np.random.default_rng(5)
+        d_same = rng.normal(1.0, 0.5, 40)
+        d_diff = rng.normal(2.0, 0.5, 60)
+        d = np.concatenate([d_same, d_diff])
+        same = np.concatenate([np.ones(40, bool), np.zeros(60, bool)])
+        mw = np.mean(d_same[:, None] < d_diff[None, :])
+        assert auc_score(d, same) == pytest.approx(mw, abs=1e-9)

@@ -1,0 +1,76 @@
+"""Tests for trace save/load."""
+
+import numpy as np
+import pytest
+
+from repro.persistence import TRACE_FORMAT_VERSION, load_trace, save_trace
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip_preserves_everything(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        back = load_trace(path)
+
+        np.testing.assert_array_equal(back.quantiles, small_trace.quantiles)
+        np.testing.assert_array_equal(back.anomalous, small_trace.anomalous)
+        np.testing.assert_array_equal(
+            back.kpi_violation_fraction,
+            small_trace.kpi_violation_fraction,
+        )
+        assert back.metric_names == small_trace.metric_names
+        assert back.quantile_levels == small_trace.quantile_levels
+        assert back.n_machines == small_trace.n_machines
+
+    def test_roundtrip_sla(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        back = load_trace(path)
+        assert back.sla.violation_fraction == \
+            small_trace.sla.violation_fraction
+        np.testing.assert_allclose(back.sla.thresholds,
+                                   small_trace.sla.thresholds)
+
+    def test_roundtrip_crises_and_raw_windows(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        back = load_trace(path)
+        assert len(back.crises) == len(small_trace.crises)
+        a = small_trace.crises[0]
+        b = back.crises[0]
+        assert b.label == a.label
+        assert b.detected_epoch == a.detected_epoch
+        assert b.instance.seed == a.instance.seed
+        np.testing.assert_array_equal(b.instance.machines,
+                                      a.instance.machines)
+        np.testing.assert_array_equal(b.raw.values, a.raw.values)
+        np.testing.assert_array_equal(b.raw.violations, a.raw.violations)
+
+    def test_loaded_trace_usable_by_method(self, small_trace, tmp_path):
+        from repro.methods import FingerprintMethod
+
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        back = load_trace(path)
+        method = FingerprintMethod()
+        method.fit(back, back.labeled_crises)
+        v = method.vector(back.labeled_crises[0])
+        assert np.all(np.abs(v) <= 1.0)
+
+    def test_version_check(self, small_trace, tmp_path):
+        import json
+
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        # Corrupt the header version.
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["format_version"] = 999
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_trace(path)
+        assert TRACE_FORMAT_VERSION == 1

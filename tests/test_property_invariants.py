@@ -1,0 +1,107 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These check the mathematical promises the method relies on, over random
+inputs rather than hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.identification import threshold_from_pairs
+from repro.core.similarity import l2_distance, pairwise_distances
+from repro.core.summary import summary_vectors
+from repro.core.thresholds import QuantileThresholds, percentile_thresholds
+from repro.telemetry.quantiles import summarize_epoch
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestQuantileInvariants:
+    @given(hnp.arrays(np.float64, (17, 4), elements=finite))
+    @settings(max_examples=80, deadline=None)
+    def test_machine_permutation_invariance(self, samples):
+        """Datacenter-wide quantiles cannot depend on machine ordering."""
+        qs = (0.25, 0.5, 0.95)
+        base = summarize_epoch(samples, qs)
+        perm = summarize_epoch(samples[::-1], qs)
+        np.testing.assert_array_equal(base, perm)
+
+    @given(hnp.arrays(np.float64, (11, 3), elements=finite), finite)
+    @settings(max_examples=80, deadline=None)
+    def test_translation_equivariance(self, samples, shift):
+        qs = (0.25, 0.5, 0.95)
+        base = summarize_epoch(samples, qs)
+        shifted = summarize_epoch(samples + shift, qs)
+        np.testing.assert_allclose(shifted, base + shift, rtol=1e-9,
+                                   atol=1e-6)
+
+
+class TestThresholdInvariants:
+    @given(
+        hnp.arrays(np.float64, (50, 3, 2), elements=st.floats(0, 1e4)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_band_contains_median(self, history):
+        t = percentile_thresholds(history, 2.0, 98.0)
+        med = np.percentile(history, 50, axis=0)
+        assert np.all(med >= t.cold - 1e-9)
+        assert np.all(med <= t.hot + 1e-9)
+
+    @given(
+        hnp.arrays(np.float64, (40, 2, 3), elements=st.floats(0, 1e4)),
+        st.floats(1.0, 20.0),
+        st.floats(80.0, 99.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_summary_flag_rate_bounded(self, history, cold, hot):
+        t = percentile_thresholds(history, cold, hot)
+        flags = summary_vectors(history, t)
+        rate = np.mean(flags != 0)
+        expected = (cold + (100.0 - hot)) / 100.0
+        assert rate <= expected + 0.15  # discrete-data slack
+
+
+class TestDistanceInvariants:
+    vectors = hnp.arrays(np.float64, (6, 9),
+                         elements=st.floats(-1, 1, allow_nan=False))
+
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, vecs):
+        D = pairwise_distances(list(vecs))
+        n = len(vecs)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert D[i, j] <= D[i, k] + D[k, j] + 1e-9
+
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_matches_pointwise(self, vecs):
+        D = pairwise_distances(list(vecs))
+        assert D[1, 4] == pytest.approx(l2_distance(vecs[1], vecs[4]))
+
+
+class TestThresholdRuleInvariants:
+    @given(
+        hnp.arrays(np.float64, (10,), elements=st.floats(0.01, 100.0)),
+        hnp.arrays(np.bool_, (10,)),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_threshold_nonnegative_and_finite(self, dists, same, alpha):
+        t = threshold_from_pairs(dists, same, alpha)
+        assert np.isfinite(t)
+        assert t >= 0.0
+
+    @given(hnp.arrays(np.float64, (8,), elements=st.floats(0.01, 100.0)))
+    @settings(max_examples=60, deadline=None)
+    def test_same_only_scales_with_alpha(self, dists):
+        same = np.ones(8, dtype=bool)
+        t0 = threshold_from_pairs(dists, same, 0.0)
+        t1 = threshold_from_pairs(dists, same, 0.5)
+        assert t1 >= t0
+        assert t0 == pytest.approx(dists.max())

@@ -1,0 +1,114 @@
+"""Tests for the telemetry collection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.collector import (
+    CollectionPipeline,
+    EpochAggregator,
+    MachineAgent,
+)
+from repro.telemetry.quantiles import summarize_epoch
+
+METRICS = ["cpu", "latency", "queue"]
+
+
+class TestMachineAgent:
+    def test_averages_sub_epoch_samples(self):
+        agent = MachineAgent("m1", METRICS)
+        agent.record("cpu", 10.0)
+        agent.record("cpu", 20.0)
+        agent.record("latency", 5.0)
+        report = agent.flush()
+        assert report[0] == 15.0
+        assert report[1] == 5.0
+        assert np.isnan(report[2])  # queue never reported
+
+    def test_flush_resets(self):
+        agent = MachineAgent("m1", METRICS)
+        agent.record("cpu", 10.0)
+        agent.flush()
+        assert np.all(np.isnan(agent.flush()))
+
+    def test_record_all(self):
+        agent = MachineAgent("m1", METRICS)
+        agent.record_all([1.0, 2.0, 3.0])
+        agent.record_all([3.0, 4.0, 5.0])
+        np.testing.assert_allclose(agent.flush(), [2.0, 3.0, 4.0])
+
+    def test_validation(self):
+        agent = MachineAgent("m1", METRICS)
+        with pytest.raises(KeyError):
+            agent.record("nope", 1.0)
+        with pytest.raises(ValueError):
+            agent.record("cpu", float("nan"))
+        with pytest.raises(ValueError):
+            agent.record_all([1.0])
+        with pytest.raises(ValueError):
+            MachineAgent("m", [])
+
+
+class TestEpochAggregator:
+    def test_exact_matches_direct_computation(self):
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(1.0, 0.4, (30, 3))
+        agg = EpochAggregator(METRICS)
+        for row in samples:
+            agg.submit(row)
+        summary = agg.close_epoch()
+        np.testing.assert_array_equal(
+            summary.quantiles,
+            summarize_epoch(samples, (0.25, 0.50, 0.95)),
+        )
+        assert summary.n_machines_reporting == 30
+        assert summary.epoch == 0
+        assert agg.epoch == 1
+
+    def test_sketch_mode_close_to_exact(self):
+        rng = np.random.default_rng(1)
+        samples = rng.lognormal(1.0, 0.4, (800, 3))
+        exact = summarize_epoch(samples, (0.25, 0.50, 0.95))
+        agg = EpochAggregator(METRICS, mode="sketch", sketch_eps=0.01)
+        for row in samples:
+            agg.submit(row)
+        summary = agg.close_epoch()
+        np.testing.assert_allclose(summary.quantiles, exact, rtol=0.1)
+
+    def test_empty_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            EpochAggregator(METRICS).close_epoch()
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            EpochAggregator(METRICS, mode="avg")
+
+    def test_report_shape_checked(self):
+        agg = EpochAggregator(METRICS)
+        with pytest.raises(ValueError):
+            agg.submit(np.zeros(2))
+
+
+class TestCollectionPipeline:
+    def test_end_to_end_epoch(self):
+        rng = np.random.default_rng(2)
+        machines = [f"m{i}" for i in range(20)]
+        pipeline = CollectionPipeline(machines, METRICS)
+        samples = rng.lognormal(0.5, 0.3, (20, 3))
+        for mid, row in zip(machines, samples):
+            pipeline.agents[mid].record_all(row)
+        summary = pipeline.close_epoch()
+        np.testing.assert_array_equal(
+            summary.quantiles, summarize_epoch(samples, (0.25, 0.50, 0.95))
+        )
+
+    def test_silent_machines_skipped(self):
+        machines = ["a", "b", "c"]
+        pipeline = CollectionPipeline(machines, METRICS)
+        pipeline.agents["a"].record_all([1.0, 1.0, 1.0])
+        pipeline.agents["b"].record_all([2.0, 2.0, 2.0])
+        summary = pipeline.close_epoch()
+        assert summary.n_machines_reporting == 2
+
+    def test_needs_machines(self):
+        with pytest.raises(ValueError):
+            CollectionPipeline([], METRICS)

@@ -1,0 +1,79 @@
+"""Tests for repro.telemetry.epochs."""
+
+import pytest
+
+from repro.telemetry.epochs import (
+    EpochClock,
+    epoch_of_minute,
+    epochs_per_day,
+    minutes_of_epoch,
+)
+
+
+class TestEpochsPerDay:
+    def test_default_fifteen_minutes(self):
+        assert epochs_per_day() == 96
+
+    def test_other_lengths(self):
+        assert epochs_per_day(30) == 48
+        assert epochs_per_day(60) == 24
+
+    def test_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            epochs_per_day(7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            epochs_per_day(0)
+
+
+class TestConversions:
+    def test_epoch_of_minute(self):
+        assert epoch_of_minute(0) == 0
+        assert epoch_of_minute(14) == 0
+        assert epoch_of_minute(15) == 1
+        assert epoch_of_minute(1440) == 96
+
+    def test_minutes_of_epoch(self):
+        assert minutes_of_epoch(0) == 0
+        assert minutes_of_epoch(4) == 60
+
+    def test_roundtrip(self):
+        for epoch in (0, 1, 95, 96, 1000):
+            assert epoch_of_minute(minutes_of_epoch(epoch)) == epoch
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            epoch_of_minute(-1)
+        with pytest.raises(ValueError):
+            minutes_of_epoch(-5)
+
+
+class TestEpochClock:
+    def test_day_of(self):
+        clock = EpochClock()
+        assert clock.day_of(0) == 0
+        assert clock.day_of(95) == 0
+        assert clock.day_of(96) == 1
+
+    def test_time_of_day(self):
+        clock = EpochClock()
+        assert clock.time_of_day(0) == 0.0
+        assert clock.time_of_day(48) == 0.5
+        assert clock.time_of_day(96) == 0.0
+
+    def test_span_epochs(self):
+        clock = EpochClock()
+        assert clock.span_epochs(0) == 0
+        assert clock.span_epochs(3) == 288
+
+    def test_invalid_epoch_length_rejected(self):
+        with pytest.raises(ValueError):
+            EpochClock(epoch_minutes=13)
+
+    def test_negative_inputs_rejected(self):
+        clock = EpochClock()
+        with pytest.raises(ValueError):
+            clock.day_of(-1)
+        with pytest.raises(ValueError):
+            clock.span_epochs(-1)

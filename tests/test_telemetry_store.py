@@ -1,0 +1,93 @@
+"""Tests for the rolling quantile store."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.store import QuantileStore
+
+
+def make_store(n=0, n_metrics=4, n_quantiles=3, anomalous_every=None):
+    store = QuantileStore(n_metrics, n_quantiles, capacity_hint=16)
+    rng = np.random.default_rng(0)
+    for i in range(n):
+        flag = anomalous_every is not None and i % anomalous_every == 0
+        store.append(rng.normal(size=(n_metrics, n_quantiles)), flag)
+    return store
+
+
+class TestAppend:
+    def test_length_tracks_appends(self):
+        store = make_store(10)
+        assert len(store) == 10
+
+    def test_shape_validation(self):
+        store = QuantileStore(4, 3)
+        with pytest.raises(ValueError):
+            store.append(np.zeros((3, 3)), False)
+
+    def test_growth_beyond_capacity(self):
+        store = make_store(100)  # capacity hint is 16
+        assert len(store) == 100
+        assert store.values().shape == (100, 4, 3)
+
+    def test_extend(self):
+        store = QuantileStore(2, 3)
+        chunk = np.arange(2 * 2 * 3, dtype=float).reshape(2, 2, 3)
+        store.extend(chunk, np.array([False, True]))
+        assert len(store) == 2
+        np.testing.assert_array_equal(store.epoch(1), chunk[1])
+        assert store.anomalous_mask()[1]
+
+    def test_extend_validation(self):
+        store = QuantileStore(2, 3)
+        with pytest.raises(ValueError):
+            store.extend(np.zeros((2, 3, 3)), np.zeros(2, bool))
+        with pytest.raises(ValueError):
+            store.extend(np.zeros((2, 2, 3)), np.zeros(3, bool))
+
+
+class TestAccess:
+    def test_epoch_negative_index(self):
+        store = make_store(5)
+        np.testing.assert_array_equal(store.epoch(-1), store.epoch(4))
+
+    def test_epoch_out_of_range(self):
+        store = make_store(5)
+        with pytest.raises(IndexError):
+            store.epoch(5)
+
+    def test_views_are_readonly(self):
+        store = make_store(5)
+        with pytest.raises(ValueError):
+            store.values()[0, 0, 0] = 1.0
+        with pytest.raises(ValueError):
+            store.epoch(0)[0, 0] = 1.0
+
+
+class TestTrailingWindow:
+    def test_excludes_anomalous_epochs(self):
+        store = make_store(20, anomalous_every=5)
+        values, idx = store.trailing_window(20, 20)
+        assert len(idx) == 16  # epochs 0,5,10,15 excluded
+        assert values.shape[0] == 16
+        assert not np.any(np.isin(idx, [0, 5, 10, 15]))
+
+    def test_window_respects_bounds(self):
+        store = make_store(20)
+        values, idx = store.trailing_window(10, 5)
+        np.testing.assert_array_equal(idx, np.arange(5, 10))
+
+    def test_window_clipped_at_start(self):
+        store = make_store(5)
+        values, idx = store.trailing_window(5, 100)
+        assert len(idx) == 5
+
+    def test_crisis_free_false_keeps_all(self):
+        store = make_store(20, anomalous_every=4)
+        values, idx = store.trailing_window(20, 20, crisis_free=False)
+        assert len(idx) == 20
+
+    def test_end_out_of_range(self):
+        store = make_store(5)
+        with pytest.raises(IndexError):
+            store.trailing_window(6, 3)

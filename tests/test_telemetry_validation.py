@@ -1,0 +1,78 @@
+"""Tests for telemetry data-quality validation."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.validation import (
+    ValidationIssue,
+    validate_epoch_summary,
+    validate_history,
+)
+
+
+def good_summary(n_metrics=5):
+    rng = np.random.default_rng(0)
+    base = rng.uniform(1, 10, (n_metrics, 1))
+    return base * np.array([[1.0, 1.5, 2.0]])
+
+
+class TestValidateEpochSummary:
+    def test_clean_summary_ok(self):
+        report = validate_epoch_summary(good_summary())
+        assert report.ok
+        assert not report.issues
+
+    def test_non_finite_is_error(self):
+        q = good_summary()
+        q[2, 1] = np.nan
+        report = validate_epoch_summary(q, metric_names=list("abcde"))
+        assert not report.ok
+        assert report.errors[0].code == "non-finite"
+        assert "c" in report.errors[0].message
+
+    def test_quantile_inversion_is_error(self):
+        q = good_summary()
+        q[1] = [5.0, 3.0, 1.0]
+        report = validate_epoch_summary(q)
+        assert any(i.code == "quantile-inversion" for i in report.errors)
+
+    def test_all_zero_is_warning(self):
+        q = good_summary()
+        q[4] = 0.0
+        report = validate_epoch_summary(q)
+        assert report.ok  # warnings do not fail validation
+        assert any(i.code == "all-zero" for i in report.warnings)
+
+    def test_bad_shape(self):
+        report = validate_epoch_summary(np.zeros(3))
+        assert not report.ok
+
+
+class TestValidateHistory:
+    def test_clean_history_ok(self):
+        rng = np.random.default_rng(1)
+        h = rng.uniform(1, 2, (200, 4, 3))
+        assert validate_history(h).ok
+
+    def test_stuck_metric_warned(self):
+        rng = np.random.default_rng(2)
+        h = rng.uniform(1, 2, (200, 4, 3))
+        h[-120:, 2, :] = 7.0
+        report = validate_history(h, stuck_epochs=96)
+        stuck = [i for i in report.warnings if i.code == "stuck"]
+        assert len(stuck) == 1
+        assert stuck[0].metric_index == 2
+
+    def test_non_finite_error(self):
+        h = np.ones((10, 2, 3))
+        h[3, 1, 2] = np.inf
+        assert not validate_history(h).ok
+
+    def test_short_history_passes(self):
+        assert validate_history(np.ones((1, 2, 3))).ok
+
+
+class TestValidationIssue:
+    def test_severity_checked(self):
+        with pytest.raises(ValueError):
+            ValidationIssue("fatal", "x", "y")

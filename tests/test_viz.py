@@ -1,0 +1,71 @@
+"""Tests for the text renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import render_fingerprint, render_roc, render_series
+
+
+class TestRenderFingerprint:
+    def test_basic_glyphs(self):
+        s = np.array([[1, 0, -1]])
+        out = render_fingerprint(s)
+        assert "#" in out and "." in out
+        assert "|# .|" in out
+
+    def test_title_and_names(self):
+        s = np.zeros((2, 3), dtype=int)
+        out = render_fingerprint(s, metric_names=["a", "b", "c"], title="T")
+        assert out.startswith("T")
+        assert "a, b, c" in out
+
+    def test_one_line_per_epoch(self):
+        s = np.zeros((5, 4), dtype=int)
+        out = render_fingerprint(s)
+        assert sum(1 for line in out.splitlines()
+                   if line.startswith("|")) == 5
+
+    def test_rejects_non_ternary(self):
+        with pytest.raises(ValueError):
+            render_fingerprint(np.array([[2, 0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_fingerprint(np.array([1, 0]))
+
+
+class TestRenderROC:
+    def test_contains_curve(self):
+        fpr = np.array([0.0, 0.1, 1.0])
+        tpr = np.array([0.0, 0.9, 1.0])
+        out = render_roc(fpr, tpr, title="roc")
+        assert "*" in out
+        assert "false-alarm rate" in out
+        assert out.startswith("roc")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_roc(np.array([0.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            render_roc(np.array([]), np.array([]))
+
+
+class TestRenderSeries:
+    def test_legend(self):
+        x = np.linspace(0, 1, 5)
+        out = render_series(x, [x, 1 - x], ["up", "down"])
+        assert "o=up" in out
+        assert "x=down" in out
+
+    def test_nan_values_skipped(self):
+        x = np.linspace(0, 1, 4)
+        y = np.array([0.1, np.nan, 0.5, 0.9])
+        out = render_series(x, [y], ["s"])
+        assert "o" in out
+
+    def test_validation(self):
+        x = np.linspace(0, 1, 3)
+        with pytest.raises(ValueError):
+            render_series(x, [x], ["a", "b"])
+        with pytest.raises(ValueError):
+            render_series(x, [np.zeros(4)], ["a"])

@@ -1,0 +1,64 @@
+"""Tests for the single-crisis dossier."""
+
+import numpy as np
+import pytest
+
+from repro.methods import FingerprintMethod
+from repro.viz import crisis_dossier
+
+
+@pytest.fixture(scope="module")
+def dossier_inputs(small_trace):
+    method = FingerprintMethod()
+    method.fit(small_trace, small_trace.labeled_crises)
+    return small_trace, method
+
+
+class TestCrisisDossier:
+    def test_contains_core_sections(self, dossier_inputs):
+        trace, method = dossier_inputs
+        crisis = trace.labeled_crises[0]
+        text = crisis_dossier(
+            trace, crisis, method.thresholds, method.relevant
+        )
+        assert f"crisis #{crisis.index}" in text
+        assert "KPI impact" in text
+        assert "fingerprint" in text
+        assert "relevant metrics" in text
+
+    def test_matches_rendered(self, dossier_inputs):
+        trace, method = dossier_inputs
+        crisis = trace.labeled_crises[1]
+        text = crisis_dossier(
+            trace, crisis, method.thresholds, method.relevant,
+            matches=[("B", 1.23), ("E", 2.5)],
+        )
+        assert "type B  (distance 1.23)" in text
+        assert "type E" in text
+
+    def test_hot_metric_listed(self, dossier_inputs):
+        trace, method = dossier_inputs
+        crisis = trace.labeled_crises[0]
+        text = crisis_dossier(
+            trace, crisis, method.thresholds, method.relevant
+        )
+        assert "HOT" in text or "COLD" in text
+
+    def test_max_metrics_truncates(self, dossier_inputs):
+        trace, method = dossier_inputs
+        crisis = trace.labeled_crises[0]
+        text = crisis_dossier(
+            trace, crisis, method.thresholds, method.relevant,
+            max_metrics=2,
+        )
+        assert "more" in text
+
+    def test_undetected_rejected(self, dossier_inputs):
+        trace, method = dossier_inputs
+        crisis = trace.labeled_crises[0]
+        import copy
+
+        ghost = copy.copy(crisis)
+        ghost.detected_epoch = None
+        with pytest.raises(ValueError):
+            crisis_dossier(trace, ghost, method.thresholds, method.relevant)

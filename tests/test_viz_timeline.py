@@ -1,0 +1,58 @@
+"""Tests for timeline and distance-matrix renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import render_distance_matrix, render_timeline
+
+
+class TestRenderTimeline:
+    def test_marks_crisis_days(self, small_trace):
+        out = render_timeline(small_trace)
+        labeled = [c for c in small_trace.crises if c.labeled]
+        # Every labeled type letter appears somewhere on the strip.
+        for code in {c.label for c in labeled}:
+            assert code in out
+
+    def test_bootstrap_lowercase(self, small_trace):
+        out = render_timeline(small_trace)
+        boot = [c for c in small_trace.crises if not c.labeled]
+        assert any(c.label.lower() in out for c in boot)
+
+    def test_exclude_bootstrap(self, small_trace):
+        out = render_timeline(small_trace, include_bootstrap=False)
+        # No lowercase crisis letters when bootstrap markers are off.
+        strip = "".join(line.split("| ")[-1]
+                        for line in out.splitlines() if "|" in line)
+        assert not any(ch.islower() for ch in strip if ch.isalpha())
+
+    def test_row_wrapping(self, small_trace):
+        out = render_timeline(small_trace, days_per_row=30)
+        rows = [line for line in out.splitlines() if line.startswith("day")]
+        n_days = small_trace.n_epochs // small_trace.epochs_per_day
+        assert len(rows) == -(-n_days // 30)
+
+
+class TestRenderDistanceMatrix:
+    def test_close_pairs_dark(self):
+        D = np.array(
+            [[0.0, 0.1, 5.0], [0.1, 0.0, 5.0], [5.0, 5.0, 0.0]]
+        )
+        out = render_distance_matrix(D, ["B", "B", "C"])
+        lines = out.splitlines()
+        row_b = lines[2]  # first B row
+        assert "#" in row_b  # close to the other B
+
+    def test_diagonal_marked(self):
+        D = np.zeros((2, 2))
+        D[0, 1] = D[1, 0] = 1.0
+        out = render_distance_matrix(D, ["A", "B"])
+        assert "\\" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_distance_matrix(np.zeros((2, 3)), ["a", "b"])
+        with pytest.raises(ValueError):
+            render_distance_matrix(np.zeros((2, 2)), ["a"])
+        with pytest.raises(ValueError):
+            render_distance_matrix(np.zeros((0, 0)), [])
