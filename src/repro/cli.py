@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows without writing Python:
+Seven subcommands cover the common workflows without writing Python:
 
 * ``simulate`` — generate a synthetic datacenter trace and save it;
 * ``identify`` — replay online crisis identification over a saved trace;
+* ``monitor`` — drive the streaming monitor over a trace with crash-safe
+  checkpoints (``--checkpoint``/``--resume``);
 * ``discriminate`` — Figure 3's AUC comparison of all four methods;
 * ``render`` — print a Figure 1-style fingerprint heatmap for one crisis;
 * ``timeline`` — print a day-by-day strip of the trace's crises;
@@ -44,6 +46,26 @@ def _add_identify(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--relevant-metrics", type=int, default=30)
     p.add_argument("--window-days", type=int, default=240)
     p.add_argument("--alpha", type=float, default=0.1)
+
+
+def _add_monitor(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "monitor",
+        help="drive the streaming monitor over a trace, with "
+             "crash-safe checkpoints",
+    )
+    p.add_argument("trace", help="path of a saved .npz trace")
+    p.add_argument("--relevant-metrics", type=int, default=20)
+    p.add_argument("--window-days", type=int, default=30)
+    p.add_argument("--coverage-floor", type=float, default=0.5,
+                   help="min fleet coverage for an epoch to be trusted")
+    p.add_argument("--checkpoint", help="checkpoint archive path")
+    p.add_argument("--checkpoint-every", type=int, default=96,
+                   help="epochs between checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint instead of starting fresh")
+    p.add_argument("--stop-epoch", type=int, default=None,
+                   help="stop after this epoch (exclusive); default: all")
 
 
 def _add_discriminate(sub: argparse._SubParsersAction) -> None:
@@ -87,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_simulate(sub)
     _add_identify(sub)
+    _add_monitor(sub)
     _add_discriminate(sub)
     _add_render(sub)
     _add_timeline(sub)
@@ -160,6 +183,82 @@ def _cmd_identify(args: argparse.Namespace) -> int:
     if attempted:
         print(f"accuracy: {correct}/{attempted} "
               f"({100.0 * correct / attempted:.0f}%)")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.config import ReliabilityConfig
+    from repro.core.checkpoint import load_monitor, save_monitor
+    from repro.core.streaming import (
+        CrisisDetected,
+        CrisisEnded,
+        EpochUntrusted,
+        IdentificationUpdate,
+        StreamingCrisisMonitor,
+    )
+    from repro.persistence import load_trace
+
+    trace = load_trace(args.trace)
+    config = FingerprintingConfig(
+        selection=SelectionConfig(n_relevant=args.relevant_metrics),
+        thresholds=ThresholdConfig(window_days=args.window_days),
+    )
+    reliability = ReliabilityConfig(coverage_floor=args.coverage_floor)
+
+    if args.resume:
+        if not args.checkpoint:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            return 1
+        monitor = load_monitor(args.checkpoint, config, reliability)
+        start = len(monitor.store)
+        print(f"resumed from {args.checkpoint} at epoch {start}")
+    else:
+        from repro.methods import FingerprintMethod
+
+        method = FingerprintMethod(config)
+        method.fit(trace, trace.labeled_crises)
+        monitor = StreamingCrisisMonitor(
+            n_metrics=trace.n_metrics,
+            relevant_metrics=method.relevant,
+            config=config,
+            reliability=reliability,
+        )
+        start = 0
+
+    stop = trace.n_epochs
+    if args.stop_epoch is not None:
+        stop = min(stop, args.stop_epoch)
+    frac = trace.kpi_violation_fraction.max(axis=1)
+    n_detected = n_untrusted = 0
+    for epoch in range(start, stop):
+        events = monitor.ingest(trace.quantiles[epoch], float(frac[epoch]))
+        for event in events:
+            if isinstance(event, CrisisDetected):
+                n_detected += 1
+                print(f"[{event.epoch:6d}] crisis {event.crisis_number} "
+                      f"detected")
+            elif isinstance(event, IdentificationUpdate):
+                d = "-" if event.distance is None else f"{event.distance:.3f}"
+                print(f"[{event.epoch:6d}] crisis {event.crisis_number} "
+                      f"identification {event.identification_epoch}: "
+                      f"{event.label} (distance {d})")
+            elif isinstance(event, CrisisEnded):
+                print(f"[{event.epoch:6d}] crisis {event.crisis_number} "
+                      f"ended after {event.duration_epochs} epochs")
+            elif isinstance(event, EpochUntrusted):
+                n_untrusted += 1
+                print(f"[{event.epoch:6d}] epoch untrusted: "
+                      f"{', '.join(event.reasons)}")
+        if (
+            args.checkpoint
+            and (epoch + 1 - start) % args.checkpoint_every == 0
+        ):
+            save_monitor(monitor, args.checkpoint)
+    if args.checkpoint:
+        save_monitor(monitor, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    print(f"monitored epochs {start}..{stop}: {n_detected} detections, "
+          f"{n_untrusted} untrusted epochs")
     return 0
 
 
@@ -269,6 +368,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "identify": _cmd_identify,
+    "monitor": _cmd_monitor,
     "discriminate": _cmd_discriminate,
     "render": _cmd_render,
     "timeline": _cmd_timeline,

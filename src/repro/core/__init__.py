@@ -17,6 +17,13 @@ Pipeline (Section 3):
    the steps together over a live trace.
 """
 
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    load_monitor,
+    load_pipeline,
+    save_monitor,
+    save_pipeline,
+)
 from repro.core.fingerprint import (
     CrisisFingerprint,
     crisis_fingerprint,
@@ -45,6 +52,11 @@ from repro.core.thresholds import (
 )
 
 __all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "load_monitor",
+    "load_pipeline",
+    "save_monitor",
+    "save_pipeline",
     "CrisisFingerprint",
     "crisis_fingerprint",
     "epoch_fingerprints",

@@ -1,0 +1,275 @@
+"""Crash-safe checkpoint/restore for the live fingerprinting service.
+
+A process restart must not lose streaming state: hot/cold thresholds take
+days of history to rebuild, the crisis library *is* the method's knowledge,
+and a crisis in progress must resume its identification protocol where it
+left off.  This module snapshots a
+:class:`~repro.core.streaming.StreamingCrisisMonitor` or a
+:class:`~repro.core.pipeline.FingerprintPipeline` to a single ``.npz``
+archive (array payloads plus a JSON header, the
+:mod:`repro.persistence` idiom) and restores it to a bit-identical state:
+replaying the same epochs after a restore emits exactly the events an
+uninterrupted run would.
+
+Writes are atomic — the archive is written to a temporary file in the
+destination directory, fsynced, and renamed over the target — so a crash
+mid-checkpoint leaves the previous snapshot intact, never a torn file.
+
+Method configuration (:class:`~repro.config.FingerprintingConfig`) is
+code, not state: the caller passes the same config to ``load_*`` that the
+original object was built with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import FingerprintingConfig, ReliabilityConfig
+from repro.core.pipeline import FingerprintPipeline, KnownCrisis
+from repro.core.streaming import StreamingCrisisMonitor, _LiveCrisis, _StoredCrisis
+from repro.core.thresholds import QuantileThresholds
+
+#: Format version embedded in every checkpoint archive.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def _atomic_write_npz(path, arrays: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` atomically: tmp file + fsync + rename."""
+    path = pathlib.Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or pathlib.Path("."), suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _pack_header(header: dict) -> np.ndarray:
+    # numpy scalars (e.g. a threshold held as np.float64) serialize via .item()
+    payload = json.dumps(header, default=lambda o: o.item())
+    return np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
+
+
+def _read_header(data, expected_kind: str) -> dict:
+    header = json.loads(bytes(data["header"]).decode("utf-8"))
+    version = header.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {version!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})"
+        )
+    kind = header.get("kind")
+    if kind != expected_kind:
+        raise ValueError(
+            f"checkpoint holds a {kind!r}, expected {expected_kind!r}"
+        )
+    return header
+
+
+# ---------------------------------------------------------------------------
+# Streaming monitor
+# ---------------------------------------------------------------------------
+
+
+def save_monitor(monitor: StreamingCrisisMonitor, path) -> None:
+    """Snapshot a streaming monitor's full state atomically."""
+    live = monitor._live
+    header = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "kind": "monitor",
+        "n_metrics": monitor.n_metrics,
+        "n_quantiles": monitor.store.n_quantiles,
+        "threshold_refresh_epochs": monitor.threshold_refresh_epochs,
+        "min_history_epochs": monitor.min_history_epochs,
+        "epochs_since_refresh": monitor._epochs_since_refresh,
+        "crisis_counter": monitor._crisis_counter,
+        "untrusted_epochs": monitor.untrusted_epochs,
+        "has_thresholds": monitor.thresholds is not None,
+        "live": None if live is None else {
+            "number": live.number,
+            "detected_epoch": live.detected_epoch,
+            "identifications": live.identifications,
+        },
+        "library": [
+            {"number": s.number, "label": s.label}
+            for s in monitor._library
+        ],
+        "n_pre_buffer": len(monitor._pre_buffer),
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "header": _pack_header(header),
+        "relevant": np.asarray(monitor.relevant, dtype=int),
+        "store_values": np.asarray(monitor.store.values()),
+        "store_anomalous": np.asarray(monitor.store.anomalous_mask()),
+    }
+    if monitor.thresholds is not None:
+        arrays["thresholds_cold"] = monitor.thresholds.cold
+        arrays["thresholds_hot"] = monitor.thresholds.hot
+    if monitor._pre_buffer:
+        arrays["pre_buffer"] = np.stack(monitor._pre_buffer)
+    if live is not None and live.summaries:
+        arrays["live_summaries"] = np.stack(live.summaries)
+    for i, stored in enumerate(monitor._library):
+        arrays[f"library_window_{i}"] = stored.quantile_window
+    _atomic_write_npz(path, arrays)
+
+
+def load_monitor(
+    path,
+    config: FingerprintingConfig = FingerprintingConfig(),
+    reliability: ReliabilityConfig = ReliabilityConfig(),
+) -> StreamingCrisisMonitor:
+    """Restore a monitor saved by :func:`save_monitor`.
+
+    ``config`` and ``reliability`` must match the original monitor's; they
+    are code-side parameters and are not serialized.
+    """
+    with np.load(pathlib.Path(path), allow_pickle=False) as data:
+        header = _read_header(data, "monitor")
+        monitor = StreamingCrisisMonitor(
+            n_metrics=header["n_metrics"],
+            relevant_metrics=data["relevant"],
+            config=config,
+            threshold_refresh_epochs=header["threshold_refresh_epochs"],
+            min_history_epochs=header["min_history_epochs"],
+            reliability=reliability,
+        )
+        values = data["store_values"]
+        if values.shape[0]:
+            monitor.store.extend(values, data["store_anomalous"])
+        if header["has_thresholds"]:
+            monitor.thresholds = QuantileThresholds(
+                cold=data["thresholds_cold"], hot=data["thresholds_hot"]
+            )
+        monitor._epochs_since_refresh = header["epochs_since_refresh"]
+        monitor._crisis_counter = header["crisis_counter"]
+        monitor.untrusted_epochs = header["untrusted_epochs"]
+        if header["n_pre_buffer"]:
+            monitor._pre_buffer = list(data["pre_buffer"])
+        live_meta = header["live"]
+        if live_meta is not None:
+            live = _LiveCrisis(
+                number=live_meta["number"],
+                detected_epoch=live_meta["detected_epoch"],
+            )
+            if "live_summaries" in data:
+                live.summaries = list(data["live_summaries"])
+            live.identifications = live_meta["identifications"]
+            monitor._live = live
+        monitor._library = [
+            _StoredCrisis(
+                number=meta["number"],
+                label=meta["label"],
+                quantile_window=data[f"library_window_{i}"],
+            )
+            for i, meta in enumerate(header["library"])
+        ]
+    return monitor
+
+
+# ---------------------------------------------------------------------------
+# Replay pipeline
+# ---------------------------------------------------------------------------
+
+
+def save_pipeline(pipeline: FingerprintPipeline, path) -> None:
+    """Snapshot a replay pipeline's parameter and library state.
+
+    The trace itself is not serialized (it has its own persistence,
+    :mod:`repro.persistence`); :func:`load_pipeline` reattaches one.
+    """
+    header = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "kind": "pipeline",
+        "recompute_past_fingerprints": pipeline.recompute_past_fingerprints,
+        "exclude_kpis_from_selection": bool(pipeline._selection_exclude),
+        "identification_threshold": pipeline.identification_threshold,
+        "has_thresholds": pipeline.thresholds is not None,
+        "has_relevant": pipeline.relevant is not None,
+        "n_selections": len(pipeline._selections),
+        "known": [
+            {
+                "crisis_id": k.crisis_id,
+                "label": k.label,
+                "detection_epoch": k.detection_epoch,
+                "has_fingerprint": k.fingerprint is not None,
+            }
+            for k in pipeline.known
+        ],
+    }
+    arrays: Dict[str, np.ndarray] = {"header": _pack_header(header)}
+    if pipeline.thresholds is not None:
+        arrays["thresholds_cold"] = pipeline.thresholds.cold
+        arrays["thresholds_hot"] = pipeline.thresholds.hot
+    if pipeline.relevant is not None:
+        arrays["relevant"] = np.asarray(pipeline.relevant, dtype=int)
+    for i, sel in enumerate(pipeline._selections):
+        arrays[f"selection_{i}"] = np.asarray(sel, dtype=int)
+    for i, k in enumerate(pipeline.known):
+        arrays[f"known_window_{i}"] = k.quantile_window
+        arrays[f"known_stale_{i}"] = k.stale_summary
+        if k.fingerprint is not None:
+            arrays[f"known_fingerprint_{i}"] = k.fingerprint
+    _atomic_write_npz(path, arrays)
+
+
+def load_pipeline(
+    path,
+    trace,
+    config: FingerprintingConfig = FingerprintingConfig(),
+) -> FingerprintPipeline:
+    """Restore a pipeline saved by :func:`save_pipeline` onto ``trace``."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as data:
+        header = _read_header(data, "pipeline")
+        pipeline = FingerprintPipeline(
+            trace,
+            config,
+            recompute_past_fingerprints=header["recompute_past_fingerprints"],
+            exclude_kpis_from_selection=header["exclude_kpis_from_selection"],
+        )
+        if header["has_thresholds"]:
+            pipeline.thresholds = QuantileThresholds(
+                cold=data["thresholds_cold"], hot=data["thresholds_hot"]
+            )
+        if header["has_relevant"]:
+            pipeline.relevant = data["relevant"]
+        pipeline.identification_threshold = header["identification_threshold"]
+        pipeline._selections = [
+            data[f"selection_{i}"] for i in range(header["n_selections"])
+        ]
+        for i, meta in enumerate(header["known"]):
+            known = KnownCrisis(
+                crisis_id=meta["crisis_id"],
+                label=meta["label"],
+                detection_epoch=meta["detection_epoch"],
+                quantile_window=data[f"known_window_{i}"],
+                stale_summary=data[f"known_stale_{i}"],
+            )
+            if meta["has_fingerprint"]:
+                known.fingerprint = data[f"known_fingerprint_{i}"]
+            pipeline.known.append(known)
+    return pipeline
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "load_monitor",
+    "load_pipeline",
+    "save_monitor",
+    "save_pipeline",
+]

@@ -9,23 +9,39 @@ Each ingested epoch can emit events:
   rule (10% of machines in the paper);
 * :class:`IdentificationUpdate` — one entry of the five-epoch
   identification sequence for the crisis in progress;
-* :class:`CrisisEnded` — the violation fraction dropped back to normal.
+* :class:`CrisisEnded` — the violation fraction dropped back to normal;
+* :class:`EpochUntrusted` — the epoch failed the quality gate and was
+  quarantined (see below).
 
 Hot/cold thresholds are maintained from the monitor's own
 :class:`~repro.telemetry.store.QuantileStore` over a trailing crisis-free
 window.  Relevant metrics come from offline analysis (feature selection
 needs per-machine data the stream does not carry) and can be swapped at
 any time; the library re-fingerprints automatically.
+
+**Quality gating.**  Telemetry degrades exactly when crises happen, so
+every epoch passes a trust gate before it can influence the method's
+state: summaries are validated (:mod:`repro.telemetry.validation` — any
+``error``-severity issue marks the epoch untrusted) and, when the caller
+supplies an :class:`~repro.telemetry.collector.EpochQuality` record,
+fleet coverage below ``reliability.coverage_floor`` or a failed quorum
+does too.  An untrusted epoch is quarantined: it is stored flagged
+anomalous (so it can never enter a threshold window — the Figure 8
+stale-threshold result shows mildly stale thresholds are far cheaper than
+poisoned ones), threshold refresh is frozen, it cannot start or end a
+crisis, and if an identification is due the monitor emits the paper's
+don't-know label rather than risk a misidentification, preserving the
+``x*L*`` stability semantics of identification sequences.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.config import FingerprintingConfig
+from repro.config import FingerprintingConfig, ReliabilityConfig
 from repro.core.identification import (
     UNKNOWN,
     Identifier,
@@ -33,7 +49,9 @@ from repro.core.identification import (
 )
 from repro.core.summary import summary_vectors
 from repro.core.thresholds import QuantileThresholds, percentile_thresholds
+from repro.telemetry.collector import EpochQuality
 from repro.telemetry.store import QuantileStore
+from repro.telemetry.validation import validate_epoch_summary
 
 
 @dataclass(frozen=True)
@@ -58,7 +76,17 @@ class CrisisEnded:
     duration_epochs: int
 
 
-MonitorEvent = Union[CrisisDetected, IdentificationUpdate, CrisisEnded]
+@dataclass(frozen=True)
+class EpochUntrusted:
+    """The epoch failed the quality gate and was quarantined."""
+
+    epoch: int
+    reasons: Tuple[str, ...]
+
+
+MonitorEvent = Union[
+    CrisisDetected, CrisisEnded, EpochUntrusted, IdentificationUpdate
+]
 
 
 @dataclass
@@ -87,9 +115,11 @@ class StreamingCrisisMonitor:
         config: FingerprintingConfig = FingerprintingConfig(),
         threshold_refresh_epochs: int = 96,
         min_history_epochs: int = 96 * 7,
+        reliability: ReliabilityConfig = ReliabilityConfig(),
     ):
         cfg_q = config.quantiles
         self.config = config
+        self.reliability = reliability
         self.n_metrics = n_metrics
         self.relevant = np.asarray(relevant_metrics, dtype=int)
         if self.relevant.size == 0:
@@ -105,6 +135,7 @@ class StreamingCrisisMonitor:
         self._live: Optional[_LiveCrisis] = None
         self._library: List[_StoredCrisis] = []
         self._pre_buffer: List[np.ndarray] = []  # last pre_epochs summaries
+        self.untrusted_epochs = 0  # lifetime count of quarantined epochs
 
     # -- parameter management ------------------------------------------------
 
@@ -177,23 +208,79 @@ class StreamingCrisisMonitor:
             distance=distance,
         )
 
+    def _dont_know(self, live: _LiveCrisis, epoch: int) -> IdentificationUpdate:
+        """One protocol slot spent on an untrusted epoch: emit don't-know."""
+        k = live.identifications
+        live.identifications += 1
+        return IdentificationUpdate(
+            epoch=epoch,
+            crisis_number=live.number,
+            identification_epoch=k,
+            label=UNKNOWN,
+            distance=None,
+        )
+
+    # -- quality gate ----------------------------------------------------------
+
+    def _gate(
+        self,
+        epoch_quantiles: np.ndarray,
+        quality: Optional[EpochQuality],
+    ) -> Tuple[str, ...]:
+        """Reasons the epoch cannot be trusted (empty tuple = trusted)."""
+        rel = self.reliability
+        reasons: List[str] = []
+        if rel.validate_summaries:
+            report = validate_epoch_summary(epoch_quantiles)
+            if not report.ok:
+                reasons.extend(sorted({i.code for i in report.errors}))
+        if quality is not None:
+            if not quality.quorum_met:
+                reasons.append("quorum-failed")
+            if quality.coverage < rel.coverage_floor:
+                reasons.append("low-coverage")
+        return tuple(reasons)
+
     # -- stream ingestion ------------------------------------------------------
 
     def ingest(
-        self, epoch_quantiles: np.ndarray, violation_fraction: float
+        self,
+        epoch_quantiles: np.ndarray,
+        violation_fraction: float,
+        quality: Optional[EpochQuality] = None,
     ) -> List[MonitorEvent]:
         """Feed one epoch's datacenter summary; returns emitted events.
 
         ``violation_fraction`` is the largest per-KPI fraction of machines
         violating their SLA this epoch (the detection statistic).
+        ``quality``, when available (the collector emits one per epoch),
+        feeds the quality gate; see the module docstring for what happens
+        to untrusted epochs.
         """
         epoch_quantiles = np.asarray(epoch_quantiles, dtype=float)
+        reasons = self._gate(epoch_quantiles, quality)
+        untrusted = bool(reasons)
         anomalous = bool(
             violation_fraction >= 0.10 - 1e-12
         ) if violation_fraction is not None else False
-        epoch = self.store.append(epoch_quantiles, anomalous)
+        # Untrusted epochs are flagged anomalous in the store so they can
+        # never enter a crisis-free threshold window.
+        epoch = self.store.append(epoch_quantiles, anomalous or untrusted)
 
         events: List[MonitorEvent] = []
+        if untrusted:
+            self.untrusted_epochs += 1
+            events.append(EpochUntrusted(epoch=epoch, reasons=reasons))
+            # Threshold updates are frozen (the refresh countdown does not
+            # advance) and detection/crisis-end decisions are deferred:
+            # the violation statistic itself comes from the bad epoch.
+            if self._live is not None and (
+                self._live.identifications
+                < self.config.identification.n_epochs
+            ):
+                events.append(self._dont_know(self._live, epoch))
+            return events
+
         self._epochs_since_refresh += 1
         if (
             self.thresholds is None
@@ -271,6 +358,7 @@ class StreamingCrisisMonitor:
 __all__ = [
     "CrisisDetected",
     "CrisisEnded",
+    "EpochUntrusted",
     "IdentificationUpdate",
     "MonitorEvent",
     "StreamingCrisisMonitor",

@@ -18,11 +18,18 @@ from repro.telemetry.quantiles import (
     empirical_quantiles,
     summarize_epoch,
 )
+from repro.telemetry.chaos import ChaosConfig, ChaosEvent, ChaosInjector
 from repro.telemetry.collector import (
     CollectionPipeline,
     EpochAggregator,
+    EpochQuality,
     EpochSummary,
     MachineAgent,
+)
+from repro.telemetry.reliability import (
+    AgentHealthTracker,
+    QuorumPolicy,
+    RetryPolicy,
 )
 from repro.telemetry.sketches import GKQuantileSketch, P2QuantileEstimator
 from repro.telemetry.store import QuantileStore
@@ -44,10 +51,17 @@ __all__ = [
     "GKQuantileSketch",
     "P2QuantileEstimator",
     "QuantileStore",
+    "AgentHealthTracker",
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosInjector",
     "CollectionPipeline",
     "EpochAggregator",
+    "EpochQuality",
     "EpochSummary",
     "MachineAgent",
+    "QuorumPolicy",
+    "RetryPolicy",
     "ValidationIssue",
     "ValidationReport",
     "validate_epoch_summary",

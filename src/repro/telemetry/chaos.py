@@ -1,0 +1,217 @@
+"""Deterministic, seeded chaos harness for the telemetry path.
+
+Wraps any per-epoch agent stream — ``(n_machines, n_metrics)`` sample
+matrices, or individual machine reports — and injects the failure modes a
+real fleet exhibits exactly when fingerprints matter most:
+
+* **machine dropout** — an agent goes silent for an epoch;
+* **delayed reports** — a report arrives one epoch late (and stale);
+* **duplicated reports** — the retry path delivers a report twice;
+* **NaN bursts** — a subset of one machine's metrics turn non-finite for
+  several consecutive epochs (a wedged collector);
+* **counter resets** — cumulative counters wrap to zero mid-epoch;
+* **stuck-at values** — an agent keeps reporting a frozen sample vector.
+
+Every decision is drawn from one seeded generator in a fixed order, so two
+injectors with equal configs produce bit-identical fault schedules and
+perturbed streams — tests and benchmarks replay chaos exactly.  Injected
+faults are logged in :attr:`ChaosInjector.events` for assertions and
+postmortems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-epoch, per-machine fault probabilities and durations."""
+
+    dropout: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    nan_burst: float = 0.0
+    nan_burst_metrics: int = 3
+    nan_burst_epochs: int = 2
+    counter_reset: float = 0.0
+    counter_reset_metrics: int = 1
+    stuck: float = 0.0
+    stuck_epochs: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("dropout", "delay", "duplicate", "nan_burst",
+                     "counter_reset", "stuck"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.nan_burst_metrics < 1 or self.counter_reset_metrics < 1:
+            raise ValueError("fault metric counts must be >= 1")
+        if self.nan_burst_epochs < 1 or self.stuck_epochs < 1:
+            raise ValueError("fault durations must be >= 1")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injected fault, for the determinism log."""
+
+    epoch: int
+    machine: int
+    kind: str  # dropout | delay | duplicate | nan-burst | counter-reset | stuck
+    metrics: Tuple[int, ...] = ()
+
+
+class ChaosInjector:
+    """Injects faults into a fleet sample stream, deterministically.
+
+    Two views of the same fault schedule are offered: :meth:`perturb`
+    transforms an epoch's fleet matrix in place-of (silent machines become
+    all-NaN rows; delayed reports surface as the *previous* epoch's stale
+    values; duplicates are invisible at matrix granularity), while
+    :meth:`deliveries` yields ``(machine, values)`` report tuples where
+    drops vanish, delayed reports land an epoch late, and duplicates
+    appear twice — the form an :class:`~repro.telemetry.collector.EpochAggregator`
+    consumes.  Epochs must be presented in order.
+    """
+
+    def __init__(self, config: ChaosConfig, n_machines: int, n_metrics: int):
+        if n_machines < 1 or n_metrics < 1:
+            raise ValueError("need at least one machine and metric")
+        self.config = config
+        self.n_machines = n_machines
+        self.n_metrics = n_metrics
+        self.events: List[ChaosEvent] = []
+        self._rng = np.random.default_rng(config.seed)
+        self._delayed: Dict[int, np.ndarray] = {}  # machine -> buffered report
+        self._nan_until: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        self._stuck_until: Dict[int, Tuple[int, np.ndarray]] = {}
+
+    # -- fault schedule ----------------------------------------------------
+
+    def _pick_metrics(self, count: int) -> Tuple[int, ...]:
+        count = min(count, self.n_metrics)
+        picked = self._rng.choice(self.n_metrics, size=count, replace=False)
+        return tuple(int(m) for m in np.sort(picked))
+
+    def _plan_epoch(
+        self, epoch: int, samples: np.ndarray
+    ) -> List[Tuple[int, str, np.ndarray]]:
+        """Decide each machine's fate this epoch.
+
+        Returns ``(machine, fate, values)`` with fate one of ``deliver``,
+        ``drop``, ``delay`` or ``duplicate``; ``values`` already carry the
+        value-level faults (bursts, resets, stuck-at).
+        """
+        cfg = self.config
+        samples = np.asarray(samples, dtype=float)
+        if samples.shape != (self.n_machines, self.n_metrics):
+            raise ValueError(
+                f"expected {(self.n_machines, self.n_metrics)} samples, "
+                f"got {samples.shape}"
+            )
+        # One fixed-size draw per machine keeps the random stream aligned
+        # regardless of which faults fire.
+        draws = self._rng.random((self.n_machines, 6))
+        plan: List[Tuple[int, str, np.ndarray]] = []
+        for m in range(self.n_machines):
+            values = samples[m].copy()
+
+            # Value-level faults first (they ride along however the report
+            # is delivered).
+            if m in self._stuck_until:
+                until, frozen = self._stuck_until[m]
+                values = frozen.copy()
+                if epoch >= until:
+                    del self._stuck_until[m]
+            elif cfg.stuck and draws[m, 5] < cfg.stuck:
+                self._stuck_until[m] = (epoch + cfg.stuck_epochs - 1, values.copy())
+                self.events.append(ChaosEvent(epoch, m, "stuck"))
+
+            if m in self._nan_until:
+                until, metrics = self._nan_until[m]
+                values[list(metrics)] = np.nan
+                if epoch >= until:
+                    del self._nan_until[m]
+            elif cfg.nan_burst and draws[m, 3] < cfg.nan_burst:
+                metrics = self._pick_metrics(cfg.nan_burst_metrics)
+                self._nan_until[m] = (epoch + cfg.nan_burst_epochs - 1, metrics)
+                values[list(metrics)] = np.nan
+                self.events.append(ChaosEvent(epoch, m, "nan-burst", metrics))
+
+            if cfg.counter_reset and draws[m, 4] < cfg.counter_reset:
+                metrics = self._pick_metrics(cfg.counter_reset_metrics)
+                values[list(metrics)] = 0.0
+                self.events.append(
+                    ChaosEvent(epoch, m, "counter-reset", metrics)
+                )
+
+            # Delivery-level faults (mutually exclusive, in priority order).
+            if cfg.dropout and draws[m, 0] < cfg.dropout:
+                self.events.append(ChaosEvent(epoch, m, "dropout"))
+                plan.append((m, "drop", values))
+            elif cfg.delay and draws[m, 1] < cfg.delay:
+                self.events.append(ChaosEvent(epoch, m, "delay"))
+                plan.append((m, "delay", values))
+            elif cfg.duplicate and draws[m, 2] < cfg.duplicate:
+                self.events.append(ChaosEvent(epoch, m, "duplicate"))
+                plan.append((m, "duplicate", values))
+            else:
+                plan.append((m, "deliver", values))
+        return plan
+
+    # -- matrix view -------------------------------------------------------
+
+    def perturb(self, epoch: int, samples: np.ndarray) -> np.ndarray:
+        """Fleet-matrix view of one chaotic epoch.
+
+        Dropped and freshly-delayed machines become all-NaN rows; a report
+        delayed from the previous epoch replaces the machine's current row
+        with the stale values (what an aggregator that keys reports by
+        arrival epoch would see).
+        """
+        out = np.full((self.n_machines, self.n_metrics), np.nan)
+        arrived_late = dict(self._delayed)
+        self._delayed.clear()
+        for m, fate, values in self._plan_epoch(epoch, samples):
+            if fate == "drop":
+                continue
+            if fate == "delay":
+                self._delayed[m] = values
+                continue
+            out[m] = values  # deliver and duplicate look alike in a matrix
+        for m, stale in arrived_late.items():
+            out[m] = stale
+        return out
+
+    def deliveries(
+        self, epoch: int, samples: np.ndarray
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Report-stream view: ``(machine, values)`` tuples as delivered."""
+        out: List[Tuple[int, np.ndarray]] = [
+            (m, stale) for m, stale in sorted(self._delayed.items())
+        ]
+        self._delayed.clear()
+        for m, fate, values in self._plan_epoch(epoch, samples):
+            if fate == "drop":
+                continue
+            if fate == "delay":
+                self._delayed[m] = values
+                continue
+            out.append((m, values))
+            if fate == "duplicate":
+                out.append((m, values.copy()))
+        return out
+
+    def wrap(
+        self, stream: Iterable[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        """Perturb a whole stream of per-epoch fleet matrices."""
+        for epoch, samples in enumerate(stream):
+            yield self.perturb(epoch, samples)
+
+
+__all__ = ["ChaosConfig", "ChaosEvent", "ChaosInjector"]

@@ -14,30 +14,55 @@ provides that plumbing for live deployments of the pipeline:
 The aggregator's output is the ``(n_metrics, n_quantiles)`` matrix the
 fingerprinting pipeline consumes, so a live deployment swaps the simulator
 for agents without touching anything downstream.
+
+Degraded operation is first-class: machines in crisis are exactly the
+machines whose telemetry fails, so agents drop-and-count non-finite
+samples instead of raising (strict mode is available behind a flag),
+the aggregator accepts partial fleets, and every epoch summary carries an
+:class:`EpochQuality` record — fleet coverage, dropped samples, stale and
+dead agents — that downstream consumers (the streaming monitor's quality
+gate) use to decide how much to trust the epoch.  Quorum rules live in
+:mod:`repro.telemetry.reliability` and apply identically to the exact and
+sketch paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.telemetry.quantiles import summarize_epoch
+from repro.telemetry.reliability import AgentHealthTracker, QuorumPolicy
 from repro.telemetry.sketches import GKQuantileSketch
 
 
 class MachineAgent:
-    """Buffers one machine's metric samples within an epoch."""
+    """Buffers one machine's metric samples within an epoch.
 
-    def __init__(self, machine_id: str, metric_names: Sequence[str]):
+    Non-finite samples (a crashing collector emits NaNs and garbage
+    counters) are dropped and counted rather than raised by default;
+    ``strict=True`` restores fail-fast behavior for development setups
+    where any bad sample is a bug.
+    """
+
+    def __init__(self, machine_id: str, metric_names: Sequence[str],
+                 strict: bool = False):
         if not metric_names:
             raise ValueError("need at least one metric")
         self.machine_id = machine_id
         self.metric_names = list(metric_names)
+        self.strict = strict
         self._index = {m: i for i, m in enumerate(self.metric_names)}
         self._sums = np.zeros(len(self.metric_names))
         self._counts = np.zeros(len(self.metric_names), dtype=int)
+        self._dropped = 0
+
+    @property
+    def dropped_samples(self) -> int:
+        """Non-finite samples dropped since the last flush."""
+        return self._dropped
 
     def record(self, metric: str, value: float) -> None:
         """Record one sample (metrics may be sampled sub-epoch)."""
@@ -46,19 +71,30 @@ class MachineAgent:
         except KeyError:
             raise KeyError(f"unknown metric {metric!r}") from None
         if not np.isfinite(value):
-            raise ValueError(f"non-finite sample for {metric}")
+            if self.strict:
+                raise ValueError(f"non-finite sample for {metric}")
+            self._dropped += 1
+            return
         self._sums[i] += value
         self._counts[i] += 1
 
     def record_all(self, values: Sequence[float]) -> None:
-        """Record one sample for every metric at once."""
+        """Record one sample for every metric at once.
+
+        A partially-garbled vector keeps its finite entries: only the
+        offending metrics are dropped (and counted), so one bad counter
+        does not discard an otherwise healthy sample.
+        """
         values = np.asarray(values, dtype=float)
         if values.shape != (len(self.metric_names),):
             raise ValueError("value count mismatch")
-        if not np.all(np.isfinite(values)):
-            raise ValueError("non-finite sample")
-        self._sums += values
-        self._counts += 1
+        finite = np.isfinite(values)
+        if not finite.all():
+            if self.strict:
+                raise ValueError("non-finite sample")
+            self._dropped += int((~finite).sum())
+        self._sums[finite] += values[finite]
+        self._counts[finite] += 1
 
     def flush(self) -> np.ndarray:
         """Epoch aggregate (mean per metric); unreported metrics are NaN."""
@@ -69,7 +105,33 @@ class MachineAgent:
             )
         self._sums[:] = 0.0
         self._counts[:] = 0
+        self._dropped = 0
         return out
+
+
+@dataclass(frozen=True)
+class EpochQuality:
+    """How trustworthy one epoch's summary is.
+
+    Downstream consumers gate on :attr:`coverage` (reporting fraction of
+    the expected fleet) and :attr:`quorum_met`; the remaining counters
+    exist for operator dashboards and postmortems.
+    """
+
+    epoch: int
+    n_reporting: int
+    fleet_size: Optional[int] = None  # None when the fleet is unknown
+    dropped_samples: int = 0  # non-finite entries dropped fleet-wide
+    n_stale_agents: int = 0
+    n_dead_agents: int = 0
+    quorum_met: bool = True
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the expected fleet that reported this epoch."""
+        if self.fleet_size is None or self.fleet_size <= 0:
+            return 1.0 if self.n_reporting > 0 else 0.0
+        return min(self.n_reporting / self.fleet_size, 1.0)
 
 
 @dataclass
@@ -79,6 +141,31 @@ class EpochSummary:
     epoch: int
     quantiles: np.ndarray  # (n_metrics, n_quantiles)
     n_machines_reporting: int
+    quality: Optional[EpochQuality] = None
+
+
+def _partial_quantiles(
+    matrix: np.ndarray, quantiles: Sequence[float]
+) -> np.ndarray:
+    """Per-metric quantiles of a report matrix with NaN gaps.
+
+    Matches :func:`repro.telemetry.quantiles.summarize_epoch` exactly on a
+    fully-finite matrix; metrics where some machines did not report use
+    the order statistics of the machines that did, and all-NaN metrics
+    come back NaN (mirroring the sketch path, which only ever sees finite
+    values).
+    """
+    ordered = np.sort(matrix, axis=0)  # NaNs sort last
+    counts = np.isfinite(matrix).sum(axis=0)
+    n_metrics = matrix.shape[1]
+    out = np.empty((n_metrics, len(quantiles)), dtype=float)
+    cols = np.arange(n_metrics)
+    for j, p in enumerate(quantiles):
+        ranks = np.clip(np.ceil(counts * p).astype(int), 1,
+                        np.maximum(counts, 1)) - 1
+        out[:, j] = ordered[ranks, cols]
+    out[counts == 0] = np.nan
+    return out
 
 
 class EpochAggregator:
@@ -88,6 +175,13 @@ class EpochAggregator:
     exactly (what the paper did for several hundred machines).  With
     ``mode="sketch"`` each metric feeds a Greenwald-Khanna sketch, keeping
     aggregator memory sublinear in the fleet size.
+
+    Both modes accept partial fleets: reports may contain NaN entries
+    (dropped per metric), machines may stay silent, and the epoch closes
+    regardless.  When ``fleet_size`` is known, the ``quorum`` policy
+    decides whether the partial epoch is still summarizable; below quorum
+    the summary is all-NaN and flagged in its quality record, identically
+    on both paths.
     """
 
     def __init__(
@@ -96,6 +190,8 @@ class EpochAggregator:
         quantiles: Sequence[float] = (0.25, 0.50, 0.95),
         mode: str = "exact",
         sketch_eps: float = 0.01,
+        fleet_size: Optional[int] = None,
+        quorum: Optional[QuorumPolicy] = None,
     ):
         if mode not in ("exact", "sketch"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -103,8 +199,13 @@ class EpochAggregator:
         self.quantiles = tuple(quantiles)
         self.mode = mode
         self.sketch_eps = sketch_eps
+        self.fleet_size = fleet_size
+        self.quorum = quorum if quorum is not None else QuorumPolicy(
+            min_fraction=0.0, min_count=1
+        )
         self._epoch = 0
         self._reports: List[np.ndarray] = []
+        self._dropped = 0
         self._sketches: Optional[List[GKQuantileSketch]] = None
         if mode == "sketch":
             self._reset_sketches()
@@ -120,10 +221,14 @@ class EpochAggregator:
         return self._epoch
 
     def submit(self, report: np.ndarray) -> None:
-        """Accept one machine's epoch aggregate."""
+        """Accept one machine's epoch aggregate (NaN entries allowed)."""
         report = np.asarray(report, dtype=float)
         if report.shape != (len(self.metric_names),):
             raise ValueError("report length mismatch")
+        finite = np.isfinite(report)
+        if not finite.all():
+            self._dropped += int((~finite).sum())
+            report = np.where(finite, report, np.nan)
         if self.mode == "exact":
             self._reports.append(report)
         else:
@@ -132,32 +237,73 @@ class EpochAggregator:
                     sketch.insert(float(value))
             self._reports.append(np.empty(0))  # count only
 
-    def close_epoch(self) -> EpochSummary:
-        """Finish the current epoch and emit its summary."""
+    def note_dropped(self, n: int) -> None:
+        """Fold agent-side dropped-sample counts into this epoch's quality."""
+        self._dropped += int(n)
+
+    def close_epoch(
+        self,
+        n_stale_agents: int = 0,
+        n_dead_agents: int = 0,
+    ) -> EpochSummary:
+        """Finish the current epoch and emit its summary.
+
+        With an unknown fleet (``fleet_size=None``) an epoch with zero
+        reports still raises — there is no way to tell a dead collector
+        from an idle one.  With a known fleet the epoch closes regardless
+        and quorum failures surface as an all-NaN summary whose quality
+        record says why.
+        """
         n = len(self._reports)
-        if n == 0:
+        if n == 0 and self.fleet_size is None:
             raise ValueError("no machine reported this epoch")
-        if self.mode == "exact":
+        shape = (len(self.metric_names), len(self.quantiles))
+        quorum_met = self.quorum.met(n, self.fleet_size)
+        if not quorum_met or n == 0:
+            q = np.full(shape, np.nan)
+            if self.mode == "sketch":
+                self._reset_sketches()
+        elif self.mode == "exact":
             matrix = np.vstack(self._reports)
-            q = summarize_epoch(matrix, self.quantiles)
+            if np.isfinite(matrix).all():
+                q = summarize_epoch(matrix, self.quantiles)
+            else:
+                q = _partial_quantiles(matrix, self.quantiles)
         else:
-            q = np.empty((len(self.metric_names), len(self.quantiles)))
+            q = np.empty(shape)
             for i, sketch in enumerate(self._sketches):
                 if len(sketch) == 0:
                     q[i] = np.nan
                 else:
                     q[i] = [sketch.query(p) for p in self.quantiles]
             self._reset_sketches()
+        quality = EpochQuality(
+            epoch=self._epoch,
+            n_reporting=n,
+            fleet_size=self.fleet_size,
+            dropped_samples=self._dropped,
+            n_stale_agents=n_stale_agents,
+            n_dead_agents=n_dead_agents,
+            quorum_met=quorum_met,
+        )
         summary = EpochSummary(
-            epoch=self._epoch, quantiles=q, n_machines_reporting=n
+            epoch=self._epoch, quantiles=q, n_machines_reporting=n,
+            quality=quality,
         )
         self._reports = []
+        self._dropped = 0
         self._epoch += 1
         return summary
 
 
 class CollectionPipeline:
-    """Agents plus aggregator for a whole fleet, driven epoch by epoch."""
+    """Agents plus aggregator for a whole fleet, driven epoch by epoch.
+
+    Tracks per-agent health: machines silent for ``dead_after``
+    consecutive epochs trip their circuit breaker and leave the expected
+    fleet, so coverage (and therefore quorum) reflects machines that
+    *should* be reporting, not long-dead ones.
+    """
 
     def __init__(
         self,
@@ -165,28 +311,44 @@ class CollectionPipeline:
         metric_names: Sequence[str],
         quantiles: Sequence[float] = (0.25, 0.50, 0.95),
         mode: str = "exact",
+        strict: bool = False,
+        quorum: Optional[QuorumPolicy] = None,
+        dead_after: int = 4,
     ):
         if not machine_ids:
             raise ValueError("need at least one machine")
         self.agents: Dict[str, MachineAgent] = {
-            mid: MachineAgent(mid, metric_names) for mid in machine_ids
+            mid: MachineAgent(mid, metric_names, strict=strict)
+            for mid in machine_ids
         }
+        self.health = AgentHealthTracker(machine_ids, dead_after=dead_after)
         self.aggregator = EpochAggregator(
-            metric_names, quantiles=quantiles, mode=mode
+            metric_names, quantiles=quantiles, mode=mode,
+            fleet_size=len(machine_ids), quorum=quorum,
         )
 
     def close_epoch(self) -> EpochSummary:
         """Flush every agent into the aggregator and emit the summary."""
-        for agent in self.agents.values():
+        epoch = self.aggregator.epoch
+        for mid, agent in self.agents.items():
+            self.aggregator.note_dropped(agent.dropped_samples)
             report = agent.flush()
             if not np.all(np.isnan(report)):
                 self.aggregator.submit(report)
-        return self.aggregator.close_epoch()
+                self.health.observe_report(mid, epoch)
+        self.health.close_epoch(epoch)
+        # Coverage is judged against the breaker-adjusted fleet.
+        self.aggregator.fleet_size = max(self.health.expected_fleet, 1)
+        return self.aggregator.close_epoch(
+            n_stale_agents=self.health.n_stale,
+            n_dead_agents=self.health.n_dead,
+        )
 
 
 __all__ = [
     "CollectionPipeline",
     "EpochAggregator",
+    "EpochQuality",
     "EpochSummary",
     "MachineAgent",
 ]

@@ -31,6 +31,18 @@ class TestParser:
         assert args.relevant_metrics == 15
         assert args.window_days == 30
 
+    def test_monitor_options(self):
+        args = build_parser().parse_args(
+            ["monitor", "t.npz", "--checkpoint", "c.npz", "--resume",
+             "--stop-epoch", "500", "--coverage-floor", "0.6"]
+        )
+        assert args.command == "monitor"
+        assert args.resume
+        assert args.checkpoint == "c.npz"
+        assert args.stop_epoch == 500
+        assert args.coverage_floor == 0.6
+        assert args.checkpoint_every == 96
+
 
 class TestCommands:
     def test_simulate_writes_trace(self, tmp_path, capsys):
@@ -70,3 +82,34 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "accuracy:" in out
+
+    def test_monitor_resume_requires_checkpoint(self, trace_path, capsys):
+        rc = main(["monitor", trace_path, "--resume"])
+        assert rc == 1
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_monitor_checkpoint_then_resume(self, trace_path, tmp_path,
+                                            capsys):
+        ckpt = tmp_path / "monitor.npz"
+        rc = main([
+            "monitor", trace_path,
+            "--relevant-metrics", "10",
+            "--checkpoint", str(ckpt),
+            "--stop-epoch", "1200",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert ckpt.exists()
+        assert "checkpoint written" in out
+        assert "monitored epochs 0..1200" in out
+
+        rc = main([
+            "monitor", trace_path,
+            "--checkpoint", str(ckpt),
+            "--resume",
+            "--stop-epoch", "1400",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"resumed from {ckpt} at epoch 1200" in out
+        assert "monitored epochs 1200..1400" in out

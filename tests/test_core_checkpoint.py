@@ -1,0 +1,161 @@
+"""Tests for crash-safe checkpoint/restore of the live service.
+
+The load-bearing property: killing the service mid-crisis and resuming
+from the last checkpoint must replay to *bit-identical* events — same
+detections, same identification labels and distances, same crisis ends —
+as a run that was never interrupted.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FingerprintingConfig,
+    ReliabilityConfig,
+    SelectionConfig,
+    ThresholdConfig,
+)
+from repro.core.checkpoint import (
+    load_monitor,
+    load_pipeline,
+    save_monitor,
+    save_pipeline,
+)
+from repro.core.pipeline import FingerprintPipeline
+from repro.core.streaming import (
+    CrisisDetected,
+    CrisisEnded,
+    StreamingCrisisMonitor,
+)
+
+CONFIG = FingerprintingConfig(
+    selection=SelectionConfig(n_relevant=20),
+    thresholds=ThresholdConfig(window_days=30),
+)
+RELIABILITY = ReliabilityConfig(coverage_floor=0.5)
+
+
+def make_monitor(small_trace):
+    return StreamingCrisisMonitor(
+        n_metrics=small_trace.n_metrics,
+        relevant_metrics=list(range(12)),
+        config=CONFIG,
+        threshold_refresh_epochs=96,
+        min_history_epochs=96 * 7,
+        reliability=RELIABILITY,
+    )
+
+
+def replay(monitor, trace, start, stop, diagnose=True):
+    """Drive the monitor over trace epochs [start, stop); collect events."""
+    frac = trace.kpi_violation_fraction.max(axis=1)
+    events = []
+    for epoch in range(start, stop):
+        for event in monitor.ingest(trace.quantiles[epoch],
+                                    float(frac[epoch])):
+            events.append(event)
+            if diagnose and isinstance(event, CrisisEnded):
+                monitor.diagnose(event.crisis_number,
+                                 f"T{event.crisis_number % 4}")
+    return events
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(small_trace):
+    monitor = make_monitor(small_trace)
+    events = replay(monitor, small_trace, 0, small_trace.n_epochs)
+    return monitor, events
+
+
+class TestMonitorKillRestore:
+    def test_resume_mid_crisis_is_bit_identical(self, small_trace, tmp_path,
+                                                uninterrupted):
+        _, expected = uninterrupted
+        detections = [e for e in expected if isinstance(e, CrisisDetected)]
+        assert len(detections) >= 3, "fixture trace must contain crises"
+        # Kill the service one epoch into the third crisis — mid-window,
+        # mid-identification-protocol, with a partially-diagnosed library.
+        split = detections[2].epoch + 1
+
+        monitor = make_monitor(small_trace)
+        before = replay(monitor, small_trace, 0, split)
+        path = tmp_path / "monitor.npz"
+        save_monitor(monitor, path)
+
+        restored = load_monitor(path, CONFIG, RELIABILITY)
+        after = replay(restored, small_trace, split, small_trace.n_epochs)
+        assert before + after == expected
+
+    def test_restored_state_matches(self, small_trace, tmp_path,
+                                    uninterrupted):
+        monitor, _ = uninterrupted
+        path = tmp_path / "monitor.npz"
+        save_monitor(monitor, path)
+        restored = load_monitor(path, CONFIG, RELIABILITY)
+        assert len(restored.store) == len(monitor.store)
+        np.testing.assert_array_equal(restored.store.values(),
+                                      monitor.store.values())
+        np.testing.assert_array_equal(restored.store.anomalous_mask(),
+                                      monitor.store.anomalous_mask())
+        np.testing.assert_array_equal(restored.thresholds.cold,
+                                      monitor.thresholds.cold)
+        np.testing.assert_array_equal(restored.thresholds.hot,
+                                      monitor.thresholds.hot)
+        assert restored.library_labels == monitor.library_labels
+        assert restored.untrusted_epochs == monitor.untrusted_epochs
+        assert restored._crisis_counter == monitor._crisis_counter
+
+    def test_atomic_write_leaves_no_temp_files(self, small_trace, tmp_path):
+        monitor = make_monitor(small_trace)
+        replay(monitor, small_trace, 0, 200)
+        path = tmp_path / "monitor.npz"
+        save_monitor(monitor, path)
+        save_monitor(monitor, path)  # overwrite in place
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["monitor.npz"]
+        load_monitor(path, CONFIG, RELIABILITY)
+
+    def test_wrong_kind_rejected(self, small_trace, tmp_path):
+        pipe = FingerprintPipeline(small_trace, CONFIG)
+        path = tmp_path / "pipeline.npz"
+        save_pipeline(pipe, path)
+        with pytest.raises(ValueError):
+            load_monitor(path, CONFIG, RELIABILITY)
+
+
+class TestPipelineCheckpoint:
+    def test_restored_pipeline_identifies_identically(self, small_trace,
+                                                      tmp_path):
+        pipe = FingerprintPipeline(small_trace, CONFIG)
+        crises = small_trace.detected_crises
+        for crisis in crises[:4]:
+            pipe.observe(crisis)
+            pipe.refresh(crisis.detected_epoch)
+            pipe.confirm(crisis)
+        pipe.update_identification_threshold()
+
+        path = tmp_path / "pipeline.npz"
+        save_pipeline(pipe, path)
+        restored = load_pipeline(path, small_trace, CONFIG)
+
+        assert restored.identification_threshold == \
+            pipe.identification_threshold
+        np.testing.assert_array_equal(restored.relevant, pipe.relevant)
+        assert len(restored.known) == len(pipe.known)
+        for a, b in zip(restored.known, pipe.known):
+            assert a.label == b.label
+            np.testing.assert_array_equal(a.quantile_window,
+                                          b.quantile_window)
+
+        target = crises[4]
+        seq_original = pipe.identify(target).sequence
+        seq_restored = restored.identify(target).sequence
+        assert seq_original == seq_restored
+
+        # The restored pipeline keeps *learning* identically too.
+        pipe.observe(target)
+        restored.observe(target)
+        pipe.refresh(target.detected_epoch)
+        restored.refresh(target.detected_epoch)
+        np.testing.assert_array_equal(pipe.relevant, restored.relevant)

@@ -2,7 +2,10 @@
 
 Real deployments see reporting gaps, dead collectors, and stuck agents.
 These tests corrupt a copy of the small trace and assert the method
-degrades gracefully instead of crashing or emitting garbage.
+degrades gracefully instead of crashing or emitting garbage — both on the
+replay path (:class:`FingerprintPipeline`) and on the live streaming path
+(:class:`StreamingCrisisMonitor` behind its quality gate, fed by the
+seeded chaos harness).
 """
 
 import copy
@@ -12,12 +15,24 @@ import pytest
 
 from repro.config import (
     FingerprintingConfig,
+    ReliabilityConfig,
     SelectionConfig,
     ThresholdConfig,
 )
+from repro.core.identification import UNKNOWN
 from repro.core.pipeline import FingerprintPipeline
+from repro.core.streaming import (
+    CrisisDetected,
+    CrisisEnded,
+    EpochUntrusted,
+    IdentificationUpdate,
+    StreamingCrisisMonitor,
+)
 from repro.core.summary import summary_vectors
 from repro.core.thresholds import percentile_thresholds
+from repro.telemetry.chaos import ChaosConfig, ChaosInjector
+from repro.telemetry.collector import EpochAggregator, EpochQuality
+from repro.telemetry.reliability import QuorumPolicy
 
 CONFIG = FingerprintingConfig(
     selection=SelectionConfig(n_relevant=20),
@@ -108,3 +123,172 @@ class TestPipelineUnderGaps:
         known = pipe.confirm(crisis)
         assert np.all(np.abs(known.fingerprint) <= 1.0)
         assert np.all(np.isfinite(known.fingerprint))
+
+
+RELIABILITY = ReliabilityConfig(coverage_floor=0.5)
+FLEET = 24
+
+
+def _make_monitor(small_trace):
+    return StreamingCrisisMonitor(
+        n_metrics=small_trace.n_metrics,
+        relevant_metrics=list(range(12)),
+        config=CONFIG,
+        threshold_refresh_epochs=96,
+        min_history_epochs=96 * 7,
+        reliability=RELIABILITY,
+    )
+
+
+@pytest.fixture(scope="module")
+def chaotic_replay(small_trace):
+    """Replay the trace through the monitor under a deterministic fault
+    schedule: machine dropout (low coverage), NaN bursts (including some
+    aimed mid-crisis to hit the identification protocol), counter resets
+    (all-zero metric: suspicious but trusted), and quantile inversions.
+    """
+    monitor = _make_monitor(small_trace)
+    frac = small_trace.kpi_violation_fraction.max(axis=1)
+    # A few NaN bursts aimed one epoch after a crisis *starts*, so they
+    # land inside detected crises, mid-identification-protocol.
+    anomalous = np.flatnonzero(frac >= 0.10)
+    starts = anomalous[np.flatnonzero(np.diff(anomalous, prepend=-10) > 1)]
+    in_crisis = [int(e) + 1 for e in starts[starts > 96 * 7][:6]]
+
+    events_by_epoch = {}
+    scheduled = {"dropout": set(), "nan-burst": set(),
+                 "counter-reset": set(), "inversion": set()}
+    for epoch in range(small_trace.n_epochs):
+        q = small_trace.quantiles[epoch].copy()
+        quality = None
+        if epoch % 97 == 50:
+            quality = EpochQuality(epoch=epoch, n_reporting=6,
+                                   fleet_size=FLEET)
+            scheduled["dropout"].add(epoch)
+        if epoch % 131 == 40 or epoch in in_crisis:
+            q[3, :] = np.nan
+            scheduled["nan-burst"].add(epoch)
+        if epoch % 173 == 60:
+            q[5, :] = 0.0
+            scheduled["counter-reset"].add(epoch)
+        if epoch % 211 == 70:
+            q[7, :] = [5.0, 3.0, 1.0]
+            scheduled["inversion"].add(epoch)
+        events_by_epoch[epoch] = monitor.ingest(q, float(frac[epoch]),
+                                                quality=quality)
+    return monitor, events_by_epoch, scheduled
+
+
+class TestStreamingChaos:
+    """Live-path degradation: the monitor must survive chaos without
+    crashing and without emitting confident labels on untrusted epochs."""
+
+    def _flat(self, events_by_epoch, kind):
+        return [e for evs in events_by_epoch.values() for e in evs
+                if isinstance(e, kind)]
+
+    def test_chaos_stream_survives_and_detects(self, chaotic_replay):
+        monitor, events_by_epoch, _ = chaotic_replay
+        detections = self._flat(events_by_epoch, CrisisDetected)
+        ends = self._flat(events_by_epoch, CrisisEnded)
+        assert len(detections) >= 3
+        assert len(ends) >= len(detections) - 1
+        assert monitor.thresholds is not None
+
+    def test_scheduled_faults_flagged_untrusted(self, chaotic_replay):
+        monitor, events_by_epoch, scheduled = chaotic_replay
+        untrusted = {e.epoch
+                     for e in self._flat(events_by_epoch, EpochUntrusted)}
+        for kind in ("dropout", "nan-burst", "inversion"):
+            assert scheduled[kind] <= untrusted, kind
+        # Counter resets read as all-zero: suspicious (warn) but trusted,
+        # so they must NOT trip the gate on their own.
+        only_reset = scheduled["counter-reset"] - (
+            scheduled["dropout"] | scheduled["nan-burst"]
+            | scheduled["inversion"])
+        assert only_reset and not (only_reset & untrusted)
+        assert monitor.untrusted_epochs == len(untrusted)
+
+    def test_untrusted_reasons_name_the_fault(self, chaotic_replay):
+        _, events_by_epoch, scheduled = chaotic_replay
+        reasons = {e.epoch: e.reasons
+                   for e in self._flat(events_by_epoch, EpochUntrusted)}
+        for epoch in scheduled["dropout"]:
+            assert "low-coverage" in reasons[epoch]
+        for epoch in scheduled["nan-burst"]:
+            assert "non-finite" in reasons[epoch]
+        for epoch in scheduled["inversion"]:
+            assert "quantile-inversion" in reasons[epoch]
+
+    def test_no_confident_label_on_untrusted_epochs(self, chaotic_replay):
+        _, events_by_epoch, _ = chaotic_replay
+        untrusted = {e.epoch
+                     for e in self._flat(events_by_epoch, EpochUntrusted)}
+        updates = self._flat(events_by_epoch, IdentificationUpdate)
+        on_untrusted = [u for u in updates if u.epoch in untrusted]
+        # The mid-crisis NaN bursts guarantee this path is exercised.
+        assert on_untrusted
+        assert all(u.label == UNKNOWN for u in on_untrusted)
+        # And nothing else fires on an untrusted epoch.
+        for epoch in untrusted:
+            for event in events_by_epoch[epoch]:
+                assert isinstance(event,
+                                  (EpochUntrusted, IdentificationUpdate))
+
+    def test_thresholds_frozen_during_outage(self, small_trace):
+        monitor = _make_monitor(small_trace)
+        frac = small_trace.kpi_violation_fraction.max(axis=1)
+        for epoch in range(96 * 7):
+            monitor.ingest(small_trace.quantiles[epoch], float(frac[epoch]))
+        frozen = monitor.thresholds
+        assert frozen is not None
+        # A long total outage spans what would be a refresh boundary; the
+        # refresh countdown must not advance on untrusted epochs.
+        bad = EpochQuality(epoch=0, n_reporting=2, fleet_size=FLEET)
+        for epoch in range(96 * 7, 96 * 7 + 2 * 96):
+            monitor.ingest(small_trace.quantiles[epoch], float(frac[epoch]),
+                           quality=bad)
+        assert monitor.thresholds is frozen
+        # Once telemetry recovers, refreshes resume.
+        for epoch in range(96 * 9, 96 * 10 + 1):
+            monitor.ingest(small_trace.quantiles[epoch], float(frac[epoch]))
+        assert monitor.thresholds is not frozen
+
+
+class TestChaosHarnessEndToEnd:
+    """Chaos harness -> degraded aggregation -> quality-gated monitor."""
+
+    def test_chaotic_fleet_feeds_monitor_without_crashing(self):
+        n_machines, n_metrics = 16, 8
+        rng = np.random.default_rng(11)
+        injector = ChaosInjector(
+            ChaosConfig(dropout=0.3, delay=0.05, duplicate=0.05,
+                        nan_burst=0.05, counter_reset=0.02, stuck=0.02,
+                        seed=23),
+            n_machines, n_metrics,
+        )
+        agg = EpochAggregator(
+            [f"m{i}" for i in range(n_metrics)],
+            fleet_size=n_machines,
+            quorum=QuorumPolicy(min_fraction=0.5),
+        )
+        monitor = StreamingCrisisMonitor(
+            n_metrics=n_metrics,
+            relevant_metrics=list(range(4)),
+            config=CONFIG,
+            threshold_refresh_epochs=10,
+            min_history_epochs=20,
+            reliability=RELIABILITY,
+        )
+        untrusted = 0
+        for epoch in range(60):
+            clean = rng.lognormal(1.0, 0.3, (n_machines, n_metrics))
+            for _, report in injector.deliveries(epoch, clean):
+                agg.submit(report)
+            summary = agg.close_epoch()
+            events = monitor.ingest(summary.quantiles, 0.0,
+                                    quality=summary.quality)
+            untrusted += sum(isinstance(e, EpochUntrusted) for e in events)
+        assert injector.events  # chaos actually fired
+        assert untrusted == monitor.untrusted_epochs
+        assert len(monitor.store) == 60

@@ -1,0 +1,142 @@
+"""Tests for the seeded chaos harness."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.telemetry.chaos import ChaosConfig, ChaosEvent, ChaosInjector
+
+N_MACHINES, N_METRICS = 12, 6
+
+
+def clean_stream(n_epochs, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.lognormal(1.0, 0.3, (N_MACHINES, N_METRICS))
+            for _ in range(n_epochs)]
+
+
+FULL_CHAOS = ChaosConfig(
+    dropout=0.2, delay=0.1, duplicate=0.1, nan_burst=0.1,
+    counter_reset=0.05, stuck=0.05, seed=17,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_events_and_output(self):
+        stream = clean_stream(30)
+        a = ChaosInjector(FULL_CHAOS, N_MACHINES, N_METRICS)
+        b = ChaosInjector(FULL_CHAOS, N_MACHINES, N_METRICS)
+        out_a = [a.perturb(e, s) for e, s in enumerate(stream)]
+        out_b = [b.perturb(e, s) for e, s in enumerate(stream)]
+        assert a.events == b.events
+        assert len(a.events) > 0
+        for x, y in zip(out_a, out_b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_same_seed_same_deliveries(self):
+        stream = clean_stream(30)
+        a = ChaosInjector(FULL_CHAOS, N_MACHINES, N_METRICS)
+        b = ChaosInjector(FULL_CHAOS, N_MACHINES, N_METRICS)
+        for e, s in enumerate(stream):
+            da = a.deliveries(e, s)
+            db = b.deliveries(e, s)
+            assert [m for m, _ in da] == [m for m, _ in db]
+            for (_, va), (_, vb) in zip(da, db):
+                np.testing.assert_array_equal(va, vb)
+
+    def test_different_seed_differs(self):
+        stream = clean_stream(30)
+        a = ChaosInjector(FULL_CHAOS, N_MACHINES, N_METRICS)
+        b = ChaosInjector(replace(FULL_CHAOS, seed=99),
+                          N_MACHINES, N_METRICS)
+        for e, s in enumerate(stream):
+            a.perturb(e, s)
+            b.perturb(e, s)
+        assert a.events != b.events
+
+
+class TestFaults:
+    def test_dropout_rate(self):
+        cfg = ChaosConfig(dropout=0.25, seed=1)
+        inj = ChaosInjector(cfg, N_MACHINES, N_METRICS)
+        n_rows = 0
+        n_dropped = 0
+        for e, s in enumerate(clean_stream(200)):
+            out = inj.perturb(e, s)
+            n_rows += N_MACHINES
+            n_dropped += int(np.all(np.isnan(out), axis=1).sum())
+        assert 0.18 <= n_dropped / n_rows <= 0.32
+
+    def test_nan_burst_spans_epochs(self):
+        cfg = ChaosConfig(nan_burst=1.0, nan_burst_metrics=2,
+                          nan_burst_epochs=3, seed=2)
+        inj = ChaosInjector(cfg, 1, N_METRICS)
+        stream = clean_stream(4)
+        outs = [inj.perturb(e, s[:1]) for e, s in enumerate(stream)]
+        burst = next(ev for ev in inj.events if ev.kind == "nan-burst")
+        assert len(burst.metrics) == 2
+        for out in outs[:3]:
+            assert np.isnan(out[0, list(burst.metrics)]).all()
+
+    def test_counter_reset_zeroes_metrics(self):
+        cfg = ChaosConfig(counter_reset=1.0, counter_reset_metrics=1, seed=3)
+        inj = ChaosInjector(cfg, 1, N_METRICS)
+        out = inj.perturb(0, clean_stream(1)[0][:1])
+        reset = next(ev for ev in inj.events if ev.kind == "counter-reset")
+        assert out[0, reset.metrics[0]] == 0.0
+
+    def test_stuck_freezes_values(self):
+        cfg = ChaosConfig(stuck=1.0, stuck_epochs=3, seed=4)
+        inj = ChaosInjector(cfg, 1, N_METRICS)
+        stream = clean_stream(3, seed=5)
+        outs = [inj.perturb(e, s[:1]) for e, s in enumerate(stream)]
+        np.testing.assert_array_equal(outs[1], outs[0])
+        np.testing.assert_array_equal(outs[2], outs[0])
+
+    def test_delay_arrives_next_epoch_stale(self):
+        cfg = ChaosConfig(delay=1.0, seed=6)
+        inj = ChaosInjector(cfg, 1, N_METRICS)
+        stream = clean_stream(2, seed=7)
+        first = inj.perturb(0, stream[0][:1])
+        assert np.isnan(first).all()  # report held back
+        second = inj.perturb(1, stream[1][:1])
+        np.testing.assert_array_equal(second[0], stream[0][0])
+
+    def test_duplicate_delivers_twice(self):
+        cfg = ChaosConfig(duplicate=1.0, seed=8)
+        inj = ChaosInjector(cfg, 2, N_METRICS)
+        reports = inj.deliveries(0, clean_stream(1, seed=9)[0][:2])
+        assert [m for m, _ in reports] == [0, 0, 1, 1]
+
+    def test_no_chaos_is_identity(self):
+        inj = ChaosInjector(ChaosConfig(), N_MACHINES, N_METRICS)
+        stream = clean_stream(5)
+        for e, s in enumerate(stream):
+            np.testing.assert_array_equal(inj.perturb(e, s), s)
+        assert inj.events == []
+
+    def test_wrap_stream(self):
+        inj = ChaosInjector(ChaosConfig(dropout=0.5, seed=10),
+                            N_MACHINES, N_METRICS)
+        outs = list(inj.wrap(clean_stream(10)))
+        assert len(outs) == 10
+        assert any(np.isnan(o).any() for o in outs)
+
+
+class TestValidation:
+    def test_probabilities_checked(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(dropout=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(nan_burst_epochs=0)
+
+    def test_shape_checked(self):
+        inj = ChaosInjector(ChaosConfig(), 3, 4)
+        with pytest.raises(ValueError):
+            inj.perturb(0, np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            ChaosInjector(ChaosConfig(), 0, 4)
+
+    def test_event_is_value_object(self):
+        assert ChaosEvent(0, 1, "dropout") == ChaosEvent(0, 1, "dropout")

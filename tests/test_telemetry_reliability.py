@@ -1,0 +1,131 @@
+"""Tests for the fault-tolerance primitives (agent health, retry, quorum)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.reliability import (
+    AgentHealthTracker,
+    QuorumPolicy,
+    RetryPolicy,
+)
+
+
+class TestQuorumPolicy:
+    def test_fraction_rule(self):
+        q = QuorumPolicy(min_fraction=0.5)
+        assert q.met(5, 10)
+        assert not q.met(4, 10)
+        assert q.met(1, 1)
+
+    def test_count_rule(self):
+        q = QuorumPolicy(min_fraction=0.0, min_count=3)
+        assert not q.met(2, 100)
+        assert q.met(3, 100)
+
+    def test_unknown_fleet_uses_count_only(self):
+        q = QuorumPolicy(min_fraction=0.9, min_count=1)
+        assert q.met(1, None)
+        assert not q.met(0, None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuorumPolicy(min_fraction=1.5)
+        with pytest.raises(ValueError):
+            QuorumPolicy(min_count=-1)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=5.0,
+                             jitter=0.0)
+        delays = [policy.backoff(k) for k in range(5)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_deterministic_under_seed(self):
+        policy = RetryPolicy(jitter=0.2)
+        a = [policy.backoff(k, np.random.default_rng(3)) for k in range(4)]
+        b = [policy.backoff(k, np.random.default_rng(3)) for k in range(4)]
+        assert a == b
+        unjittered = [policy.backoff(k) for k in range(4)]
+        for got, base in zip(a, unjittered):
+            assert 0.8 * base <= got <= 1.2 * base
+
+    def test_call_retries_until_success(self):
+        attempts = []
+        slept = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionError("agent unreachable")
+            return "delivered"
+
+        policy = RetryPolicy(max_attempts=5, jitter=0.0)
+        result = policy.call(flaky, sleep=slept.append)
+        assert result == "delivered"
+        assert len(attempts) == 3
+        assert slept == [policy.backoff(0), policy.backoff(1)]
+
+    def test_call_reraises_after_final_attempt(self):
+        policy = RetryPolicy(max_attempts=2, jitter=0.0)
+        with pytest.raises(ConnectionError):
+            policy.call(lambda: (_ for _ in ()).throw(ConnectionError()),
+                        sleep=lambda _: None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestAgentHealthTracker:
+    def test_misses_escalate_to_dead(self):
+        tracker = AgentHealthTracker(["a", "b"], dead_after=3)
+        for epoch in range(3):
+            tracker.observe_report("a", epoch)
+            newly_dead = tracker.close_epoch(epoch)
+        assert tracker.status("a") == "healthy"
+        assert tracker.status("b") == "dead"
+        assert newly_dead == ["b"]
+        assert tracker.staleness("b") == 3
+        assert tracker.expected_fleet == 1
+
+    def test_stale_before_dead(self):
+        tracker = AgentHealthTracker(["a"], dead_after=4, stale_after=2)
+        tracker.close_epoch(0)
+        assert tracker.status("a") == "healthy"
+        tracker.close_epoch(1)
+        assert tracker.status("a") == "stale"
+        assert tracker.stale_agents() == ["a"]
+
+    def test_report_closes_breaker(self):
+        tracker = AgentHealthTracker(["a"], dead_after=2)
+        for epoch in range(3):
+            tracker.close_epoch(epoch)
+        assert tracker.dead_agents() == ["a"]
+        tracker.observe_report("a", 3)
+        assert tracker.status("a") == "healthy"
+        assert tracker.n_dead == 0
+
+    def test_breaker_trips_once_per_outage(self):
+        tracker = AgentHealthTracker(["a"], dead_after=2)
+        trips = []
+        for epoch in range(5):
+            trips.extend(tracker.close_epoch(epoch))
+        assert trips == ["a"]  # one trip, not one per silent epoch
+
+    def test_unknown_machine_rejected(self):
+        tracker = AgentHealthTracker(["a"])
+        with pytest.raises(KeyError):
+            tracker.observe_report("nope", 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgentHealthTracker([])
+        with pytest.raises(ValueError):
+            AgentHealthTracker(["a"], dead_after=0)
+        with pytest.raises(ValueError):
+            AgentHealthTracker(["a"], dead_after=2, stale_after=3)
