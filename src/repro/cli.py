@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows without writing Python:
+Eight subcommands cover the common workflows without writing Python:
 
 * ``simulate`` — generate a synthetic datacenter trace and save it;
 * ``identify`` — replay online crisis identification over a saved trace;
 * ``monitor`` — drive the streaming monitor over a trace with crash-safe
   checkpoints (``--checkpoint``/``--resume``);
+* ``index`` — build/query/stats/bench a fingerprint index
+  (:mod:`repro.index`) over a trace's crisis fingerprints;
 * ``discriminate`` — Figure 3's AUC comparison of all four methods;
 * ``render`` — print a Figure 1-style fingerprint heatmap for one crisis;
 * ``timeline`` — print a day-by-day strip of the trace's crises;
@@ -68,6 +70,49 @@ def _add_monitor(sub: argparse._SubParsersAction) -> None:
                    help="stop after this epoch (exclusive); default: all")
 
 
+def _add_index(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "index",
+        help="build, query and benchmark fingerprint indexes",
+    )
+    isub = p.add_subparsers(dest="index_action", required=True)
+
+    b = isub.add_parser(
+        "build", help="index a trace's labeled crisis fingerprints"
+    )
+    b.add_argument("trace", help="path of a saved .npz trace")
+    b.add_argument("output", help="path of the index archive to write")
+    b.add_argument("--backend", default="brute",
+                   choices=("brute", "kdtree", "lsh"))
+    b.add_argument("--relevant-metrics", type=int, default=30)
+    b.add_argument("--synthetic", type=int, default=0,
+                   help="pad the index with jittered synthetic "
+                        "fingerprints up to this total size")
+    b.add_argument("--seed", type=int, default=0,
+                   help="seed for LSH hashing and synthetic padding")
+
+    q = isub.add_parser(
+        "query", help="match one crisis against a built index"
+    )
+    q.add_argument("index", help="path of a saved index archive")
+    q.add_argument("trace", help="the trace the index was built from")
+    q.add_argument("crisis", type=int, help="crisis index in the trace")
+    q.add_argument("--k", type=int, default=3)
+    q.add_argument("--relevant-metrics", type=int, default=30,
+                   help="must match the build invocation")
+
+    s = isub.add_parser("stats", help="print index statistics")
+    s.add_argument("index", help="path of a saved index archive")
+
+    be = isub.add_parser(
+        "bench", help="per-query latency vs. a Python-loop linear scan"
+    )
+    be.add_argument("index", help="path of a saved index archive")
+    be.add_argument("--queries", type=int, default=50)
+    be.add_argument("--k", type=int, default=10)
+    be.add_argument("--seed", type=int, default=0)
+
+
 def _add_discriminate(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "discriminate", help="Figure 3: per-method discrimination AUC"
@@ -110,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulate(sub)
     _add_identify(sub)
     _add_monitor(sub)
+    _add_index(sub)
     _add_discriminate(sub)
     _add_render(sub)
     _add_timeline(sub)
@@ -262,6 +308,112 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fitted_fingerprints(trace, n_relevant: int):
+    """Fit the paper's method and fingerprint every labeled crisis."""
+    from repro.methods import FingerprintMethod
+
+    method = FingerprintMethod(
+        FingerprintingConfig(
+            selection=SelectionConfig(n_relevant=n_relevant)
+        )
+    )
+    method.fit(trace, trace.labeled_crises)
+    vectors = [method.vector(c) for c in trace.labeled_crises]
+    labels = [c.label for c in trace.labeled_crises]
+    return method, vectors, labels
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.index import create_index, load_index, save_index
+    from repro.persistence import load_trace
+
+    if args.index_action == "build":
+        trace = load_trace(args.trace)
+        _, vectors, labels = _fitted_fingerprints(
+            trace, args.relevant_metrics
+        )
+        kwargs = {"seed": args.seed} if args.backend == "lsh" else {}
+        index = create_index(args.backend, len(vectors[0]), **kwargs)
+        index.add_batch(vectors, payloads=labels)
+        if args.synthetic > len(index):
+            # Jittered copies of real fingerprints: scale experiments need
+            # libraries far larger than one trace can produce.
+            rng = np.random.default_rng(args.seed)
+            base = np.stack(vectors)
+            while len(index) < args.synthetic:
+                row = int(rng.integers(len(base)))
+                vec = base[row] + rng.normal(
+                    scale=0.05, size=base.shape[1]
+                )
+                index.add(vec, payload=labels[row])
+        save_index(index, args.output)
+        print(
+            f"wrote {args.output}: {len(index)} fingerprints "
+            f"({index.backend} backend, dim {index.dim})"
+        )
+        return 0
+
+    index = load_index(args.index)
+    if args.index_action == "stats":
+        for key, value in sorted(index.stats().items()):
+            print(f"{key:>14}: {value}")
+        return 0
+
+    if args.index_action == "query":
+        trace = load_trace(args.trace)
+        crises = {c.index: c for c in trace.detected_crises}
+        if args.crisis not in crises:
+            print(f"crisis {args.crisis} not found or undetected",
+                  file=sys.stderr)
+            return 1
+        method, _, _ = _fitted_fingerprints(trace, args.relevant_metrics)
+        vector = method.vector(crises[args.crisis])
+        hits = index.query(vector, k=args.k)
+        if not hits:
+            print("no matches (empty index or no LSH candidates)")
+            return 0
+        for rank, hit in enumerate(hits, start=1):
+            print(f"{rank}. id {hit.id:6d}  distance {hit.distance:.4f}  "
+                  f"label {hit.payload or '-'}")
+        return 0
+
+    # bench: indexed queries vs. the historical Python-loop linear scan.
+    rng = np.random.default_rng(args.seed)
+    ids = index.ids()
+    if not ids:
+        print("index is empty", file=sys.stderr)
+        return 1
+    picks = rng.choice(len(ids), size=min(args.queries, len(ids)),
+                       replace=False)
+    queries = [
+        index.vector(ids[i]) + rng.normal(scale=0.01, size=index.dim)
+        for i in picks
+    ]
+    start = time.perf_counter()
+    for query in queries:
+        index.query(query, k=args.k)
+    indexed_s = (time.perf_counter() - start) / len(queries)
+    library = [(i, index.vector(i)) for i in ids]
+    scan_queries = queries[: max(min(5, len(queries)), 1)]
+    start = time.perf_counter()
+    for query in scan_queries:
+        scored = sorted(
+            (float(np.linalg.norm(query - vec)), i) for i, vec in library
+        )
+        del scored
+    scan_s = (time.perf_counter() - start) / len(scan_queries)
+    print(f"backend {index.backend}, {len(index)} vectors, "
+          f"dim {index.dim}, k={args.k}")
+    print(f"indexed query : {indexed_s * 1e3:9.3f} ms")
+    print(f"linear scan   : {scan_s * 1e3:9.3f} ms")
+    print(f"speedup       : {scan_s / max(indexed_s, 1e-12):9.1f}x")
+    return 0
+
+
 def _cmd_discriminate(args: argparse.Namespace) -> int:
     from repro.evaluation.discrimination import discrimination_roc
     from repro.evaluation.results import format_table
@@ -369,6 +521,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "identify": _cmd_identify,
     "monitor": _cmd_monitor,
+    "index": _cmd_index,
     "discriminate": _cmd_discriminate,
     "render": _cmd_render,
     "timeline": _cmd_timeline,

@@ -9,7 +9,7 @@ with equal configs must behave identically given equal seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 #: Number of minutes in one aggregation epoch (established practice in the
 #: paper's datacenter; Section 4.1).
@@ -170,6 +170,46 @@ class ReliabilityConfig:
 
 
 @dataclass(frozen=True)
+class IndexConfig:
+    """Fingerprint-index policy for the identification step.
+
+    ``backend`` selects the :mod:`repro.index` implementation used for
+    nearest-neighbor matching: ``"brute"`` (exact, the default — results
+    are bit-identical to a linear scan), ``"kdtree"`` (exact, sub-linear
+    for mid-size libraries) or ``"lsh"`` (approximate, sub-linear at
+    scale; see ``docs/index.md`` for the measured recall contract).  The
+    LSH parameters mirror :class:`repro.index.LSHIndex`; ``lsh_width``
+    of ``None`` freezes the bucket width automatically from the data
+    scale.
+    """
+
+    backend: str = "brute"
+    lsh_tables: int = 16
+    lsh_hashes: int = 6
+    lsh_width: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("brute", "kdtree", "lsh"):
+            raise ValueError(f"unknown index backend {self.backend!r}")
+        if self.lsh_tables <= 0 or self.lsh_hashes <= 0:
+            raise ValueError("lsh_tables and lsh_hashes must be positive")
+        if self.lsh_width is not None and self.lsh_width <= 0:
+            raise ValueError("lsh_width must be positive")
+
+    def backend_kwargs(self) -> dict:
+        """Constructor kwargs for :func:`repro.index.create_index`."""
+        if self.backend == "lsh":
+            return {
+                "n_tables": self.lsh_tables,
+                "n_hashes": self.lsh_hashes,
+                "width": self.lsh_width,
+                "seed": self.seed,
+            }
+        return {}
+
+
+@dataclass(frozen=True)
 class FingerprintingConfig:
     """Bundle of all method parameters, defaulting to the paper's choices."""
 
@@ -180,6 +220,7 @@ class FingerprintingConfig:
     identification: IdentificationConfig = field(
         default_factory=IdentificationConfig
     )
+    index: IndexConfig = field(default_factory=IndexConfig)
 
     def with_(self, **kwargs) -> "FingerprintingConfig":
         """Return a copy with the given top-level sections replaced."""
@@ -194,6 +235,7 @@ __all__ = [
     "SelectionConfig",
     "FingerprintConfig",
     "IdentificationConfig",
+    "IndexConfig",
     "ReliabilityConfig",
     "FingerprintingConfig",
 ]

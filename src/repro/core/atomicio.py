@@ -1,0 +1,54 @@
+"""Atomic ``.npz`` archives with a JSON header.
+
+The persistence idiom shared by :mod:`repro.core.checkpoint` and
+:mod:`repro.index.snapshot`: array payloads plus a JSON header packed
+into a ``uint8`` array under the key ``"header"``, written to a
+temporary file in the destination directory, fsynced, and renamed over
+the target.  A crash mid-write leaves the previous archive intact,
+never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict
+
+import numpy as np
+
+
+def atomic_write_npz(path, arrays: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` atomically: tmp file + fsync + rename."""
+    path = pathlib.Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or pathlib.Path("."), suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def pack_header(header: dict) -> np.ndarray:
+    """JSON-encode a header dict into a ``uint8`` array payload."""
+    # numpy scalars (e.g. a threshold held as np.float64) serialize via .item()
+    payload = json.dumps(header, default=lambda o: o.item())
+    return np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
+
+
+def unpack_header(data) -> dict:
+    """Decode the ``"header"`` array of a loaded archive."""
+    return json.loads(bytes(data["header"]).decode("utf-8"))
+
+
+__all__ = ["atomic_write_npz", "pack_header", "unpack_header"]

@@ -22,51 +22,29 @@ original object was built with.
 
 from __future__ import annotations
 
-import json
-import os
 import pathlib
-import tempfile
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.config import FingerprintingConfig, ReliabilityConfig
+from repro.core.atomicio import atomic_write_npz, pack_header, unpack_header
 from repro.core.pipeline import FingerprintPipeline, KnownCrisis
 from repro.core.streaming import StreamingCrisisMonitor, _LiveCrisis, _StoredCrisis
 from repro.core.thresholds import QuantileThresholds
+from repro.index.snapshot import index_from_arrays, index_to_arrays
 
 #: Format version embedded in every checkpoint archive.
 CHECKPOINT_FORMAT_VERSION = 1
 
-
-def _atomic_write_npz(path, arrays: Dict[str, np.ndarray]) -> None:
-    """Write an ``.npz`` atomically: tmp file + fsync + rename."""
-    path = pathlib.Path(path)
-    fd, tmp = tempfile.mkstemp(
-        dir=path.parent or pathlib.Path("."), suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            np.savez_compressed(fh, **arrays)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
-
-def _pack_header(header: dict) -> np.ndarray:
-    # numpy scalars (e.g. a threshold held as np.float64) serialize via .item()
-    payload = json.dumps(header, default=lambda o: o.item())
-    return np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
+# Shared with repro.index.snapshot; kept under their historical names so
+# existing callers (and tests) of the private helpers keep working.
+_atomic_write_npz = atomic_write_npz
+_pack_header = pack_header
 
 
 def _read_header(data, expected_kind: str) -> dict:
-    header = json.loads(bytes(data["header"]).decode("utf-8"))
+    header = unpack_header(data)
     version = header.get("format_version")
     if version != CHECKPOINT_FORMAT_VERSION:
         raise ValueError(
@@ -110,6 +88,7 @@ def save_monitor(monitor: StreamingCrisisMonitor, path) -> None:
             for s in monitor._library
         ],
         "n_pre_buffer": len(monitor._pre_buffer),
+        "index_slots": sorted(monitor._index_cache),
     }
     arrays: Dict[str, np.ndarray] = {
         "header": _pack_header(header),
@@ -117,6 +96,11 @@ def save_monitor(monitor: StreamingCrisisMonitor, path) -> None:
         "store_values": np.asarray(monitor.store.values()),
         "store_anomalous": np.asarray(monitor.store.anomalous_mask()),
     }
+    # Identification indexes are derived state, but re-deriving them means
+    # re-fingerprinting the whole library per protocol slot — snapshot them
+    # so a restored monitor resumes with warm indexes.
+    for k, index in monitor._index_cache.items():
+        arrays.update(index_to_arrays(index, prefix=f"index_slot{k}_"))
     if monitor.thresholds is not None:
         arrays["thresholds_cold"] = monitor.thresholds.cold
         arrays["thresholds_hot"] = monitor.thresholds.hot
@@ -179,6 +163,14 @@ def load_monitor(
             )
             for i, meta in enumerate(header["library"])
         ]
+        # Pre-PR-2 checkpoints carry no index snapshots; the monitor then
+        # rebuilds its identification indexes lazily on the next crisis.
+        for k in header.get("index_slots", []):
+            index = index_from_arrays(data, prefix=f"index_slot{k}_")
+            monitor._index_cache[k] = index
+            monitor._index_labels[k] = {
+                i: index.payload(i) for i in index.ids()
+            }
     return monitor
 
 

@@ -25,13 +25,53 @@ def l2_distance(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.linalg.norm(a - b))
 
 
-def pairwise_distances(vectors: Sequence[np.ndarray]) -> np.ndarray:
-    """Full pairwise L2 distance matrix."""
+#: Rows per block of the Gram-trick pairwise kernel: peak scratch is
+#: ``O(block * n)`` instead of the ``O(n^2 * d)`` tensor a naive broadcast
+#: materializes.
+PAIRWISE_BLOCK_ROWS = 2048
+
+
+def pairwise_distances(
+    vectors: Sequence[np.ndarray], block_rows: int = PAIRWISE_BLOCK_ROWS
+) -> np.ndarray:
+    """Full pairwise L2 distance matrix.
+
+    Computed blockwise with the Gram identity
+    ``||a - b||^2 = ||a||^2 - 2 a.b + ||b||^2`` (negatives from floating-
+    point cancellation clamped to zero before the square root), so memory
+    never exceeds ``O(block_rows * n)`` scratch plus the n x n result.
+    The result is symmetrized and its diagonal zeroed exactly.
+    """
+    if block_rows <= 0:
+        raise ValueError("block_rows must be positive")
     if len(vectors) == 0:
         return np.zeros((0, 0))
     stacked = np.stack([np.asarray(v, dtype=float).ravel() for v in vectors])
-    diff = stacked[:, None, :] - stacked[None, :, :]
-    return np.sqrt((diff**2).sum(axis=2))
+    n = stacked.shape[0]
+    sq_norms = np.einsum("ij,ij->i", stacked, stacked)
+    out = np.empty((n, n), dtype=float)
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        sq = (
+            sq_norms[start:stop, None]
+            - 2.0 * (stacked[start:stop] @ stacked.T)
+            + sq_norms[None, :]
+        )
+        np.maximum(sq, 0.0, out=sq)
+        out[start:stop] = np.sqrt(sq)
+    # Cancellation can leave the two triangles a few ulp apart; downstream
+    # consumers (pair extraction, ROC thresholds) assume exact symmetry.
+    out = np.minimum(out, out.T)
+    np.fill_diagonal(out, 0.0)
+    # The Gram expansion has absolute error ~eps * ||a|| * ||b||, which is
+    # a large *relative* error exactly when a ~= b.  Recompute those few
+    # pairs (near-duplicate fingerprints) with the direct difference.
+    scale = np.sqrt(sq_norms[:, None] * sq_norms[None, :])
+    suspect = out <= 1e-6 * scale
+    np.fill_diagonal(suspect, False)
+    for i, j in np.argwhere(suspect):
+        out[i, j] = np.linalg.norm(stacked[i] - stacked[j])
+    return out
 
 
 def pair_arrays(
@@ -53,4 +93,9 @@ def pair_arrays(
     return distances[iu], is_same.astype(bool)
 
 
-__all__ = ["l2_distance", "pairwise_distances", "pair_arrays"]
+__all__ = [
+    "PAIRWISE_BLOCK_ROWS",
+    "l2_distance",
+    "pairwise_distances",
+    "pair_arrays",
+]

@@ -37,16 +37,16 @@ don't-know label rather than risk a misidentification, preserving the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.config import FingerprintingConfig, ReliabilityConfig
 from repro.core.identification import (
     UNKNOWN,
-    Identifier,
     estimate_threshold_online,
 )
+from repro.index import FingerprintIndex, create_index
 from repro.core.summary import summary_vectors
 from repro.core.thresholds import QuantileThresholds, percentile_thresholds
 from repro.telemetry.collector import EpochQuality
@@ -136,6 +136,12 @@ class StreamingCrisisMonitor:
         self._library: List[_StoredCrisis] = []
         self._pre_buffer: List[np.ndarray] = []  # last pre_epochs summaries
         self.untrusted_epochs = 0  # lifetime count of quarantined epochs
+        # Identification indexes, one per protocol slot k (the library is
+        # re-fingerprinted at depth pre+k+1 for slot k).  Derived state:
+        # rebuilt incrementally as crises are diagnosed and invalidated
+        # when thresholds or the relevant-metric set change.
+        self._index_cache: Dict[int, FingerprintIndex] = {}
+        self._index_labels: Dict[int, Dict[int, str]] = {}
 
     # -- parameter management ------------------------------------------------
 
@@ -145,6 +151,7 @@ class StreamingCrisisMonitor:
         if relevant.size == 0:
             raise ValueError("need at least one relevant metric")
         self.relevant = relevant
+        self._invalidate_indexes()
 
     def _refresh_thresholds(self, now: int) -> None:
         cfg = self.config.thresholds
@@ -155,6 +162,8 @@ class StreamingCrisisMonitor:
         self.thresholds = percentile_thresholds(
             values, cfg.cold_percentile, cfg.hot_percentile
         )
+        # New thresholds re-discretize every library fingerprint.
+        self._invalidate_indexes()
 
     @property
     def ready(self) -> bool:
@@ -171,34 +180,76 @@ class StreamingCrisisMonitor:
         sub = summaries[:, self.relevant, :].astype(float)
         return sub.reshape(sub.shape[0], -1).mean(axis=0)
 
-    def _identify(self, live: _LiveCrisis, epoch: int) -> IdentificationUpdate:
-        k = live.identifications
+    def _invalidate_indexes(self) -> None:
+        self._index_cache.clear()
+        self._index_labels.clear()
+
+    def _library_index(self, k: int) -> FingerprintIndex:
+        """The identification index for protocol slot ``k``, synced lazily.
+
+        Newly diagnosed crises are *added* to an existing index (the
+        incremental path); a relabeled crisis or invalidated cache
+        triggers a rebuild.  Exact backends store float64 so matching is
+        bit-identical to the historical direct scan over the library.
+        """
         pre = self.config.fingerprint.pre_epochs
-        window = np.stack(live.summaries)
-        new_vec = self._fingerprint(window)
-        library = []
+        cfg = self.config.index
+        index = self._index_cache.get(k)
+        if index is None:
+            dim = int(self.relevant.size) * self.config.quantiles.count
+            kwargs = cfg.backend_kwargs()
+            if cfg.backend in ("brute", "kdtree"):
+                kwargs["dtype"] = np.float64
+            index = create_index(cfg.backend, dim, **kwargs)
+            self._index_cache[k] = index
+            self._index_labels[k] = {}
+        labels = self._index_labels[k]
         for stored in self._library:
             if stored.label is None:
                 continue
-            library.append(
-                (self._fingerprint(stored.quantile_window,
-                                   n_epochs=pre + k + 1), stored.label)
-            )
+            seen = labels.get(stored.number)
+            if seen is None:
+                index.add(
+                    self._fingerprint(
+                        stored.quantile_window, n_epochs=pre + k + 1
+                    ),
+                    id=stored.number,
+                    payload=stored.label,
+                )
+                labels[stored.number] = stored.label
+            elif seen != stored.label:
+                self._invalidate_indexes()
+                return self._library_index(k)
+        return index
+
+    def _identify(self, live: _LiveCrisis, epoch: int) -> IdentificationUpdate:
+        k = live.identifications
+        window = np.stack(live.summaries)
+        new_vec = self._fingerprint(window)
+        index = self._library_index(k)
         threshold = None
-        if len(library) >= 2:
+        if len(index) >= 2:
+            ids = index.ids()
             try:
                 threshold = estimate_threshold_online(
-                    [v for v, _ in library],
-                    [lab for _, lab in library],
+                    [index.vector(i) for i in ids],
+                    [index.payload(i) for i in ids],
                     self.config.identification.alpha,
                 )
             except ValueError:
                 threshold = None
-        if threshold is None or not library:
+        if threshold is None or len(index) == 0:
             result_label, distance = UNKNOWN, None
         else:
-            result = Identifier(threshold).identify(new_vec, library)
-            result_label, distance = result.label, result.distance
+            hits = index.query(new_vec, k=1)
+            if not hits:
+                # Approximate backends may return nothing when no bucket
+                # holds the query; that is a don't-know, not a crash.
+                result_label, distance = UNKNOWN, None
+            else:
+                hit = hits[0]
+                distance = hit.distance
+                result_label = hit.payload if distance < threshold else UNKNOWN
         live.identifications += 1
         return IdentificationUpdate(
             epoch=epoch,

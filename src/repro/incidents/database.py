@@ -12,11 +12,11 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.similarity import l2_distance
+from repro.index import BruteForceIndex
 
 #: Schema version written into every serialized database.
 SCHEMA_VERSION = 1
@@ -75,9 +75,20 @@ class IncidentRecord:
 
 @dataclass
 class IncidentDatabase:
-    """Append-only store of incidents with fingerprint retrieval."""
+    """Append-only store of incidents with fingerprint retrieval.
+
+    Retrieval goes through a :class:`repro.index.BruteForceIndex` per
+    fingerprint dimensionality (records stored under older relevant-metric
+    sets have different dimensions), built lazily and kept in sync by the
+    mutating methods.  Mutating ``records`` directly bypasses that cache;
+    use :meth:`add` / :meth:`update_fingerprints`.
+    """
 
     records: List[IncidentRecord] = field(default_factory=list)
+    #: dim -> (index, record count when built); cache, not state.
+    _indexes: Dict[int, Tuple[BruteForceIndex, int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.records)
@@ -118,25 +129,47 @@ class IncidentDatabase:
     def by_label(self, label: str) -> List[IncidentRecord]:
         return [r for r in self.records if r.label == label]
 
+    def _index_for(self, dim: int) -> BruteForceIndex:
+        """The retrieval index over all records of dimensionality ``dim``."""
+        cached = self._indexes.get(dim)
+        if cached is not None and cached[1] == len(self.records):
+            return cached[0]
+        # float64 storage keeps retrieval bit-identical to a direct
+        # l2_distance scan; incident libraries are small relative to the
+        # fleet-scale indexes, so exactness wins over the float32 footprint.
+        index = BruteForceIndex(dim, dtype=np.float64)
+        for record in self.records:
+            if record.fingerprint.shape == (dim,):
+                index.add(
+                    record.fingerprint,
+                    id=record.incident_id,
+                    payload=record.label,
+                )
+        self._indexes[dim] = (index, len(self.records))
+        return index
+
+    def _invalidate_indexes(self) -> None:
+        self._indexes.clear()
+
     def nearest(
         self, fingerprint: np.ndarray, k: int = 3
     ) -> List[Tuple[IncidentRecord, float]]:
         """The k nearest incidents to a live fingerprint, with distances.
 
-        Records whose fingerprints have a different dimensionality (stored
-        under an older relevant-metric set) are skipped — callers that
-        re-fingerprint their library (Section 6.3) never hit this case.
+        Equal distances break deterministically toward the lowest
+        incident id.  Records whose fingerprints have a different
+        dimensionality (stored under an older relevant-metric set) are
+        skipped — callers that re-fingerprint their library (Section 6.3)
+        never hit this case.
         """
         if k <= 0:
             raise ValueError("k must be positive")
         fingerprint = np.asarray(fingerprint, dtype=float).ravel()
-        scored = [
-            (r, l2_distance(fingerprint, r.fingerprint))
-            for r in self.records
-            if r.fingerprint.shape == fingerprint.shape
+        index = self._index_for(fingerprint.shape[0])
+        return [
+            (self.get(hit.id), hit.distance)
+            for hit in index.query(fingerprint, k=k)
         ]
-        scored.sort(key=lambda pair: pair[1])
-        return scored[:k]
 
     def update_fingerprints(
         self,
@@ -150,6 +183,7 @@ class IncidentDatabase:
             record.fingerprint = np.asarray(fp, dtype=float).ravel()
             if metric_indices is not None:
                 record.metric_indices = np.asarray(metric_indices, dtype=int)
+        self._invalidate_indexes()
 
     # -- persistence ---------------------------------------------------------
 

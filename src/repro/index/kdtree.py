@@ -1,0 +1,235 @@
+"""KD-tree backend: exact sub-linear queries for mid-size libraries.
+
+An array-based median-split KD-tree over the shared
+:class:`~repro.index.store.VectorStore`.  Queries are exact branch-and-
+bound k-NN with the same ``(distance, id)`` ordering as every other
+backend.  Mutations mark the tree dirty; it is rebuilt lazily on the
+next query (a rebuild is O(n log n) — fine at the mid-size scales this
+backend targets; use the LSH backend beyond that).
+
+Fingerprint dimensionality is moderate (tens of columns), which is the
+regime where KD-trees still prune; in very high dimensions prefer the
+brute or LSH backends (see ``docs/index.md``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.index.base import FingerprintIndex, Neighbor, register_backend
+from repro.index.store import VectorStore
+
+#: Leaves hold up to this many points; below it, scanning beats recursing.
+_LEAF_SIZE = 16
+
+
+class _Node:
+    __slots__ = ("axis", "split", "left", "right", "rows")
+
+    def __init__(self, axis=-1, split=0.0, left=None, right=None, rows=None):
+        self.axis = axis
+        self.split = split
+        self.left = left
+        self.right = right
+        self.rows = rows  # leaf: row indices into the store matrix
+
+
+@register_backend
+class KDTreeIndex(FingerprintIndex):
+    """Exact k-NN via a lazily rebuilt median-split KD-tree."""
+
+    backend = "kdtree"
+
+    def __init__(self, dim: int, dtype=np.float64, leaf_size: int = _LEAF_SIZE):
+        super().__init__(dim)
+        if leaf_size <= 0:
+            raise ValueError("leaf_size must be positive")
+        self.leaf_size = int(leaf_size)
+        self._store = VectorStore(dim, dtype=dtype)
+        self._root: Optional[_Node] = None
+        self._dirty = True
+        self.rebuilds = 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, vector, id=None, payload=None) -> int:
+        out = self._store.add(self._check_vector(vector), id, payload)
+        self._dirty = True
+        return out
+
+    def update(self, id: int, vector) -> None:
+        self._store.update(id, self._check_vector(vector))
+        self._dirty = True
+
+    def remove(self, id: int) -> None:
+        self._store.remove(id)
+        self._dirty = True
+
+    # -- tree construction ---------------------------------------------------
+
+    def _build(self, rows: np.ndarray, depth: int) -> _Node:
+        if rows.size <= self.leaf_size:
+            return _Node(rows=rows)
+        matrix = self._store.matrix
+        # Split on the widest-spread axis for better balance than cycling.
+        sub = matrix[rows].astype(np.float64, copy=False)
+        spreads = sub.max(axis=0) - sub.min(axis=0)
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0.0:
+            return _Node(rows=rows)  # all duplicates: no split possible
+        values = sub[:, axis]
+        mid = rows.size // 2
+        order = np.argpartition(values, mid)
+        split = float(values[order[mid]])
+        left = rows[values < split]
+        right = rows[values >= split]
+        if left.size == 0 or right.size == 0:
+            # Degenerate median (many equal values): fall back to a leaf.
+            return _Node(rows=rows)
+        return _Node(
+            axis=axis,
+            split=split,
+            left=self._build(left, depth + 1),
+            right=self._build(right, depth + 1),
+        )
+
+    def _ensure_tree(self) -> None:
+        if not self._dirty:
+            return
+        n = len(self._store)
+        self._root = (
+            self._build(np.arange(n, dtype=np.int64), 0) if n else None
+        )
+        self._dirty = False
+        self.rebuilds += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def _leaf_scan(self, query, rows, k, heap) -> None:
+        matrix = self._store.matrix
+        ids = self._store.row_ids()
+        for row in rows.tolist():
+            vec = matrix[row].astype(np.float64, copy=False)
+            d = float(np.linalg.norm(query - vec))
+            item = (-d, -int(ids[row]))  # max-heap on (distance, id)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+
+    def _search(self, node: _Node, query, k, heap) -> None:
+        if node.rows is not None:
+            self._leaf_scan(query, node.rows, k, heap)
+            return
+        diff = float(query[node.axis]) - node.split
+        near, far = (
+            (node.left, node.right) if diff < 0 else (node.right, node.left)
+        )
+        self._search(near, query, k, heap)
+        worst = -heap[0][0] if heap else np.inf
+        if len(heap) < k or abs(diff) <= worst:
+            self._search(far, query, k, heap)
+
+    def query(self, vector, k: int = 1) -> List[Neighbor]:
+        k = self._check_k(k)
+        query = self._check_vector(vector)
+        self._ensure_tree()
+        if self._root is None:
+            return []
+        heap: List[Tuple[float, int]] = []
+        self._search(self._root, query, min(k, len(self._store)), heap)
+        ranked = sorted((-d, -nid) for d, nid in heap)
+        return [
+            Neighbor(id=i, distance=d, payload=self._store.payload(i))
+            for d, i in ranked
+        ]
+
+    def query_radius(self, vector, radius: float) -> List[Neighbor]:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        query = self._check_vector(vector)
+        self._ensure_tree()
+        hits: List[Tuple[float, int]] = []
+        if self._root is None:
+            return []
+        matrix = self._store.matrix
+        ids = self._store.row_ids()
+
+        def visit(node: _Node) -> None:
+            if node.rows is not None:
+                for row in node.rows.tolist():
+                    vec = matrix[row].astype(np.float64, copy=False)
+                    d = float(np.linalg.norm(query - vec))
+                    if d <= radius:
+                        hits.append((d, int(ids[row])))
+                return
+            diff = float(query[node.axis]) - node.split
+            near, far = (
+                (node.left, node.right)
+                if diff < 0
+                else (node.right, node.left)
+            )
+            visit(near)
+            if abs(diff) <= radius:
+                visit(far)
+
+        visit(self._root)
+        return [
+            Neighbor(id=i, distance=d, payload=self._store.payload(i))
+            for d, i in sorted(hits)
+        ]
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, id: int) -> bool:
+        return id in self._store
+
+    def ids(self) -> List[int]:
+        return self._store.ids()
+
+    def payload(self, id: int) -> Optional[str]:
+        return self._store.payload(id)
+
+    def vector(self, id: int) -> np.ndarray:
+        return self._store.vector(id)
+
+    def stats(self) -> Dict[str, object]:
+        stats = super().stats()
+        stats.update(
+            dtype=self._store.dtype.name,
+            leaf_size=self.leaf_size,
+            rebuilds=self.rebuilds,
+            dirty=self._dirty,
+        )
+        return stats
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        header = {
+            "backend": self.backend,
+            "dim": self.dim,
+            "leaf_size": self.leaf_size,
+            "store": self._store.snapshot_header(),
+        }
+        return header, self._store.snapshot_arrays()
+
+    @classmethod
+    def from_snapshot(cls, header, arrays) -> "KDTreeIndex":
+        index = cls(
+            header["dim"],
+            dtype=np.dtype(header["store"]["dtype"]),
+            leaf_size=header.get("leaf_size", _LEAF_SIZE),
+        )
+        index._store = VectorStore.from_snapshot(header["store"], arrays)
+        index._dirty = True
+        return index
+
+
+__all__ = ["KDTreeIndex"]

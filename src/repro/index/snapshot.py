@@ -1,0 +1,79 @@
+"""Persist fingerprint indexes as atomic ``.npz`` archives.
+
+The archive format follows the :mod:`repro.core.atomicio` idiom used by
+the streaming checkpoints: array payloads plus a JSON header carrying
+the backend name and constructor parameters, written atomically.  The
+same helpers also embed index snapshots *inside* a monitor checkpoint
+(:mod:`repro.core.checkpoint`) under a key prefix, so a restored monitor
+does not rebuild its identification indexes from scratch.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict
+
+import numpy as np
+
+from repro.core.atomicio import atomic_write_npz, pack_header, unpack_header
+from repro.index.base import FingerprintIndex, backend_class
+
+#: Format version embedded in every standalone index archive.
+INDEX_FORMAT_VERSION = 1
+
+
+def index_to_arrays(
+    index: FingerprintIndex, prefix: str = ""
+) -> Dict[str, np.ndarray]:
+    """Flatten an index snapshot into prefixed arrays (header included).
+
+    Used both for standalone archives (empty prefix) and for embedding a
+    snapshot inside another archive, e.g. a monitor checkpoint.
+    """
+    header, arrays = index.snapshot()
+    out = {f"{prefix}header": pack_header(header)}
+    for key, value in arrays.items():
+        out[f"{prefix}{key}"] = value
+    return out
+
+
+def index_from_arrays(data, prefix: str = "") -> FingerprintIndex:
+    """Inverse of :func:`index_to_arrays`."""
+    header = unpack_header({"header": data[f"{prefix}header"]})
+    arrays = {
+        key[len(prefix):]: data[key]
+        for key in getattr(data, "files", data.keys())
+        if key.startswith(prefix) and key != f"{prefix}header"
+    }
+    return backend_class(header["backend"]).from_snapshot(header, arrays)
+
+
+def save_index(index: FingerprintIndex, path) -> None:
+    """Write a standalone index archive atomically."""
+    arrays = index_to_arrays(index)
+    header = unpack_header({"header": arrays["header"]})
+    header["format_version"] = INDEX_FORMAT_VERSION
+    arrays["header"] = pack_header(header)
+    atomic_write_npz(path, arrays)
+
+
+def load_index(path) -> FingerprintIndex:
+    """Restore an index written by :func:`save_index`."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as data:
+        header = unpack_header(data)
+        version = header.get("format_version")
+        if version != INDEX_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format {version!r} "
+                f"(expected {INDEX_FORMAT_VERSION})"
+            )
+        return index_from_arrays(data)
+
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "index_from_arrays",
+    "index_to_arrays",
+    "load_index",
+    "save_index",
+]

@@ -43,6 +43,28 @@ class TestPairwiseDistances:
     def test_empty(self):
         assert pairwise_distances([]).shape == (0, 0)
 
+    def test_blocked_matches_broadcast_formula(self):
+        """The Gram-trick kernel agrees with the O(n^2 d) broadcast it
+        replaced, including with block sizes that split the rows."""
+        rng = np.random.default_rng(42)
+        vecs = [rng.normal(size=17) * rng.uniform(0.01, 100) for _ in range(37)]
+        stacked = np.stack(vecs)
+        diff = stacked[:, None, :] - stacked[None, :, :]
+        reference = np.sqrt((diff ** 2).sum(axis=2))
+        for block_rows in (1, 5, 37, 4096):
+            D = pairwise_distances(vecs, block_rows=block_rows)
+            np.testing.assert_allclose(D, reference, atol=1e-9)
+            np.testing.assert_allclose(D, D.T)
+            assert np.all(np.diag(D) == 0.0)
+
+    def test_no_nan_on_near_duplicates(self):
+        """Negative squared distances from cancellation are clamped."""
+        base = np.full(8, 1e8)
+        vecs = [base, base + 1e-9, base.copy()]
+        D = pairwise_distances(vecs)
+        assert np.all(np.isfinite(D))
+        assert np.all(D >= 0.0)
+
 
 class TestPairArrays:
     def test_upper_triangle_extraction(self):

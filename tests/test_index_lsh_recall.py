@@ -1,0 +1,72 @@
+"""Measured recall contract of the LSH backend (satellite of the index PR).
+
+The default LSH configuration must keep recall@10 >= 0.9 against the
+exact backend on data shaped like real crisis fingerprints: a catalog of
+simulator crisis fingerprints, blurred into a fleet-scale library by
+seeded perturbation.  Everything is seeded, so a recall regression from
+retuning ``n_tables`` / ``n_hashes`` / the automatic width fails this
+test deterministically rather than degrading silently in production.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import FingerprintingConfig, ThresholdConfig
+from repro.index import BruteForceIndex, LSHIndex
+from repro.methods import FingerprintMethod
+
+N_POINTS = 5000
+N_QUERIES = 100
+K = 10
+MIN_RECALL = 0.9
+
+
+@pytest.fixture(scope="module")
+def fingerprint_cloud(small_trace):
+    """5k synthetic fingerprints seeded from the trace's crisis catalog."""
+    config = FingerprintingConfig(thresholds=ThresholdConfig(window_days=30))
+    method = FingerprintMethod(config)
+    method.fit(small_trace, small_trace.labeled_crises)
+    base = np.stack(
+        [method.vector(c) for c in small_trace.labeled_crises]
+    )
+    rng = np.random.default_rng(2024)
+    picks = rng.integers(0, len(base), size=N_POINTS)
+    points = base[picks] + rng.normal(scale=0.05, size=(N_POINTS, base.shape[1]))
+    queries = base[rng.integers(0, len(base), size=N_QUERIES)] + rng.normal(
+        scale=0.05, size=(N_QUERIES, base.shape[1])
+    )
+    return points, queries
+
+
+def test_default_lsh_recall_at_10(fingerprint_cloud):
+    points, queries = fingerprint_cloud
+    dim = points.shape[1]
+    exact = BruteForceIndex(dim, dtype=np.float64)
+    exact.add_batch(points)
+    approx = LSHIndex(dim, seed=0)  # all-default configuration
+    approx.add_batch(points)
+
+    recalls = []
+    for query in queries:
+        truth = {h.id for h in exact.query(query, k=K)}
+        got = {h.id for h in approx.query(query, k=K)}
+        recalls.append(len(got & truth) / K)
+    mean_recall = float(np.mean(recalls))
+    assert mean_recall >= MIN_RECALL, (
+        f"recall@{K} = {mean_recall:.3f} < {MIN_RECALL} over "
+        f"{N_QUERIES} queries on {N_POINTS} fingerprints"
+    )
+
+
+def test_lsh_touches_fraction_of_library(fingerprint_cloud):
+    """Sub-linearity in practice: candidate sets are a small fraction."""
+    points, queries = fingerprint_cloud
+    approx = LSHIndex(points.shape[1], seed=0)
+    approx.add_batch(points)
+    approx._ensure_hashed()
+    fractions = [
+        len(approx._candidates(q.astype(np.float64))) / len(points)
+        for q in queries[:20]
+    ]
+    assert float(np.mean(fractions)) < 0.5
