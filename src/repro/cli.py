@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the common workflows without writing Python:
+Nine subcommands cover the common workflows without writing Python:
 
 * ``simulate`` — generate a synthetic datacenter trace and save it;
 * ``identify`` — replay online crisis identification over a saved trace;
@@ -8,6 +8,8 @@ Eight subcommands cover the common workflows without writing Python:
   checkpoints (``--checkpoint``/``--resume``);
 * ``index`` — build/query/stats/bench a fingerprint index
   (:mod:`repro.index`) over a trace's crisis fingerprints;
+* ``fleet`` — plan/run/bench the sharded parallel aggregation tier
+  (:mod:`repro.fleet`) over a simulated fleet;
 * ``discriminate`` — Figure 3's AUC comparison of all four methods;
 * ``render`` — print a Figure 1-style fingerprint heatmap for one crisis;
 * ``timeline`` — print a day-by-day strip of the trace's crises;
@@ -113,6 +115,52 @@ def _add_index(sub: argparse._SubParsersAction) -> None:
     be.add_argument("--seed", type=int, default=0)
 
 
+def _add_fleet(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "fleet",
+        help="sharded parallel epoch aggregation over a simulated fleet",
+    )
+    fsub = p.add_subparsers(dest="fleet_action", required=True)
+
+    def common(q, machines=1000, shards=4):
+        q.add_argument("--machines", type=int, default=machines)
+        q.add_argument("--shards", type=int, default=shards)
+
+    pl = fsub.add_parser(
+        "plan", help="show the hash-partitioned shard assignment"
+    )
+    common(pl)
+
+    r = fsub.add_parser(
+        "run", help="aggregate a simulated fleet epoch by epoch"
+    )
+    common(r, machines=500)
+    r.add_argument("--metrics", type=int, default=20)
+    r.add_argument("--epochs", type=int, default=8)
+    r.add_argument("--mode", default="exact", choices=("exact", "sketch"))
+    r.add_argument("--sketch-eps", type=float, default=0.01)
+    r.add_argument("--deadline", type=float, default=5.0,
+                   help="epoch-close deadline in seconds")
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--chaos-kill", type=float, default=0.0,
+                   help="per-epoch probability a shard worker dies at close")
+    r.add_argument("--chaos-straggle", type=float, default=0.0,
+                   help="per-epoch probability a shard straggles")
+    r.add_argument("--chaos-straggle-seconds", type=float, default=0.5)
+
+    b = fsub.add_parser(
+        "bench", help="throughput vs. the single-process aggregator"
+    )
+    b.add_argument("--machines", type=int, default=10_000)
+    b.add_argument("--metrics", type=int, default=16)
+    b.add_argument("--epochs", type=int, default=3)
+    b.add_argument("--workers", default="1,2,4",
+                   help="comma-separated worker counts")
+    b.add_argument("--mode", default="sketch", choices=("exact", "sketch"))
+    b.add_argument("--sketch-eps", type=float, default=0.02)
+    b.add_argument("--seed", type=int, default=0)
+
+
 def _add_discriminate(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "discriminate", help="Figure 3: per-method discrimination AUC"
@@ -156,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_identify(sub)
     _add_monitor(sub)
     _add_index(sub)
+    _add_fleet(sub)
     _add_discriminate(sub)
     _add_render(sub)
     _add_timeline(sub)
@@ -414,6 +463,84 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.config import FleetConfig
+    from repro.fleet import FleetAggregator, describe_plan, plan_shards
+    from repro.fleet.bench import (
+        format_results,
+        run_scaling,
+        simulate_fleet_epochs,
+    )
+    from repro.telemetry.chaos import ShardChaosConfig
+
+    if args.fleet_action == "plan":
+        machine_ids = [f"host-{i:05d}" for i in range(args.machines)]
+        print(describe_plan(plan_shards(machine_ids, args.shards)))
+        return 0
+
+    if args.fleet_action == "run":
+        machine_ids = [f"host-{i:05d}" for i in range(args.machines)]
+        metric_names = [f"metric-{j}" for j in range(args.metrics)]
+        chaos = None
+        if args.chaos_kill or args.chaos_straggle:
+            chaos = ShardChaosConfig(
+                kill=args.chaos_kill,
+                straggle=args.chaos_straggle,
+                straggle_seconds=args.chaos_straggle_seconds,
+                seed=args.seed,
+            )
+        config = FleetConfig(
+            n_shards=args.shards, mode=args.mode,
+            sketch_eps=args.sketch_eps, close_deadline_s=args.deadline,
+        )
+        stream = simulate_fleet_epochs(
+            args.machines, args.metrics, args.epochs, seed=args.seed
+        )
+        with FleetAggregator(
+            metric_names, machine_ids=machine_ids, config=config,
+            chaos=chaos,
+        ) as fleet:
+            for epoch in range(args.epochs):
+                fleet.submit_matrix(stream[epoch])
+                summary = fleet.close_epoch()
+                q = summary.quality
+                degraded = (
+                    "" if not q.missing_shards
+                    else f"  MISSING SHARDS {list(q.missing_shards)}"
+                )
+                median = summary.quantiles[0, len(fleet.quantiles) // 2]
+                print(
+                    f"[{epoch:4d}] reporting {q.n_reporting:6d}/"
+                    f"{q.fleet_size}  coverage {q.coverage:5.1%}  "
+                    f"shards {q.n_shards_reporting}/{q.n_shards}  "
+                    f"quorum {'ok' if q.quorum_met else 'FAILED'}  "
+                    f"median(m0) "
+                    f"{'nan' if np.isnan(median) else f'{median:.3f}'}"
+                    f"{degraded}"
+                )
+            if fleet.n_respawns:
+                print(f"respawned {fleet.n_respawns} dead worker(s)")
+        return 0
+
+    # bench
+    worker_counts = [int(w) for w in args.workers.split(",") if w]
+    results = run_scaling(
+        n_machines=args.machines,
+        n_metrics=args.metrics,
+        n_epochs=args.epochs,
+        worker_counts=worker_counts,
+        mode=args.mode,
+        sketch_eps=args.sketch_eps,
+        seed=args.seed,
+    )
+    print(format_results(
+        results, title="Fleet aggregation throughput"
+    ))
+    return 0
+
+
 def _cmd_discriminate(args: argparse.Namespace) -> int:
     from repro.evaluation.discrimination import discrimination_roc
     from repro.evaluation.results import format_table
@@ -522,6 +649,7 @@ _COMMANDS = {
     "identify": _cmd_identify,
     "monitor": _cmd_monitor,
     "index": _cmd_index,
+    "fleet": _cmd_fleet,
     "discriminate": _cmd_discriminate,
     "render": _cmd_render,
     "timeline": _cmd_timeline,

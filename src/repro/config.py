@@ -170,6 +170,48 @@ class ReliabilityConfig:
 
 
 @dataclass(frozen=True)
+class FleetConfig:
+    """Sharded fleet-aggregation policy (:mod:`repro.fleet`).
+
+    ``n_shards`` worker processes each fold a hash-partitioned slice of
+    the fleet's reports; ``batch_size`` reports are stacked into one
+    chunk before crossing the process boundary, and each worker's task
+    queue holds at most ``queue_depth`` chunks (submission blocks beyond
+    that — backpressure instead of unbounded memory).  ``mode`` selects
+    exact per-shard partials (bit-identical to the single-process
+    aggregator) or mergeable Greenwald-Khanna sketches with per-shard
+    error ``sketch_eps``.  An epoch close waits at most
+    ``close_deadline_s`` seconds for shard partials; stragglers and dead
+    workers beyond the deadline leave the epoch degraded (shard-level
+    coverage accounting) instead of blocking the monitor.
+    """
+
+    n_shards: int = 4
+    batch_size: int = 512
+    queue_depth: int = 8
+    mode: str = "exact"
+    sketch_eps: float = 0.01
+    close_deadline_s: float = 10.0
+    start_method: Optional[str] = None  # None = platform default
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if self.mode not in ("exact", "sketch"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if not 0.0 < self.sketch_eps < 1.0:
+            raise ValueError("sketch_eps must lie in (0, 1)")
+        if self.close_deadline_s <= 0:
+            raise ValueError("close_deadline_s must be positive")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(f"unknown start method {self.start_method!r}")
+
+
+@dataclass(frozen=True)
 class IndexConfig:
     """Fingerprint-index policy for the identification step.
 
@@ -236,6 +278,7 @@ __all__ = [
     "FingerprintConfig",
     "IdentificationConfig",
     "IndexConfig",
+    "FleetConfig",
     "ReliabilityConfig",
     "FingerprintingConfig",
 ]

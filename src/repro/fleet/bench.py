@@ -1,0 +1,186 @@
+"""Fleet aggregation throughput measurement.
+
+Shared by ``repro fleet bench`` and ``benchmarks/test_fleet_scaling.py``:
+drives the single-process :class:`EpochAggregator` (report-by-report, its
+API) and the sharded :class:`FleetAggregator` at several worker counts
+over the same simulated fleet, and reports sustained aggregation
+throughput in reports/second plus the per-shard busy time (how the fold
+work actually divided across workers — on a single-CPU host the workers
+time-slice one core, so busy time, not wall clock, is the partitioning
+evidence).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import FleetConfig
+from repro.fleet.coordinator import FleetAggregator
+from repro.telemetry.collector import EpochAggregator
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Throughput of one configuration over the benchmark workload."""
+
+    label: str
+    n_workers: int  # 0 = single-process baseline
+    n_machines: int
+    n_metrics: int
+    n_epochs: int
+    seconds: float
+    max_shard_busy_s: float  # 0 for the baseline
+
+    @property
+    def reports_per_s(self) -> float:
+        return self.n_machines * self.n_epochs / self.seconds
+
+
+def simulate_fleet_epochs(
+    n_machines: int,
+    n_metrics: int,
+    n_epochs: int,
+    seed: int = 0,
+    nan_fraction: float = 0.001,
+) -> np.ndarray:
+    """Synthetic per-epoch fleet matrices: lognormal-ish metrics + gaps."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(1.0, 50.0, size=n_metrics)
+    epochs = np.exp(
+        rng.normal(scale=0.3, size=(n_epochs, n_machines, n_metrics))
+    ) * base
+    if nan_fraction > 0:
+        mask = rng.random(epochs.shape) < nan_fraction
+        epochs[mask] = np.nan
+    return epochs
+
+
+def run_baseline(
+    epochs: np.ndarray, mode: str, sketch_eps: float
+) -> BenchResult:
+    """Single-process EpochAggregator fed report-by-report."""
+    n_epochs, n_machines, n_metrics = epochs.shape
+    names = [f"m{j}" for j in range(n_metrics)]
+    agg = EpochAggregator(
+        names, mode=mode, sketch_eps=sketch_eps, fleet_size=n_machines
+    )
+    start = time.perf_counter()
+    for e in range(n_epochs):
+        matrix = epochs[e]
+        for row in matrix:
+            agg.submit(row)
+        agg.close_epoch()
+    seconds = time.perf_counter() - start
+    return BenchResult(
+        label=f"single-process ({mode})",
+        n_workers=0,
+        n_machines=n_machines,
+        n_metrics=n_metrics,
+        n_epochs=n_epochs,
+        seconds=seconds,
+        max_shard_busy_s=0.0,
+    )
+
+
+def run_fleet(
+    epochs: np.ndarray,
+    n_workers: int,
+    mode: str,
+    sketch_eps: float,
+    batch_size: int = 512,
+) -> BenchResult:
+    """Sharded FleetAggregator over the same workload."""
+    n_epochs, n_machines, n_metrics = epochs.shape
+    names = [f"m{j}" for j in range(n_metrics)]
+    machine_ids = [f"host-{i:05d}" for i in range(n_machines)]
+    config = FleetConfig(
+        n_shards=n_workers, mode=mode, sketch_eps=sketch_eps,
+        batch_size=batch_size,
+    )
+    busy = 0.0
+    with FleetAggregator(
+        names, machine_ids=machine_ids, config=config
+    ) as fleet:
+        start = time.perf_counter()
+        for e in range(n_epochs):
+            fleet.submit_matrix(epochs[e])
+            fleet.close_epoch()
+            busy = max(
+                busy,
+                max(
+                    (p.fold_seconds for p in fleet.last_partials.values()),
+                    default=0.0,
+                ),
+            )
+        seconds = time.perf_counter() - start
+    return BenchResult(
+        label=f"fleet x{n_workers} ({mode})",
+        n_workers=n_workers,
+        n_machines=n_machines,
+        n_metrics=n_metrics,
+        n_epochs=n_epochs,
+        seconds=seconds,
+        max_shard_busy_s=busy,
+    )
+
+
+def run_scaling(
+    n_machines: int = 10_000,
+    n_metrics: int = 16,
+    n_epochs: int = 3,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    mode: str = "sketch",
+    sketch_eps: float = 0.02,
+    seed: int = 0,
+) -> List[BenchResult]:
+    """Baseline vs. fleet at each worker count over one shared workload."""
+    epochs = simulate_fleet_epochs(n_machines, n_metrics, n_epochs, seed=seed)
+    results = [run_baseline(epochs, mode, sketch_eps)]
+    for n_workers in worker_counts:
+        results.append(
+            run_fleet(epochs, n_workers, mode, sketch_eps)
+        )
+    return results
+
+
+def format_results(
+    results: Sequence[BenchResult], title: Optional[str] = None
+) -> str:
+    """Human-readable throughput table (committed by the benchmark)."""
+    baseline = results[0]
+    lines = []
+    if title:
+        lines += [title, ""]
+    lines.append(
+        f"fleet: {baseline.n_machines} machines x {baseline.n_metrics} "
+        f"metrics, {baseline.n_epochs} epochs  "
+        f"(host cpus: {os.cpu_count()})"
+    )
+    lines.append("")
+    lines.append(
+        "%-26s %9s %13s %9s %15s"
+        % ("configuration", "total s", "reports/s", "speedup", "max shard busy")
+    )
+    for r in results:
+        speedup = r.reports_per_s / baseline.reports_per_s
+        busy = f"{r.max_shard_busy_s * 1e3:10.1f} ms" if r.n_workers else "-"
+        lines.append(
+            "%-26s %9.3f %13.0f %8.2fx %15s"
+            % (r.label, r.seconds, r.reports_per_s, speedup, busy)
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BenchResult",
+    "format_results",
+    "run_baseline",
+    "run_fleet",
+    "run_scaling",
+    "simulate_fleet_epochs",
+]

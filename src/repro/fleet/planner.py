@@ -1,0 +1,123 @@
+"""Shard planning: hash-partitioning a fleet across aggregation workers.
+
+The paper's scaling argument (Section 3.1) is that the epoch summary is
+independent of the number of machines; the collection tier in front of it
+is not, so it is sharded.  The planner assigns every machine to one of
+``n_shards`` workers with a *stable* content hash of its machine id —
+stable across processes and Python invocations (unlike the builtin
+``hash``, which is salted), so a report can be routed by any frontend
+without coordination and a restarted coordinator rebuilds the identical
+plan.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+def stable_shard(machine_id: str, n_shards: int) -> int:
+    """Deterministic shard of one machine id (CRC32 of the UTF-8 bytes)."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be positive")
+    return zlib.crc32(machine_id.encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A fixed assignment of machines to shards.
+
+    ``assignment[i]`` is the shard of ``machine_ids[i]``; ``rows[s]`` are
+    the row indices of shard ``s`` in a fleet-ordered report matrix, so a
+    coordinator handed the whole epoch matrix can slice each shard's
+    chunk with one fancy-index per shard.
+    """
+
+    machine_ids: Tuple[str, ...]
+    n_shards: int
+    assignment: np.ndarray  # (n_machines,) shard per machine
+    rows: Tuple[np.ndarray, ...] = field(repr=False)  # per-shard row indices
+
+    def shard_of(self, machine_id: str) -> int:
+        return stable_shard(machine_id, self.n_shards)
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machine_ids)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Machines per shard."""
+        return np.bincount(self.assignment, minlength=self.n_shards)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean shard size; 1.0 is perfectly balanced."""
+        sizes = self.sizes
+        mean = sizes.mean()
+        return float(sizes.max() / mean) if mean > 0 else 1.0
+
+    def machines(self, shard: int) -> List[str]:
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} outside [0, {self.n_shards})")
+        return [self.machine_ids[i] for i in self.rows[shard]]
+
+
+def plan_shards(machine_ids: Sequence[str], n_shards: int) -> ShardPlan:
+    """Hash-partition ``machine_ids`` across ``n_shards`` workers."""
+    if not machine_ids:
+        raise ValueError("need at least one machine")
+    if len(set(machine_ids)) != len(machine_ids):
+        raise ValueError("machine ids must be unique")
+    if n_shards < 1:
+        raise ValueError("n_shards must be positive")
+    assignment = np.array(
+        [stable_shard(mid, n_shards) for mid in machine_ids], dtype=int
+    )
+    rows = tuple(
+        np.flatnonzero(assignment == s) for s in range(n_shards)
+    )
+    return ShardPlan(
+        machine_ids=tuple(machine_ids),
+        n_shards=n_shards,
+        assignment=assignment,
+        rows=rows,
+    )
+
+
+def iter_batches(
+    matrix: np.ndarray, batch_size: int
+) -> Iterator[np.ndarray]:
+    """Split a report matrix into contiguous chunks of ``batch_size`` rows."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, matrix.shape[0], batch_size):
+        yield matrix[start : start + batch_size]
+
+
+def describe_plan(plan: ShardPlan) -> str:
+    """Operator-facing summary of a shard plan (the ``fleet plan`` CLI)."""
+    sizes = plan.sizes
+    lines = [
+        f"fleet plan: {plan.n_machines} machines over "
+        f"{plan.n_shards} shards",
+        f"  shard sizes: min {sizes.min()}  mean {sizes.mean():.1f}  "
+        f"max {sizes.max()}  (imbalance {plan.imbalance:.3f})",
+    ]
+    for s in range(plan.n_shards):
+        ids = plan.machines(s)
+        sample = ", ".join(ids[:4]) + (", ..." if len(ids) > 4 else "")
+        lines.append(f"  shard {s:3d}: {len(ids):6d} machines  [{sample}]")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ShardPlan",
+    "describe_plan",
+    "iter_batches",
+    "plan_shards",
+    "stable_shard",
+]

@@ -1,0 +1,77 @@
+"""Shard worker process: the queue protocol around :class:`ShardFolder`.
+
+Each worker owns one shard.  It drains a bounded task queue of messages:
+
+* ``("batch", epoch, chunk)`` — fold one report chunk;
+* ``("close", epoch)`` — emit ``("partial", shard_id, epoch, partial)``
+  on the shared result queue and reset for the next epoch;
+* ``("stop",)`` — exit cleanly.
+
+Chaos (:class:`repro.telemetry.chaos.ShardChaosInjector`) is evaluated
+*inside* the worker at close time, from the config alone — a ``kill``
+fate terminates the process abruptly (``os._exit``), exactly like a real
+worker crash, and a ``straggle`` fate sleeps past the coordinator's
+deadline before replying.  The coordinator never needs to trust a failing
+worker to report its own failure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.fleet.partial import ShardFolder
+from repro.telemetry.chaos import (
+    SHARD_KILL,
+    SHARD_STRAGGLE,
+    ShardChaosConfig,
+    ShardChaosInjector,
+)
+
+#: Exit code of a chaos-killed worker, distinguishable from a crash.
+CHAOS_EXIT_CODE = 23
+
+
+def worker_main(
+    shard_id: int,
+    n_shards: int,
+    n_metrics: int,
+    mode: str,
+    sketch_eps: float,
+    task_queue,
+    result_queue,
+    chaos_config: Optional[ShardChaosConfig] = None,
+) -> None:
+    """Run one shard worker until a ``("stop",)`` message arrives."""
+    folder = ShardFolder(
+        shard_id, n_metrics, mode=mode, sketch_eps=sketch_eps
+    )
+    chaos = (
+        ShardChaosInjector(chaos_config, n_shards)
+        if chaos_config is not None
+        else None
+    )
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "batch":
+            _, _epoch, chunk = message
+            folder.fold(chunk)
+        elif kind == "close":
+            _, epoch = message
+            fate = chaos.fate(epoch, shard_id) if chaos else None
+            if fate == SHARD_KILL:
+                os._exit(CHAOS_EXIT_CODE)
+            if fate == SHARD_STRAGGLE:
+                time.sleep(chaos_config.straggle_seconds)
+            result_queue.put(
+                ("partial", shard_id, epoch, folder.close(epoch))
+            )
+        elif kind == "stop":
+            return
+        else:  # pragma: no cover - protocol bug guard
+            raise RuntimeError(f"unknown fleet message {kind!r}")
+
+
+__all__ = ["CHAOS_EXIT_CODE", "worker_main"]

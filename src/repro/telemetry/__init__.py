@@ -18,7 +18,13 @@ from repro.telemetry.quantiles import (
     empirical_quantiles,
     summarize_epoch,
 )
-from repro.telemetry.chaos import ChaosConfig, ChaosEvent, ChaosInjector
+from repro.telemetry.chaos import (
+    ChaosConfig,
+    ChaosEvent,
+    ChaosInjector,
+    ShardChaosConfig,
+    ShardChaosInjector,
+)
 from repro.telemetry.collector import (
     CollectionPipeline,
     EpochAggregator,
@@ -62,6 +68,8 @@ __all__ = [
     "MachineAgent",
     "QuorumPolicy",
     "RetryPolicy",
+    "ShardChaosConfig",
+    "ShardChaosInjector",
     "ValidationIssue",
     "ValidationReport",
     "validate_epoch_summary",

@@ -214,4 +214,96 @@ class ChaosInjector:
             yield self.perturb(epoch, samples)
 
 
-__all__ = ["ChaosConfig", "ChaosEvent", "ChaosInjector"]
+#: Shard fates returned by :meth:`ShardChaosInjector.fate`.
+SHARD_OK = "ok"
+SHARD_KILL = "kill"
+SHARD_STRAGGLE = "straggle"
+
+
+@dataclass(frozen=True)
+class ShardChaosConfig:
+    """Per-epoch, per-shard fault probabilities for the fleet tier.
+
+    ``kill`` is the probability that a shard's worker process dies at
+    epoch close (the coordinator must respawn it); ``straggle`` delays a
+    shard's partial by ``straggle_seconds`` — longer than the
+    coordinator's close deadline, that shard misses the epoch and the
+    close is degraded instead of hung.
+    """
+
+    kill: float = 0.0
+    straggle: float = 0.0
+    straggle_seconds: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("kill", "straggle"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.kill + self.straggle > 1.0:
+            raise ValueError("kill + straggle must not exceed 1")
+        if self.straggle_seconds < 0:
+            raise ValueError("straggle_seconds must be non-negative")
+
+
+class ShardChaosInjector:
+    """Deterministic shard-level fault schedule for :mod:`repro.fleet`.
+
+    :meth:`fate` is a pure function of ``(seed, epoch, shard)``: the
+    coordinator ships the *config* to each worker process and both sides
+    (worker deciding whether to die, test asserting what should have
+    happened) reconstruct the identical schedule without sharing state —
+    the same replayability contract as :class:`ChaosInjector`, but with
+    no in-process event log, since a killed worker cannot report one.
+    """
+
+    def __init__(self, config: ShardChaosConfig, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.config = config
+        self.n_shards = n_shards
+
+    def fate(self, epoch: int, shard: int) -> str:
+        """``"ok"``, ``"kill"``, or ``"straggle"`` for one (epoch, shard)."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} outside [0, {self.n_shards})")
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        cfg = self.config
+        if cfg.kill == 0.0 and cfg.straggle == 0.0:
+            return SHARD_OK
+        r = np.random.default_rng([cfg.seed, epoch, shard]).random()
+        if r < cfg.kill:
+            return SHARD_KILL
+        if r < cfg.kill + cfg.straggle:
+            return SHARD_STRAGGLE
+        return SHARD_OK
+
+    def schedule(self, n_epochs: int) -> List[ChaosEvent]:
+        """The full fault schedule for the first ``n_epochs`` epochs.
+
+        Returned as :class:`ChaosEvent` records with the shard id in the
+        ``machine`` slot, for assertions and postmortems.
+        """
+        events: List[ChaosEvent] = []
+        for epoch in range(n_epochs):
+            for shard in range(self.n_shards):
+                fate = self.fate(epoch, shard)
+                if fate != SHARD_OK:
+                    events.append(
+                        ChaosEvent(epoch, shard, f"shard-{fate}")
+                    )
+        return events
+
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosInjector",
+    "SHARD_KILL",
+    "SHARD_OK",
+    "SHARD_STRAGGLE",
+    "ShardChaosConfig",
+    "ShardChaosInjector",
+]

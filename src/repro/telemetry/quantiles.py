@@ -47,6 +47,21 @@ def empirical_quantiles(values: np.ndarray, quantiles: Sequence[float]) -> np.nd
     return out
 
 
+def quantile_ranks(n: int, quantiles: Sequence[float]) -> np.ndarray:
+    """0-based order-statistic indices for the paper's quantile rule.
+
+    The p-th quantile of ``n`` ordered samples is the ``ceil(n * p)``-th
+    order statistic (1-based), clipped to ``[1, n]``.  Shared by the exact
+    aggregation paths (:func:`summarize_epoch`, the collector, and the
+    fleet coordinator's partial merge) so they are bit-identical by
+    construction.
+    """
+    if n < 1:
+        raise ValueError("need at least one sample")
+    qs = np.asarray(quantiles, dtype=float)
+    return np.clip(np.ceil(n * qs).astype(int), 1, n) - 1
+
+
 def summarize_epoch(
     samples: np.ndarray, quantiles: Sequence[float]
 ) -> np.ndarray:
@@ -69,9 +84,8 @@ def summarize_epoch(
     n_machines, n_metrics = samples.shape
     if n_machines == 0:
         raise ValueError("need at least one machine")
-    qs = np.asarray(quantiles, dtype=float)
     ordered = np.sort(samples, axis=0)
-    ranks = np.clip(np.ceil(n_machines * qs).astype(int), 1, n_machines) - 1
+    ranks = quantile_ranks(n_machines, quantiles)
     # (n_metrics, n_quantiles)
     return ordered[ranks, :].T.copy()
 
@@ -96,9 +110,8 @@ def summarize_chunk(
     n_epochs, n_machines, _ = samples.shape
     if n_machines == 0:
         raise ValueError("need at least one machine")
-    qs = np.asarray(quantiles, dtype=float)
     ordered = np.sort(samples, axis=1)
-    ranks = np.clip(np.ceil(n_machines * qs).astype(int), 1, n_machines) - 1
+    ranks = quantile_ranks(n_machines, quantiles)
     # ordered[:, ranks, :] -> (n_epochs, n_quantiles, n_metrics)
     return np.transpose(ordered[:, ranks, :], (0, 2, 1)).copy()
 
@@ -128,6 +141,7 @@ class QuantileSummarizer:
 
 __all__ = [
     "empirical_quantiles",
+    "quantile_ranks",
     "summarize_epoch",
     "summarize_chunk",
     "QuantileSummarizer",

@@ -1,0 +1,143 @@
+"""FleetAggregator end-to-end: real worker processes, real queues.
+
+Process counts are kept small — correctness of the plumbing is under
+test here, not throughput (that is ``benchmarks/test_fleet_scaling.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import FleetConfig
+from repro.core.streaming import EpochUntrusted, StreamingCrisisMonitor
+from repro.fleet import FleetAggregator, FleetEpochQuality
+from repro.telemetry.collector import EpochQuality
+from repro.telemetry.reliability import QuorumPolicy
+
+METRICS = ["cpu", "disk", "net", "lat"]
+
+
+def make_fleet(**kwargs):
+    defaults = dict(n_shards=2, batch_size=16, close_deadline_s=30.0)
+    defaults.update(kwargs)
+    return FleetAggregator(METRICS, config=FleetConfig(**defaults),
+                          fleet_size=None)
+
+
+class TestEpochLifecycle:
+    def test_multi_epoch_multi_shard(self):
+        rng = np.random.default_rng(0)
+        with make_fleet() as fleet:
+            for epoch in range(3):
+                matrix = rng.normal(loc=epoch, size=(50, len(METRICS)))
+                fleet.submit_matrix(matrix)
+                summary = fleet.close_epoch()
+                assert summary.epoch == epoch
+                assert summary.n_machines_reporting == 50
+                assert summary.quantiles.shape == (len(METRICS), 3)
+                assert np.all(np.isfinite(summary.quantiles))
+                # Medians track the shifting location: epochs are isolated.
+                assert abs(summary.quantiles[0, 1] - epoch) < 0.5
+                quality = summary.quality
+                assert isinstance(quality, FleetEpochQuality)
+                assert isinstance(quality, EpochQuality)  # gate-compatible
+                assert quality.n_shards_reporting == 2
+                assert quality.missing_shards == ()
+
+    def test_unknown_fleet_zero_reports_raises(self):
+        with make_fleet() as fleet:
+            with pytest.raises(ValueError, match="no machine reported"):
+                fleet.close_epoch()
+            # The aggregator stays usable after the error.
+            fleet.submit_matrix(np.ones((8, len(METRICS))))
+            summary = fleet.close_epoch()
+            assert summary.n_machines_reporting == 8
+
+    def test_known_fleet_zero_reports_degrades(self):
+        config = FleetConfig(n_shards=2, close_deadline_s=30.0)
+        with FleetAggregator(
+            METRICS, config=config, fleet_size=100,
+            quorum=QuorumPolicy(min_fraction=0.5, min_count=1),
+        ) as fleet:
+            summary = fleet.close_epoch()
+            assert not summary.quality.quorum_met
+            assert np.all(np.isnan(summary.quantiles))
+
+    def test_dropped_accounting(self):
+        with make_fleet() as fleet:
+            matrix = np.ones((20, len(METRICS)))
+            matrix[3, 1] = np.nan
+            matrix[7, 2] = np.inf
+            fleet.submit_matrix(matrix)
+            fleet.note_dropped(5)  # agent-side drops ride along
+            summary = fleet.close_epoch()
+            assert summary.quality.dropped_samples == 7
+
+    def test_backpressure_tiny_queue(self):
+        # queue_depth=1 with many small batches forces the coordinator to
+        # block on the bounded queue; everything must still arrive.
+        config = FleetConfig(
+            n_shards=2, batch_size=4, queue_depth=1, close_deadline_s=30.0
+        )
+        with FleetAggregator(METRICS, config=config) as fleet:
+            rng = np.random.default_rng(1)
+            for _ in range(100):
+                fleet.submit(rng.normal(size=len(METRICS)))
+            summary = fleet.close_epoch()
+            assert summary.n_machines_reporting == 100
+            assert summary.quality.dropped_samples == 0
+
+    def test_report_shape_validated(self):
+        with make_fleet() as fleet:
+            with pytest.raises(ValueError):
+                fleet.submit(np.ones(len(METRICS) + 1))
+            with pytest.raises(ValueError):
+                fleet.submit_matrix(np.ones((4, len(METRICS) + 1)))
+            fleet.submit_matrix(np.ones((4, len(METRICS))))
+            fleet.close_epoch()
+
+    def test_shutdown_idempotent(self):
+        fleet = make_fleet()
+        fleet.submit_matrix(np.ones((4, len(METRICS))))
+        fleet.close_epoch()
+        fleet.shutdown()
+        fleet.shutdown()
+
+
+class TestMonitorIntegration:
+    def test_monitor_consumes_fleet_summaries(self):
+        # The whole point of merging back into EpochSummary: the
+        # streaming monitor ingests fleet-produced epochs unchanged.
+        monitor = StreamingCrisisMonitor(
+            n_metrics=len(METRICS), relevant_metrics=[0, 1]
+        )
+        rng = np.random.default_rng(2)
+        with make_fleet() as fleet:
+            for _ in range(5):
+                fleet.submit_matrix(rng.lognormal(size=(30, len(METRICS))))
+                summary = fleet.close_epoch()
+                events = monitor.ingest(
+                    summary.quantiles, 0.0, quality=summary.quality
+                )
+                assert not any(
+                    isinstance(e, EpochUntrusted) for e in events
+                )
+
+    def test_degraded_fleet_epoch_is_quarantined(self):
+        # A below-quorum fleet close produces an all-NaN summary whose
+        # FleetEpochQuality trips the monitor's gate.
+        monitor = StreamingCrisisMonitor(
+            n_metrics=len(METRICS), relevant_metrics=[0]
+        )
+        config = FleetConfig(n_shards=2, close_deadline_s=30.0)
+        with FleetAggregator(
+            METRICS, config=config, fleet_size=100,
+            quorum=QuorumPolicy(min_fraction=0.5, min_count=1),
+        ) as fleet:
+            fleet.submit_matrix(np.ones((5, len(METRICS))))  # 5% coverage
+            summary = fleet.close_epoch()
+        events = monitor.ingest(
+            summary.quantiles, 0.0, quality=summary.quality
+        )
+        untrusted = [e for e in events if isinstance(e, EpochUntrusted)]
+        assert len(untrusted) == 1
+        assert "quorum-failed" in untrusted[0].reasons

@@ -1,0 +1,159 @@
+"""Satellite acceptance: fleet output is interchangeable with PR 1's.
+
+With ``n_shards=1`` and ``mode="exact"``, the sharded pipeline must be
+*bit-identical* to :class:`CollectionPipeline` on the same reports — same
+quantiles (``assert_array_equal``, no tolerance), same quality record.
+With more shards it stays bit-identical (the exact merge is a multiset
+union + one shared rank rule); the sketch mode stays within the combined
+GK error bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import FleetConfig
+from repro.fleet import FleetAggregator, FleetCollectionPipeline
+from repro.telemetry.collector import CollectionPipeline, EpochAggregator
+from repro.telemetry.reliability import QuorumPolicy
+
+N_METRICS = 5
+METRICS = [f"metric_{j}" for j in range(N_METRICS)]
+QUANTILES = (0.25, 0.50, 0.95)
+
+
+def drive_pipeline(pipeline, epochs, machine_ids):
+    """Feed per-epoch report matrices through agents; collect summaries."""
+    summaries = []
+    for matrix in epochs:
+        for i, mid in enumerate(machine_ids):
+            for j, name in enumerate(METRICS):
+                value = matrix[i, j]
+                if np.isfinite(value):
+                    pipeline.agents[mid].record(name, value)
+        summaries.append(pipeline.close_epoch())
+    return summaries
+
+
+def make_epochs(n_epochs, n_machines, seed, nan_fraction=0.03):
+    rng = np.random.default_rng(seed)
+    epochs = rng.lognormal(size=(n_epochs, n_machines, N_METRICS))
+    epochs[rng.random(epochs.shape) < nan_fraction] = np.nan
+    return epochs
+
+
+@pytest.mark.parametrize("n_shards", [1, 3])
+def test_exact_pipeline_bit_identical(n_shards):
+    machine_ids = [f"host-{i:03d}" for i in range(40)]
+    epochs = make_epochs(4, 40, seed=0)
+    single = CollectionPipeline(
+        machine_ids, METRICS, quantiles=QUANTILES, mode="exact"
+    )
+    reference = drive_pipeline(single, epochs, machine_ids)
+    config = FleetConfig(n_shards=n_shards, mode="exact", batch_size=16)
+    with FleetCollectionPipeline(
+        machine_ids, METRICS, quantiles=QUANTILES, config=config
+    ) as fleet:
+        sharded = drive_pipeline(fleet, epochs, machine_ids)
+
+    for ref, got in zip(reference, sharded):
+        np.testing.assert_array_equal(got.quantiles, ref.quantiles)
+        assert got.epoch == ref.epoch
+        assert got.n_machines_reporting == ref.n_machines_reporting
+        q_ref, q_got = ref.quality, got.quality
+        assert q_got.n_reporting == q_ref.n_reporting
+        assert q_got.fleet_size == q_ref.fleet_size
+        assert q_got.dropped_samples == q_ref.dropped_samples
+        assert q_got.n_stale_agents == q_ref.n_stale_agents
+        assert q_got.n_dead_agents == q_ref.n_dead_agents
+        assert q_got.quorum_met == q_ref.quorum_met
+        assert q_got.coverage == q_ref.coverage
+        # Shard accounting says every shard contributed.
+        assert q_got.n_shards == n_shards
+        assert q_got.n_shards_reporting == n_shards
+        assert q_got.missing_shards == ()
+
+
+def test_exact_aggregator_matches_report_by_report():
+    # Same check one layer down: FleetAggregator.submit vs
+    # EpochAggregator.submit on identical reports, no agents involved.
+    rng = np.random.default_rng(7)
+    reports = rng.normal(size=(60, N_METRICS))
+    reports[rng.random(reports.shape) < 0.05] = np.nan
+    single = EpochAggregator(METRICS, quantiles=QUANTILES, fleet_size=60)
+    for row in reports:
+        single.submit(row)
+    ref = single.close_epoch()
+    config = FleetConfig(n_shards=2, mode="exact", batch_size=8)
+    with FleetAggregator(
+        METRICS, quantiles=QUANTILES, config=config, fleet_size=60
+    ) as fleet:
+        for row in reports:
+            fleet.submit(row)
+        got = fleet.close_epoch()
+    np.testing.assert_array_equal(got.quantiles, ref.quantiles)
+    assert got.quality.dropped_samples == ref.quality.dropped_samples
+    assert got.n_machines_reporting == ref.n_machines_reporting
+
+
+def test_submit_matrix_matches_submit_rows():
+    # The fast whole-matrix path and the per-report path agree.
+    machine_ids = [f"host-{i:03d}" for i in range(30)]
+    matrix = make_epochs(1, 30, seed=3)[0]
+    config = FleetConfig(n_shards=2, mode="exact", batch_size=8)
+    with FleetAggregator(
+        METRICS, machine_ids=machine_ids, quantiles=QUANTILES, config=config
+    ) as fleet:
+        for i, mid in enumerate(machine_ids):
+            fleet.submit(matrix[i], machine_id=mid)
+        by_rows = fleet.close_epoch()
+        fleet.submit_matrix(matrix)
+        by_matrix = fleet.close_epoch()
+    np.testing.assert_array_equal(by_matrix.quantiles, by_rows.quantiles)
+
+
+def test_sketch_pipeline_within_eps():
+    eps = 0.02
+    n_machines = 600
+    machine_ids = [f"host-{i:04d}" for i in range(n_machines)]
+    epochs = make_epochs(2, n_machines, seed=1, nan_fraction=0.0)
+    config = FleetConfig(
+        n_shards=3, mode="sketch", sketch_eps=eps, batch_size=128
+    )
+    with FleetCollectionPipeline(
+        machine_ids, METRICS, quantiles=QUANTILES, config=config
+    ) as fleet:
+        summaries = drive_pipeline(fleet, epochs, machine_ids)
+    for e, summary in enumerate(summaries):
+        for j in range(N_METRICS):
+            col = np.sort(epochs[e, :, j])
+            for k, q in enumerate(QUANTILES):
+                rank = np.searchsorted(
+                    col, summary.quantiles[j, k], side="right"
+                )
+                target = int(np.ceil(q * n_machines))
+                # 3 equal-eps shard sketches merge to an eps-summary; the
+                # admissible rank window is 2*eps*n around the target.
+                assert abs(rank - target) <= 2 * eps * n_machines + 1
+
+
+def test_below_quorum_all_nan_both_paths():
+    machine_ids = [f"host-{i:02d}" for i in range(10)]
+    quorum = QuorumPolicy(min_fraction=0.5, min_count=1)
+    single = CollectionPipeline(
+        machine_ids, METRICS, quantiles=QUANTILES, quorum=quorum
+    )
+    config = FleetConfig(n_shards=2, mode="exact")
+    with FleetCollectionPipeline(
+        machine_ids, METRICS, quantiles=QUANTILES, config=config,
+        quorum=quorum,
+    ) as fleet:
+        # Only 2 of 10 machines report: below the 50% quorum.
+        for pipeline in (single, fleet):
+            for mid in machine_ids[:2]:
+                for name in METRICS:
+                    pipeline.agents[mid].record(name, 1.0)
+        ref = single.close_epoch()
+        got = fleet.close_epoch()
+    assert not ref.quality.quorum_met and not got.quality.quorum_met
+    assert np.all(np.isnan(ref.quantiles))
+    np.testing.assert_array_equal(got.quantiles, ref.quantiles)

@@ -1,0 +1,97 @@
+"""Shard planner: stable hashing, balance, and matrix batching."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.planner import (
+    describe_plan,
+    iter_batches,
+    plan_shards,
+    stable_shard,
+)
+
+
+def ids(n):
+    return [f"host-{i:05d}" for i in range(n)]
+
+
+class TestStableShard:
+    def test_deterministic_across_calls(self):
+        for mid in ids(50):
+            assert stable_shard(mid, 8) == stable_shard(mid, 8)
+
+    def test_respects_range(self):
+        for mid in ids(200):
+            for n in (1, 2, 3, 7):
+                assert 0 <= stable_shard(mid, n) < n
+
+    def test_single_shard_is_zero(self):
+        assert all(stable_shard(mid, 1) == 0 for mid in ids(20))
+
+    def test_independent_of_plan(self):
+        # A report routed by machine id alone must land on the same shard
+        # the plan assigned — this is what lets submit() skip the plan.
+        plan = plan_shards(ids(300), 4)
+        for mid, shard in zip(plan.machine_ids, plan.assignment):
+            assert stable_shard(mid, 4) == shard == plan.shard_of(mid)
+
+
+class TestPlanShards:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        plan = plan_shards(ids(123), 4)
+        seen = np.concatenate([np.asarray(rows) for rows in plan.rows])
+        assert sorted(seen.tolist()) == list(range(123))
+
+    def test_balance_on_real_sized_fleet(self):
+        # CRC32 spreads sequential hostnames well; no shard should hold
+        # more than ~1.5x its fair share at realistic fleet sizes.
+        plan = plan_shards(ids(2000), 8)
+        sizes = plan.sizes
+        assert sizes.sum() == 2000
+        assert sizes.max() <= 1.5 * (2000 / 8)
+        assert plan.imbalance < 1.5
+
+    def test_determinism(self):
+        a = plan_shards(ids(97), 5)
+        b = plan_shards(ids(97), 5)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+        for ra, rb in zip(a.rows, b.rows):
+            np.testing.assert_array_equal(ra, rb)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(["a", "b", "a"], 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards([], 2)
+        with pytest.raises(ValueError):
+            plan_shards(ids(4), 0)
+
+    def test_machines_lookup(self):
+        plan = plan_shards(ids(40), 3)
+        for shard in range(3):
+            for mid in plan.machines(shard):
+                assert plan.shard_of(mid) == shard
+
+    def test_describe_mentions_every_shard(self):
+        text = describe_plan(plan_shards(ids(100), 4))
+        for shard in range(4):
+            assert f"shard {shard:3d}" in text
+
+
+class TestIterBatches:
+    def test_covers_matrix_in_order(self):
+        matrix = np.arange(20.0).reshape(10, 2)
+        chunks = list(iter_batches(matrix, 3))
+        assert [c.shape[0] for c in chunks] == [3, 3, 3, 1]
+        np.testing.assert_array_equal(np.vstack(chunks), matrix)
+
+    def test_single_batch_when_small(self):
+        matrix = np.ones((4, 5))
+        chunks = list(iter_batches(matrix, 100))
+        assert len(chunks) == 1
+        np.testing.assert_array_equal(chunks[0], matrix)
+
+    def test_empty_matrix(self):
+        assert list(iter_batches(np.empty((0, 3)), 8)) == []

@@ -1,0 +1,177 @@
+"""Property tests for GK sketch mergeability (the fleet's foundation).
+
+The contract under test: merging sketches with errors eps1 and eps2
+yields a sketch whose quantile answers are within ``(eps1 + eps2) * n``
+ranks of the exact quantile of the *combined* stream, for adversarial
+orderings — random, sorted, reverse-sorted, and duplicate-heavy — and
+regardless of how the data was split between the two sketches.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.sketches import GKQuantileSketch
+
+QUANTILES = (0.05, 0.25, 0.50, 0.75, 0.95)
+
+
+def rank_error(value: float, combined_sorted: np.ndarray, q: float) -> float:
+    """|empirical rank of value - target rank|, in ranks.
+
+    The returned value's admissible ranks span [#{< value} + 1, #{<= value}]
+    (any of the duplicates' positions); the error is the distance from the
+    target rank ``ceil(q * n)`` to that interval.
+    """
+    n = combined_sorted.size
+    target = max(math.ceil(q * n), 1)
+    lo = int(np.searchsorted(combined_sorted, value, side="left")) + 1
+    hi = int(np.searchsorted(combined_sorted, value, side="right"))
+    if hi < lo:  # value not present: cannot happen, GK stores real samples
+        return float("inf")
+    if target < lo:
+        return float(lo - target)
+    if target > hi:
+        return float(target - hi)
+    return 0.0
+
+
+def build_sketch(values, eps, ordering, rng):
+    values = np.asarray(values, dtype=float)
+    if ordering == "sorted":
+        values = np.sort(values)
+    elif ordering == "reversed":
+        values = np.sort(values)[::-1]
+    elif ordering == "random":
+        values = rng.permutation(values)
+    sketch = GKQuantileSketch(eps=eps)
+    sketch.extend(values)
+    return sketch
+
+
+def assert_merge_bound(a_vals, b_vals, eps1, eps2, merged):
+    combined = np.sort(np.concatenate([a_vals, b_vals]))
+    n = combined.size
+    assert len(merged) == n
+    allowed = (eps1 + eps2) * n + 1.0  # +1 for the ceil discretization
+    for q in QUANTILES:
+        err = rank_error(merged.query(q), combined, q)
+        assert err <= allowed, (
+            f"q={q}: rank error {err} > ({eps1}+{eps2})*{n}+1 = {allowed}"
+        )
+
+
+class TestAdversarialOrderings:
+    @pytest.mark.parametrize("ordering", ["random", "sorted", "reversed"])
+    @pytest.mark.parametrize("eps", [0.01, 0.05])
+    def test_merge_honors_combined_bound(self, ordering, eps):
+        rng = np.random.default_rng(hash((ordering, eps)) % 2**32)
+        a_vals = rng.normal(size=2000)
+        b_vals = rng.normal(loc=1.5, scale=2.0, size=1300)
+        a = build_sketch(a_vals, eps, ordering, rng)
+        b = build_sketch(b_vals, eps, ordering, rng)
+        assert_merge_bound(a_vals, b_vals, eps, eps, a.merge(b))
+
+    def test_duplicate_heavy(self):
+        # Long runs of identical values stress the rank bookkeeping: most
+        # of the mass sits on a handful of distinct values.
+        rng = np.random.default_rng(7)
+        a_vals = rng.choice([0.0, 1.0, 1.0, 2.0], size=3000)
+        b_vals = rng.choice([1.0, 1.0, 1.0, 5.0], size=2000)
+        a = build_sketch(a_vals, 0.02, "random", rng)
+        b = build_sketch(b_vals, 0.02, "sorted", rng)
+        assert_merge_bound(a_vals, b_vals, 0.02, 0.02, a.merge(b))
+
+    def test_mixed_eps(self):
+        rng = np.random.default_rng(3)
+        a_vals = rng.exponential(size=1500)
+        b_vals = -rng.exponential(size=900)
+        a = build_sketch(a_vals, 0.01, "random", rng)
+        b = build_sketch(b_vals, 0.08, "reversed", rng)
+        merged = a.merge(b)
+        assert merged.eps == 0.08
+        assert_merge_bound(a_vals, b_vals, 0.01, 0.08, merged)
+
+    def test_from_sorted_then_chain_merge(self):
+        # The shard folding path: many chunk sketches built via
+        # from_sorted, chained with merge, must keep the single-eps bound
+        # (the uncertainty masses add to at most 2*eps*N).
+        rng = np.random.default_rng(11)
+        eps = 0.02
+        chunks = [rng.normal(size=rng.integers(50, 400)) for _ in range(12)]
+        sketch = None
+        for chunk in chunks:
+            batch = GKQuantileSketch.from_sorted(np.sort(chunk), eps=eps)
+            sketch = batch if sketch is None else sketch.merge(batch)
+        combined = np.sort(np.concatenate(chunks))
+        n = combined.size
+        for q in QUANTILES:
+            err = rank_error(sketch.query(q), combined, q)
+            assert err <= eps * n + 1.0, f"q={q}: {err} > {eps * n + 1.0}"
+        # Sketch stays sketch-sized: far fewer tuples than observations.
+        assert sketch.size < n / 4
+
+
+class TestMergeEdgeCases:
+    def test_empty_sides(self):
+        a = GKQuantileSketch(0.05)
+        b = GKQuantileSketch(0.05)
+        b.extend([3.0, 1.0, 2.0])
+        assert len(a.merge(b)) == 3
+        assert len(b.merge(a)) == 3
+        assert a.merge(b).query(0.5) == 2.0
+        assert len(a.merge(GKQuantileSketch(0.05))) == 0
+
+    def test_inputs_unchanged(self):
+        a = GKQuantileSketch(0.05)
+        a.extend(range(100))
+        b = GKQuantileSketch(0.05)
+        b.extend(range(100, 150))
+        size_a, size_b = a.size, b.size
+        a.merge(b)
+        assert (a.size, len(a)) == (size_a, 100)
+        assert (b.size, len(b)) == (size_b, 50)
+
+    def test_singletons(self):
+        a = GKQuantileSketch(0.1)
+        a.insert(5.0)
+        b = GKQuantileSketch(0.1)
+        b.insert(1.0)
+        merged = a.merge(b)
+        assert merged.query(0.5) == 1.0
+        assert merged.query(1.0) == 5.0
+
+    def test_from_sorted_validates(self):
+        with pytest.raises(ValueError):
+            GKQuantileSketch.from_sorted([3.0, 1.0], eps=0.1)
+        with pytest.raises(ValueError):
+            GKQuantileSketch.from_sorted([1.0, float("nan")], eps=0.1)
+        assert len(GKQuantileSketch.from_sorted([], eps=0.1)) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a_vals=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=0, max_size=300
+    ),
+    b_vals=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=300
+    ),
+    eps1=st.sampled_from([0.01, 0.05, 0.1]),
+    eps2=st.sampled_from([0.01, 0.05, 0.1]),
+    split_sorted=st.booleans(),
+)
+def test_merge_property(a_vals, b_vals, eps1, eps2, split_sorted):
+    """Hypothesis sweep: arbitrary data splits honor the combined bound."""
+    rng = np.random.default_rng(0)
+    a = build_sketch(a_vals, eps1, "sorted" if split_sorted else "random", rng)
+    b = build_sketch(b_vals, eps2, "random", rng)
+    merged = a.merge(b)
+    assert_merge_bound(
+        np.asarray(a_vals, dtype=float),
+        np.asarray(b_vals, dtype=float),
+        eps1, eps2, merged,
+    )
