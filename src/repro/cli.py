@@ -29,6 +29,7 @@ from repro.config import (
     SelectionConfig,
     ThresholdConfig,
 )
+from repro.telemetry.epochs import EpochClock
 
 
 def _add_simulate(sub: argparse._SubParsersAction) -> None:
@@ -64,8 +65,9 @@ def _add_monitor(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--coverage-floor", type=float, default=0.5,
                    help="min fleet coverage for an epoch to be trusted")
     p.add_argument("--checkpoint", help="checkpoint archive path")
-    p.add_argument("--checkpoint-every", type=int, default=96,
-                   help="epochs between checkpoints")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="epochs between checkpoints "
+                        "(default: one day of the trace's epochs)")
     p.add_argument("--resume", action="store_true",
                    help="resume from --checkpoint instead of starting fresh")
     p.add_argument("--stop-epoch", type=int, default=None,
@@ -294,11 +296,17 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.persistence import load_trace
 
     trace = load_trace(args.trace)
+    clock = EpochClock(epoch_minutes=(24 * 60) // trace.epochs_per_day)
     config = FingerprintingConfig(
         selection=SelectionConfig(n_relevant=args.relevant_metrics),
         thresholds=ThresholdConfig(window_days=args.window_days),
     )
     reliability = ReliabilityConfig(coverage_floor=args.coverage_floor)
+    checkpoint_every = (
+        args.checkpoint_every
+        if args.checkpoint_every is not None
+        else reliability.checkpoint_cadence(clock.per_day)
+    )
 
     if args.resume:
         if not args.checkpoint:
@@ -317,6 +325,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             relevant_metrics=method.relevant,
             config=config,
             reliability=reliability,
+            clock=clock,
         )
         start = 0
 
@@ -346,7 +355,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                       f"{', '.join(event.reasons)}")
         if (
             args.checkpoint
-            and (epoch + 1 - start) % args.checkpoint_every == 0
+            and (epoch + 1 - start) % checkpoint_every == 0
         ):
             save_monitor(monitor, args.checkpoint)
     if args.checkpoint:

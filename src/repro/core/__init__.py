@@ -13,10 +13,23 @@ Pipeline (Section 3):
 6. :mod:`repro.core.identification` — identification thresholds (offline ROC
    and the online rules of Section 5.3), the five-epoch identification
    protocol, and stability scoring;
-7. :mod:`repro.core.pipeline` — an operator-facing online engine that ties
+7. :mod:`repro.core.engine` — the shared epoch-state engine: incremental
+   trailing-window thresholds (:class:`RollingThresholdTracker`), the
+   fingerprint-recomputation kernel, and the live :class:`EpochStateEngine`
+   every data plane consumes;
+8. :mod:`repro.core.pipeline` — an operator-facing online engine that ties
    the steps together over a live trace.
 """
 
+from repro.core.engine import (
+    EpochStateEngine,
+    RollingThresholdTracker,
+    ThresholdSeries,
+    compute_thresholds,
+    fingerprint_from_summaries,
+    fingerprint_from_window,
+    threshold_series_for,
+)
 from repro.core.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     load_monitor,
@@ -52,6 +65,13 @@ from repro.core.thresholds import (
 )
 
 __all__ = [
+    "EpochStateEngine",
+    "RollingThresholdTracker",
+    "ThresholdSeries",
+    "compute_thresholds",
+    "fingerprint_from_summaries",
+    "fingerprint_from_window",
+    "threshold_series_for",
     "CHECKPOINT_FORMAT_VERSION",
     "load_monitor",
     "load_pipeline",

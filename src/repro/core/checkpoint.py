@@ -27,8 +27,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.config import FingerprintingConfig, ReliabilityConfig
+from repro.config import EPOCH_MINUTES, FingerprintingConfig, ReliabilityConfig
 from repro.core.atomicio import atomic_write_npz, pack_header, unpack_header
+from repro.telemetry.epochs import EpochClock
 from repro.core.pipeline import FingerprintPipeline, KnownCrisis
 from repro.core.streaming import StreamingCrisisMonitor, _LiveCrisis, _StoredCrisis
 from repro.core.thresholds import QuantileThresholds
@@ -72,6 +73,7 @@ def save_monitor(monitor: StreamingCrisisMonitor, path) -> None:
         "kind": "monitor",
         "n_metrics": monitor.n_metrics,
         "n_quantiles": monitor.store.n_quantiles,
+        "epoch_minutes": monitor.clock.epoch_minutes,
         "threshold_refresh_epochs": monitor.threshold_refresh_epochs,
         "min_history_epochs": monitor.min_history_epochs,
         "epochs_since_refresh": monitor._epochs_since_refresh,
@@ -132,10 +134,18 @@ def load_monitor(
             threshold_refresh_epochs=header["threshold_refresh_epochs"],
             min_history_epochs=header["min_history_epochs"],
             reliability=reliability,
+            # Pre-engine checkpoints carry no clock; they were written at
+            # the paper's 15-minute epochs.
+            clock=EpochClock(
+                epoch_minutes=header.get("epoch_minutes", EPOCH_MINUTES)
+            ),
         )
         values = data["store_values"]
         if values.shape[0]:
             monitor.store.extend(values, data["store_anomalous"])
+        # The engine's rolling threshold tracker is derived state: rebuild
+        # it from the restored store rather than serializing its internals.
+        monitor.engine.rebuild_tracker()
         if header["has_thresholds"]:
             monitor.thresholds = QuantileThresholds(
                 cold=data["thresholds_cold"], hot=data["thresholds_hot"]

@@ -24,6 +24,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.config import FingerprintingConfig
+from repro.core.engine import (
+    fingerprint_from_summaries,
+    threshold_series_for,
+)
 from repro.core.fingerprint import crisis_fingerprint
 from repro.core.identification import (
     IdentificationResult,
@@ -35,7 +39,7 @@ from repro.core.selection import (
     select_relevant_metrics,
 )
 from repro.core.summary import summary_vectors
-from repro.core.thresholds import QuantileThresholds, percentile_thresholds
+from repro.core.thresholds import QuantileThresholds
 from repro.datacenter.trace import CrisisRecord, DatacenterTrace
 
 
@@ -115,17 +119,19 @@ class FingerprintPipeline:
     # ------------------------------------------------------------------
 
     def update_thresholds(self, as_of_epoch: int) -> QuantileThresholds:
-        """Hot/cold thresholds from the trailing crisis-free window."""
+        """Hot/cold thresholds from the trailing crisis-free window.
+
+        Served by the trace's shared incremental
+        :class:`~repro.core.engine.ThresholdSeries` — identical values to
+        a full-window recompute, without rescanning W epochs per refresh.
+        """
         cfg = self.config.thresholds
         window_epochs = cfg.window_days * self.trace.epochs_per_day
-        history = self.trace.threshold_history(as_of_epoch, window_epochs)
-        if history.shape[0] < 2:
-            raise ValueError(
-                f"not enough crisis-free history before epoch {as_of_epoch}"
-            )
-        self.thresholds = percentile_thresholds(
-            history, cfg.cold_percentile, cfg.hot_percentile
+        series = threshold_series_for(
+            self.trace, window_epochs,
+            cfg.cold_percentile, cfg.hot_percentile,
         )
+        self.thresholds = series.at(as_of_epoch)
         return self.thresholds
 
     def observe(self, crisis: CrisisRecord) -> np.ndarray:
@@ -178,10 +184,9 @@ class FingerprintPipeline:
             summaries = summary_vectors(known.quantile_window, self.thresholds)
         else:
             summaries = known.stale_summary
-        if n_window_epochs is not None:
-            summaries = summaries[: max(n_window_epochs, 1)]
-        sub = summaries[:, self.relevant, :].astype(float)
-        return sub.reshape(sub.shape[0], -1).mean(axis=0)
+        return fingerprint_from_summaries(
+            summaries, self.relevant, n_window_epochs
+        )
 
     def _refingerprint_known(self) -> None:
         if self.thresholds is None or self.relevant is None:

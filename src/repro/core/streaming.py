@@ -42,14 +42,15 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.config import FingerprintingConfig, ReliabilityConfig
+from repro.core.engine import EpochStateEngine, fingerprint_from_window
 from repro.core.identification import (
     UNKNOWN,
     estimate_threshold_online,
 )
 from repro.index import FingerprintIndex, create_index
-from repro.core.summary import summary_vectors
-from repro.core.thresholds import QuantileThresholds, percentile_thresholds
+from repro.core.thresholds import QuantileThresholds
 from repro.telemetry.collector import EpochQuality
+from repro.telemetry.epochs import EpochClock
 from repro.telemetry.store import QuantileStore
 from repro.telemetry.validation import validate_epoch_summary
 
@@ -113,9 +114,10 @@ class StreamingCrisisMonitor:
         n_metrics: int,
         relevant_metrics: Sequence[int],
         config: FingerprintingConfig = FingerprintingConfig(),
-        threshold_refresh_epochs: int = 96,
-        min_history_epochs: int = 96 * 7,
+        threshold_refresh_epochs: Optional[int] = None,
+        min_history_epochs: Optional[int] = None,
         reliability: ReliabilityConfig = ReliabilityConfig(),
+        clock: Optional[EpochClock] = None,
     ):
         cfg_q = config.quantiles
         self.config = config
@@ -126,11 +128,17 @@ class StreamingCrisisMonitor:
             raise ValueError("need at least one relevant metric")
         if np.any((self.relevant < 0) | (self.relevant >= n_metrics)):
             raise ValueError("relevant metric index out of range")
-        self.store = QuantileStore(n_metrics, cfg_q.count)
-        self.threshold_refresh_epochs = threshold_refresh_epochs
-        self.min_history_epochs = min_history_epochs
-        self.thresholds: Optional[QuantileThresholds] = None
-        self._epochs_since_refresh = 0
+        # All epoch state — the quantile store, the trailing threshold
+        # window, the refresh cadence (default: daily, after a week of
+        # history, per the clock) — lives in the engine.
+        self._engine = EpochStateEngine(
+            n_metrics,
+            cfg_q.count,
+            config=config,
+            clock=clock,
+            threshold_refresh_epochs=threshold_refresh_epochs,
+            min_history_epochs=min_history_epochs,
+        )
         self._crisis_counter = 0
         self._live: Optional[_LiveCrisis] = None
         self._library: List[_StoredCrisis] = []
@@ -143,6 +151,45 @@ class StreamingCrisisMonitor:
         self._index_cache: Dict[int, FingerprintIndex] = {}
         self._index_labels: Dict[int, Dict[int, str]] = {}
 
+    # -- engine delegation -----------------------------------------------------
+
+    @property
+    def engine(self) -> EpochStateEngine:
+        """The shared epoch-state engine backing this monitor."""
+        return self._engine
+
+    @property
+    def clock(self) -> EpochClock:
+        return self._engine.clock
+
+    @property
+    def store(self) -> QuantileStore:
+        return self._engine.store
+
+    @property
+    def thresholds(self) -> Optional[QuantileThresholds]:
+        return self._engine.thresholds
+
+    @thresholds.setter
+    def thresholds(self, value: Optional[QuantileThresholds]) -> None:
+        self._engine.thresholds = value
+
+    @property
+    def threshold_refresh_epochs(self) -> int:
+        return self._engine.threshold_refresh_epochs
+
+    @property
+    def min_history_epochs(self) -> int:
+        return self._engine.min_history_epochs
+
+    @property
+    def _epochs_since_refresh(self) -> int:
+        return self._engine.epochs_since_refresh
+
+    @_epochs_since_refresh.setter
+    def _epochs_since_refresh(self, value: int) -> None:
+        self._engine.epochs_since_refresh = value
+
     # -- parameter management ------------------------------------------------
 
     def set_relevant_metrics(self, relevant: Sequence[int]) -> None:
@@ -151,18 +198,6 @@ class StreamingCrisisMonitor:
         if relevant.size == 0:
             raise ValueError("need at least one relevant metric")
         self.relevant = relevant
-        self._invalidate_indexes()
-
-    def _refresh_thresholds(self, now: int) -> None:
-        cfg = self.config.thresholds
-        window = cfg.window_days * 96
-        values, _ = self.store.trailing_window(len(self.store), window)
-        if values.shape[0] < 2:
-            return
-        self.thresholds = percentile_thresholds(
-            values, cfg.cold_percentile, cfg.hot_percentile
-        )
-        # New thresholds re-discretize every library fingerprint.
         self._invalidate_indexes()
 
     @property
@@ -174,11 +209,9 @@ class StreamingCrisisMonitor:
 
     def _fingerprint(self, window: np.ndarray,
                      n_epochs: Optional[int] = None) -> np.ndarray:
-        summaries = summary_vectors(np.asarray(window), self.thresholds)
-        if n_epochs is not None:
-            summaries = summaries[: max(n_epochs, 1)]
-        sub = summaries[:, self.relevant, :].astype(float)
-        return sub.reshape(sub.shape[0], -1).mean(axis=0)
+        return fingerprint_from_window(
+            window, self.thresholds, self.relevant, n_epochs
+        )
 
     def _invalidate_indexes(self) -> None:
         self._index_cache.clear()
@@ -314,31 +347,28 @@ class StreamingCrisisMonitor:
         anomalous = bool(
             violation_fraction >= 0.10 - 1e-12
         ) if violation_fraction is not None else False
-        # Untrusted epochs are flagged anomalous in the store so they can
-        # never enter a crisis-free threshold window.
-        epoch = self.store.append(epoch_quantiles, anomalous or untrusted)
+        # Untrusted epochs are quarantined by the engine: stored flagged
+        # anomalous (so they can never enter a crisis-free threshold
+        # window) with the refresh countdown frozen.
+        epoch, refreshed = self._engine.observe(
+            epoch_quantiles, anomalous=anomalous, frozen=untrusted
+        )
+        if refreshed:
+            # New thresholds re-discretize every library fingerprint.
+            self._invalidate_indexes()
 
         events: List[MonitorEvent] = []
         if untrusted:
             self.untrusted_epochs += 1
             events.append(EpochUntrusted(epoch=epoch, reasons=reasons))
-            # Threshold updates are frozen (the refresh countdown does not
-            # advance) and detection/crisis-end decisions are deferred:
-            # the violation statistic itself comes from the bad epoch.
+            # Detection/crisis-end decisions are deferred: the violation
+            # statistic itself comes from the bad epoch.
             if self._live is not None and (
                 self._live.identifications
                 < self.config.identification.n_epochs
             ):
                 events.append(self._dont_know(self._live, epoch))
             return events
-
-        self._epochs_since_refresh += 1
-        if (
-            self.thresholds is None
-            and len(self.store) >= self.min_history_epochs
-        ) or self._epochs_since_refresh >= self.threshold_refresh_epochs:
-            self._refresh_thresholds(epoch)
-            self._epochs_since_refresh = 0
 
         pre = self.config.fingerprint.pre_epochs
         if self._live is None:

@@ -109,15 +109,16 @@ def timeseries_thresholds(
     history = _validate_history(history)
     n = history.shape[0]
     w = int(min(max(smoothing_epochs, 2), n))
-    kernel = np.ones(w) / w
     flat = history.reshape(n, -1)
-    # Trailing moving average, aligned so prediction at t uses <= t.
-    smoothed = np.apply_along_axis(
-        lambda s: np.convolve(s, kernel, mode="full")[: n], 0, flat
-    )
-    # The first w-1 rows average fewer points; renormalize.
+    # Trailing moving average, aligned so prediction at t uses <= t: the
+    # trailing-window sum is a difference of cumulative sums (O(n) per
+    # series, replacing a per-column convolution).  The first w-1 rows
+    # average over however many points exist so far.
+    csum = np.cumsum(flat, axis=0)
+    sums = csum.copy()
+    sums[w:] -= csum[:-w]
     counts = np.minimum(np.arange(1, n + 1), w)[:, None]
-    smoothed = smoothed * (w / counts)
+    smoothed = sums / counts
     resid = flat - smoothed
     sigma = resid.std(axis=0)
     center = smoothed[-1]

@@ -25,11 +25,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import FingerprintingConfig
+from repro.core.engine import (
+    fingerprint_from_summaries,
+    threshold_series_for,
+)
 from repro.core.identification import UNKNOWN, threshold_from_pairs
 from repro.core.selection import select_crisis_metrics, select_relevant_metrics
 from repro.core.similarity import pair_arrays
 from repro.core.summary import summary_vectors
-from repro.core.thresholds import QuantileThresholds, percentile_thresholds
+from repro.core.thresholds import QuantileThresholds
 from repro.datacenter.trace import CrisisRecord, DatacenterTrace
 from repro.evaluation.identification import (
     CrisisOutcome,
@@ -253,11 +257,11 @@ class OnlineIdentificationExperiment:
                 summaries = summary_vectors(self._window(crisis), thresholds)
             else:
                 summaries = stale_summaries[j]
-            sub = summaries[:, relevant, :].astype(float)
-            flat = sub.reshape(sub.shape[0], -1)
-            full[j] = flat.mean(axis=0)
+            full[j] = fingerprint_from_summaries(summaries, relevant)
             for k in range(k_max):
-                truncated[j, k] = flat[: pre + k + 1].mean(axis=0)
+                truncated[j, k] = fingerprint_from_summaries(
+                    summaries, relevant, n_epochs=pre + k + 1
+                )
         return full, truncated
 
     def precompute(self) -> List[_CrisisParameters]:
@@ -291,18 +295,20 @@ class OnlineIdentificationExperiment:
 
         # Threshold estimates are cached on the trace: the same
         # (epoch, window, percentiles) triple recurs across experiment
-        # instances in the sensitivity sweeps.
+        # instances in the sensitivity sweeps.  Cache misses are served by
+        # the trace's shared incremental ThresholdSeries instead of a
+        # full-window percentile recompute per crisis.
         thr_cache = self.trace.__dict__.setdefault("_threshold_cache", {})
+        series = threshold_series_for(
+            self.trace, window_epochs,
+            cfg.thresholds.cold_percentile, cfg.thresholds.hot_percentile,
+        )
 
         def thresholds_at(epoch: int) -> QuantileThresholds:
             key = (epoch, window_epochs, cfg.thresholds.cold_percentile,
                    cfg.thresholds.hot_percentile)
             if key not in thr_cache:
-                history = self.trace.threshold_history(epoch, window_epochs)
-                thr_cache[key] = percentile_thresholds(
-                    history, cfg.thresholds.cold_percentile,
-                    cfg.thresholds.hot_percentile,
-                )
+                thr_cache[key] = series.at(epoch)
             return thr_cache[key]
 
         # Stale summaries (Figure 8): discretization frozen at crisis time.

@@ -13,12 +13,12 @@ from typing import List, Optional
 import numpy as np
 
 from repro.config import FingerprintingConfig, SelectionConfig
+from repro.core.engine import compute_thresholds, fingerprint_from_window
 from repro.core.selection import (
     select_crisis_metrics,
     select_relevant_metrics,
 )
-from repro.core.summary import summary_vectors
-from repro.core.thresholds import QuantileThresholds, percentile_thresholds
+from repro.core.thresholds import QuantileThresholds
 from repro.datacenter.trace import CrisisRecord, DatacenterTrace
 from repro.methods.base import OfflineMethod
 
@@ -82,7 +82,7 @@ class FingerprintMethod(OfflineMethod):
         mask[:lo] = False
         mask[hi:] = False
         history = trace.quantiles[mask]
-        self.thresholds = percentile_thresholds(
+        self.thresholds = compute_thresholds(
             history, cfg.cold_percentile, cfg.hot_percentile
         )
         self.relevant = self._relevant_metrics(trace, crises)
@@ -102,9 +102,7 @@ class FingerprintMethod(OfflineMethod):
         window = self.trace.quantiles[lo : hi + 1]
         if n_epochs is not None:
             window = window[: max(n_epochs, 1)]
-        summaries = summary_vectors(window, self.thresholds)
-        sub = summaries[:, self.relevant, :].astype(float)
-        return sub.reshape(sub.shape[0], -1).mean(axis=0)
+        return fingerprint_from_window(window, self.thresholds, self.relevant)
 
     def pair_distance(
         self,

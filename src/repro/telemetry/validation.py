@@ -14,6 +14,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.telemetry.epochs import EpochClock
+
 
 @dataclass(frozen=True)
 class ValidationIssue:
@@ -94,14 +96,19 @@ def validate_epoch_summary(
 def validate_history(
     history: np.ndarray,
     metric_names: Optional[Sequence[str]] = None,
-    stuck_epochs: int = 96,
+    stuck_epochs: Optional[int] = None,
+    clock: Optional[EpochClock] = None,
 ) -> ValidationReport:
     """Checks on a quantile history ``(n_epochs, n_metrics, n_quantiles)``.
 
     Warnings: metrics stuck at a constant value for ``stuck_epochs``
     consecutive epochs (frozen agent — their hot/cold thresholds collapse
-    to a point and flag everything thereafter).
+    to a point and flag everything thereafter).  ``stuck_epochs`` defaults
+    to one day of epochs under ``clock`` (the paper's 15-minute epochs
+    when no clock is given).
     """
+    if stuck_epochs is None:
+        stuck_epochs = (clock if clock is not None else EpochClock()).per_day
     h = np.asarray(history, dtype=float)
     report = ValidationReport()
     if h.ndim != 3:

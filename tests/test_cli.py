@@ -41,7 +41,9 @@ class TestParser:
         assert args.checkpoint == "c.npz"
         assert args.stop_epoch == 500
         assert args.coverage_floor == 0.6
-        assert args.checkpoint_every == 96
+        # Unset on the command line: resolved at run time to one day
+        # of the trace's epochs (96 only at 15-minute epochs).
+        assert args.checkpoint_every is None
 
 
 class TestCommands:

@@ -73,6 +73,36 @@ class TestTimeseriesThresholds:
         assert np.all(t4.hot >= t2.hot)
         assert np.all(t4.cold <= t2.cold)
 
+    @pytest.mark.parametrize("smoothing", [2, 17, 96, 5000])
+    def test_cumsum_smoothing_matches_convolution(self, smoothing):
+        """The O(n) cumulative-sum trailing mean must agree with the
+        per-column convolution it replaced."""
+        h = history(n=600, seed=3)
+
+        def reference(history, smoothing_epochs=96, n_sigma=3.0):
+            n = history.shape[0]
+            w = int(min(max(smoothing_epochs, 2), n))
+            kernel = np.ones(w) / w
+            flat = history.reshape(n, -1)
+            smoothed = np.apply_along_axis(
+                lambda s: np.convolve(s, kernel, mode="full")[:n], 0, flat
+            )
+            counts = np.minimum(np.arange(1, n + 1), w)[:, None]
+            smoothed = smoothed * (w / counts)
+            resid = flat - smoothed
+            sigma = resid.std(axis=0)
+            center = smoothed[-1]
+            cold = (center - n_sigma * sigma).reshape(history.shape[1:])
+            hot = (center + n_sigma * sigma).reshape(history.shape[1:])
+            return QuantileThresholds(
+                cold=np.minimum(cold, hot), hot=np.maximum(cold, hot)
+            )
+
+        got = timeseries_thresholds(h, smoothing_epochs=smoothing)
+        expected = reference(h, smoothing_epochs=smoothing)
+        np.testing.assert_allclose(got.cold, expected.cold, rtol=1e-9)
+        np.testing.assert_allclose(got.hot, expected.hot, rtol=1e-9)
+
 
 class TestKPICorrelationThresholds:
     def test_finds_separating_threshold(self):

@@ -1,0 +1,181 @@
+"""Property tests for the incremental threshold tracker (hypothesis).
+
+:class:`~repro.core.engine.RollingThresholdTracker` promises *bit-parity*:
+over any admit/evict/NaN sequence its ``thresholds()`` must equal what
+:func:`~repro.core.thresholds.percentile_thresholds` (i.e.
+``np.nanpercentile``) returns over the same live window — including the
+loud failures for short windows and all-NaN series.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.engine import RollingThresholdTracker
+from repro.core.thresholds import percentile_thresholds
+
+M, Q = 2, 2
+
+# Values drawn partly from a tiny pool so exact ties (duplicate order
+# statistics) are common, plus NaN gaps like real telemetry.
+_value = st.one_of(
+    st.sampled_from([0.0, 1.0, 2.5, -3.0]),
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    st.just(np.nan),
+)
+_epoch = st.tuples(
+    hnp.arrays(np.float64, (M, Q), elements=_value), st.booleans()
+)
+_pairs = st.sampled_from(
+    [(2.0, 98.0), (10.0, 90.0), (0.0, 100.0), (25.0, 75.0), (47.0, 53.0)]
+)
+
+
+def _live_window(epochs, window, upto):
+    """The reference window: last ``window`` epochs, crisis-free only."""
+    recent = epochs[max(0, upto - window):upto]
+    vals = [v for v, anomalous in recent if not anomalous]
+    if not vals:
+        return np.empty((0, M, Q))
+    return np.stack(vals)
+
+
+def _check_parity(tracker, win, cold_p, hot_p):
+    """Tracker output (including failures) == window recompute."""
+    if win.shape[0] < 2:
+        with pytest.raises(ValueError, match="at least two epochs"):
+            tracker.thresholds()
+        return
+    flat = win.reshape(win.shape[0], -1)
+    if np.all(np.isnan(flat), axis=0).any():
+        with pytest.raises(ValueError, match="no reported history"):
+            tracker.thresholds()
+        with pytest.raises(ValueError, match="no reported history"):
+            percentile_thresholds(win, cold_p, hot_p)
+        return
+    got = tracker.thresholds()
+    expected = percentile_thresholds(win, cold_p, hot_p)
+    np.testing.assert_array_equal(got.cold, expected.cold)
+    np.testing.assert_array_equal(got.hot, expected.hot)
+    # And against numpy directly, not just the wrapper.
+    np.testing.assert_array_equal(
+        got.cold.ravel(), np.nanpercentile(flat, cold_p, axis=0)
+    )
+    np.testing.assert_array_equal(
+        got.hot.ravel(), np.nanpercentile(flat, hot_p, axis=0)
+    )
+
+
+class TestTrackerProperties:
+    @given(st.integers(2, 9), st.lists(_epoch, min_size=1, max_size=36))
+    @settings(max_examples=120, deadline=None)
+    def test_random_stream_matches_window_recompute(self, window, epochs):
+        """After every append the tracker equals a full recompute."""
+        tracker = RollingThresholdTracker(M, Q, window)
+        for i, (values, anomalous) in enumerate(epochs):
+            tracker.append(values, anomalous)
+            win = _live_window(epochs, window, i + 1)
+            assert len(tracker) == i + 1
+            assert tracker.window_count == win.shape[0]
+            np.testing.assert_array_equal(tracker.window_values(), win)
+            _check_parity(tracker, win, 2.0, 98.0)
+
+    @given(
+        st.integers(2, 9), st.lists(_epoch, min_size=1, max_size=30), _pairs
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nondefault_percentile_pairs(self, window, epochs, pair):
+        cold_p, hot_p = pair
+        tracker = RollingThresholdTracker(M, Q, window, cold_p, hot_p)
+        for values, anomalous in epochs:
+            tracker.append(values, anomalous)
+        _check_parity(
+            tracker, _live_window(epochs, window, len(epochs)), cold_p, hot_p
+        )
+
+    @given(st.integers(2, 9), st.lists(_epoch, min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_prime_equals_streaming(self, window, epochs):
+        """Bulk-loading a history == appending it epoch by epoch."""
+        values = np.stack([v for v, _ in epochs])
+        anomalous = np.array([a for _, a in epochs])
+        streamed = RollingThresholdTracker(M, Q, window)
+        for v, a in epochs:
+            streamed.append(v, a)
+        primed = RollingThresholdTracker(M, Q, window)
+        primed.prime(values, anomalous)
+        assert len(primed) == len(streamed)
+        assert primed.window_count == streamed.window_count
+        np.testing.assert_array_equal(
+            primed.window_values(), streamed.window_values()
+        )
+        _check_parity(
+            primed, _live_window(epochs, window, len(epochs)), 2.0, 98.0
+        )
+        # Both must keep evolving identically after the bulk load.
+        rng = np.random.default_rng(0)
+        for v in rng.normal(size=(5, M, Q)):
+            streamed.append(v)
+            primed.append(v)
+        a, b = primed.thresholds(), streamed.thresholds()
+        np.testing.assert_array_equal(a.cold, b.cold)
+        np.testing.assert_array_equal(a.hot, b.hot)
+
+
+class TestTrackerContracts:
+    def test_drifting_stream_forces_rebuilds(self):
+        """A strong trend erodes the sorted head/tail past their slack,
+        exercising the rebuild path; parity must survive it."""
+        rng = np.random.default_rng(7)
+        W = 64
+        tracker = RollingThresholdTracker(M, Q, W, 10.0, 90.0)
+        history = []
+        for t in range(400):
+            v = np.round(rng.normal(loc=t * 0.5, size=(M, Q)), 1)
+            if rng.random() < 0.08:
+                v[rng.integers(M), rng.integers(Q)] = np.nan
+            anomalous = rng.random() < 0.2
+            history.append((v, anomalous))
+            tracker.append(v, anomalous)
+            if t >= 3 and t % 7 == 0:
+                _check_parity(
+                    tracker, _live_window(history, W, t + 1), 10.0, 90.0
+                )
+
+    def test_all_nan_series_fails_loudly(self):
+        tracker = RollingThresholdTracker(M, Q, 8)
+        v = np.ones((M, Q))
+        v[0, 0] = np.nan
+        for _ in range(4):
+            tracker.append(v)
+        with pytest.raises(ValueError, match="no reported history"):
+            tracker.thresholds()
+        # Same promise as the batch path over the same window.
+        with pytest.raises(ValueError, match="no reported history"):
+            percentile_thresholds(np.repeat(v[None], 4, axis=0))
+
+    def test_needs_two_admitted_epochs(self):
+        tracker = RollingThresholdTracker(M, Q, 8)
+        tracker.append(np.ones((M, Q)))
+        tracker.append(np.ones((M, Q)), anomalous=True)
+        with pytest.raises(ValueError, match="at least two epochs"):
+            tracker.thresholds()
+
+    def test_anomalous_epochs_age_out_older_history(self):
+        """Anomalous epochs advance time: they push old epochs out of the
+        trailing window even though they are never admitted themselves."""
+        tracker = RollingThresholdTracker(1, 1, 3)
+        tracker.append(np.array([[1.0]]))
+        tracker.append(np.array([[2.0]]))
+        for _ in range(3):
+            tracker.append(np.array([[99.0]]), anomalous=True)
+        assert tracker.window_count == 0
+        assert len(tracker) == 5
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="window_epochs"):
+            RollingThresholdTracker(M, Q, 0)
+        with pytest.raises(ValueError, match="percentile"):
+            RollingThresholdTracker(M, Q, 8, 98.0, 2.0)
