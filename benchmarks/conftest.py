@@ -74,3 +74,17 @@ def publish(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def publish_json(name: str, payload: dict) -> None:
+    """Persist machine-readable results as ``BENCH_<name>.json``.
+
+    The JSON mirror of :func:`publish` — one flat-ish dict per benchmark
+    so dashboards and regression tooling can diff runs without parsing
+    the human tables.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

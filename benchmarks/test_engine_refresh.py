@@ -31,7 +31,7 @@ from repro.datacenter import DatacenterSimulator
 from repro.datacenter.scenarios import tiny
 from repro.evaluation.experiments import OnlineIdentificationExperiment
 
-from conftest import publish
+from conftest import publish, publish_json
 
 QUICK = os.environ.get("ENGINE_REFRESH_QUICK") == "1"
 WINDOW_DAYS = 120 if QUICK else 240
@@ -131,6 +131,19 @@ def test_engine_refresh(request):
         "mode = %s" % ("quick (CI smoke)" if QUICK else "full"),
     ]
     publish("engine_refresh", "\n".join(lines))
+    publish_json("engine_refresh", {
+        "window_days": WINDOW_DAYS,
+        "n_metrics": N_METRICS,
+        "epochs_per_day": EPOCHS_PER_DAY,
+        "incremental_refresh_ms": inc_ms,
+        "full_recompute_ms": full_ms,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "prime_s": prime_s,
+        "precompute_s": precompute_s,
+        "online_run_s": run_s,
+        "mode": "quick" if QUICK else "full",
+    })
 
     assert speedup >= SPEEDUP_FLOOR, (
         f"incremental refresh only {speedup:.1f}x faster than the full "

@@ -21,7 +21,7 @@ import os
 
 from repro.fleet.bench import format_results, run_scaling
 
-from conftest import publish
+from conftest import publish, publish_json
 
 QUICK = os.environ.get("FLEET_SCALING_QUICK") == "1"
 N_MACHINES = 2000 if QUICK else 10_000
@@ -60,6 +60,21 @@ def test_fleet_scaling():
         "mode = %s" % ("quick (CI smoke)" if QUICK else "full"),
     ]
     publish("fleet_scaling", "\n".join(lines))
+    publish_json("fleet_scaling", {
+        "n_machines": N_MACHINES,
+        "n_metrics": N_METRICS,
+        "n_epochs": N_EPOCHS,
+        "sketch_eps": SKETCH_EPS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "mode": "quick" if QUICK else "full",
+        "configs": [{
+            "label": r.label,
+            "n_workers": r.n_workers,
+            "seconds": r.seconds,
+            "reports_per_s": r.reports_per_s,
+            "max_shard_busy_s": r.max_shard_busy_s,
+        } for r in results],
+    })
 
     baseline = results[0]
     best = results[-1]

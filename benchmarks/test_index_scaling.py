@@ -20,7 +20,7 @@ import pytest
 
 from repro.index import BruteForceIndex, KDTreeIndex, LSHIndex
 
-from conftest import publish
+from conftest import publish, publish_json
 
 QUICK = os.environ.get("INDEX_SCALING_QUICK") == "1"
 SIZES = [1000, 5000] if QUICK else [1000, 10_000, 100_000]
@@ -69,6 +69,7 @@ def test_index_scaling():
     ]
     largest_speedup = None
     largest_recall = None
+    rows = []
     for n in SIZES:
         points, queries = make_cloud(n, rng)
 
@@ -103,6 +104,11 @@ def test_index_scaling():
             "%8d %12.3f %10.3f %10.3f %10.3f %8.1fx %9.3f"
             % (n, scan_ms, brute_ms, kd_ms, lsh_ms, speedup, recall)
         )
+        rows.append({
+            "n": n, "scan_ms_per_q": scan_ms, "brute_ms_per_q": brute_ms,
+            "kdtree_ms_per_q": kd_ms, "lsh_ms_per_q": lsh_ms,
+            "speedup": speedup, "recall_at_10": recall,
+        })
 
     lines += [
         "",
@@ -114,6 +120,11 @@ def test_index_scaling():
         "mode = %s" % ("quick (CI smoke)" if QUICK else "full"),
     ]
     publish("index_scaling", "\n".join(lines))
+    publish_json("index_scaling", {
+        "k": K, "dim": DIM, "sizes": rows,
+        "speedup_floor": SPEEDUP_FLOOR, "recall_floor": RECALL_FLOOR,
+        "mode": "quick" if QUICK else "full",
+    })
 
     assert largest_speedup >= SPEEDUP_FLOOR, (
         f"only {largest_speedup:.1f}x over the loop scan at n={SIZES[-1]}"

@@ -163,6 +163,41 @@ def _add_fleet(sub: argparse._SubParsersAction) -> None:
     b.add_argument("--seed", type=int, default=0)
 
 
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the durable multi-tenant ingestion service "
+             "(JSON-lines over TCP; see docs/serving.md)",
+    )
+    p.add_argument("--root", required=True,
+                   help="state directory (journals + checkpoints)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks a free port; the bound port is printed "
+                        "as 'SERVING <host> <port>' on stdout")
+    p.add_argument("--metrics", type=int, default=8)
+    p.add_argument("--relevant", type=int, default=4)
+    p.add_argument("--epoch-minutes", type=int, default=15,
+                   help="epoch length (must divide 1440)")
+    p.add_argument("--window-days", type=int, default=240)
+    p.add_argument("--refresh-epochs", type=int, default=None,
+                   help="threshold refresh cadence (default: daily)")
+    p.add_argument("--min-history-epochs", type=int, default=None,
+                   help="history before thresholds activate "
+                        "(default: 7 days)")
+    p.add_argument("--checkpoint-every", type=int, default=4,
+                   help="closed epochs between tenant checkpoints")
+    p.add_argument("--max-inflight", type=int, default=1024,
+                   help="admission bound on accepted-but-unapplied "
+                        "requests")
+    p.add_argument("--idle-timeout", type=float, default=5.0,
+                   help="seconds before a stalled mid-frame connection "
+                        "is dropped")
+    p.add_argument("--max-restarts", type=int, default=3,
+                   help="consecutive tenant crashes before quarantine")
+    p.add_argument("--seed", type=int, default=0)
+
+
 def _add_discriminate(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "discriminate", help="Figure 3: per-method discrimination AUC"
@@ -207,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_monitor(sub)
     _add_index(sub)
     _add_fleet(sub)
+    _add_serve(sub)
     _add_discriminate(sub)
     _add_render(sub)
     _add_timeline(sub)
@@ -653,12 +689,49 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.config import ServingConfig
+    from repro.serving import IngestServer
+
+    cfg = ServingConfig(
+        n_metrics=args.metrics,
+        n_relevant=args.relevant,
+        epoch_minutes=args.epoch_minutes,
+        window_days=args.window_days,
+        threshold_refresh_epochs=args.refresh_epochs,
+        min_history_epochs=args.min_history_epochs,
+        checkpoint_every_epochs=args.checkpoint_every,
+        max_inflight=args.max_inflight,
+        idle_timeout_s=args.idle_timeout,
+        max_restarts=args.max_restarts,
+        seed=args.seed,
+    )
+    server = IngestServer(cfg, args.root, host=args.host, port=args.port)
+    port = server.start()
+    # Discovery line for supervisors/tests: flushed before serving.
+    print(f"SERVING {args.host} {port}", flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    while not stop.is_set() and not server._stopping.is_set():
+        stop.wait(0.2)
+    server.close()  # graceful: checkpoints every tenant
+    if server.fatal_error is not None:
+        print(f"FATAL {server.fatal_error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "identify": _cmd_identify,
     "monitor": _cmd_monitor,
     "index": _cmd_index,
     "fleet": _cmd_fleet,
+    "serve": _cmd_serve,
     "discriminate": _cmd_discriminate,
     "render": _cmd_render,
     "timeline": _cmd_timeline,

@@ -268,6 +268,98 @@ class IndexConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Policy for the durable ingestion front door (:mod:`repro.serving`).
+
+    The serving tier runs one streaming monitor per tenant behind a
+    JSON-lines TCP endpoint.  Durability knobs: every accepted report is
+    journaled (fsync) before it is acked, and a full engine snapshot is
+    cut every ``checkpoint_every_epochs`` closed epochs, after which the
+    journal is compacted.  Admission knobs: at most ``max_inflight``
+    reports may be accepted-but-unapplied at once (beyond that the
+    server sheds load with an explicit retry-after instead of queueing
+    unboundedly), frames longer than ``max_frame_bytes`` are rejected,
+    and a connection idle for ``idle_timeout_s`` mid-frame is dropped
+    (slow-loris defense).  Supervision knobs: a tenant engine that
+    crashes is restarted with exponential backoff (``restart_base_delay``
+    doubling per consecutive crash, jitter seeded by ``seed``) and
+    quarantined after ``max_restarts`` consecutive crashes.
+
+    The engine cadence fields mirror the paper's defaults but are
+    configurable so tests can run short days (``epoch_minutes`` must
+    divide 1440, the :class:`~repro.telemetry.epochs.EpochClock`
+    contract).
+    """
+
+    # --- engine cadence ---
+    n_metrics: int = 8
+    n_relevant: int = 4
+    quantiles: Tuple[float, ...] = (0.25, 0.50, 0.95)
+    epoch_minutes: int = EPOCH_MINUTES
+    window_days: int = 240
+    threshold_refresh_epochs: Optional[int] = None  # None = daily
+    min_history_epochs: Optional[int] = None  # None = 7 days
+    coverage_floor: float = 0.5
+    # --- durability ---
+    checkpoint_every_epochs: int = 4
+    # --- admission control ---
+    max_inflight: int = 1024
+    max_frame_bytes: int = 1 << 20
+    idle_timeout_s: float = 5.0
+    # --- supervision ---
+    max_restarts: int = 3
+    restart_base_delay: float = 0.05
+    restart_max_delay: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_metrics < 1:
+            raise ValueError("n_metrics must be positive")
+        if not 1 <= self.n_relevant <= self.n_metrics:
+            raise ValueError("n_relevant must lie in [1, n_metrics]")
+        if not self.quantiles:
+            raise ValueError("at least one quantile is required")
+        if 1440 % self.epoch_minutes != 0:
+            raise ValueError("epoch_minutes must divide 1440")
+        if self.window_days < 1:
+            raise ValueError("window_days must be positive")
+        for name in ("threshold_refresh_epochs", "min_history_epochs"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.coverage_floor <= 1.0:
+            raise ValueError("coverage_floor must lie in [0, 1]")
+        if self.checkpoint_every_epochs < 1:
+            raise ValueError("checkpoint_every_epochs must be positive")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if self.max_frame_bytes < 64:
+            raise ValueError("max_frame_bytes must be at least 64")
+        if self.idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
+        if self.max_restarts < 1:
+            raise ValueError("max_restarts must be positive")
+        if self.restart_base_delay < 0 or self.restart_max_delay < 0:
+            raise ValueError("restart delays must be non-negative")
+
+    @property
+    def epochs_per_day(self) -> int:
+        return 24 * 60 // self.epoch_minutes
+
+    def resolved_refresh_epochs(self) -> int:
+        """Threshold refresh cadence, defaulting to one day of epochs."""
+        if self.threshold_refresh_epochs is not None:
+            return self.threshold_refresh_epochs
+        return self.epochs_per_day
+
+    def resolved_min_history(self) -> int:
+        """Minimum history before thresholds activate (default: 7 days)."""
+        if self.min_history_epochs is not None:
+            return self.min_history_epochs
+        return 7 * self.epochs_per_day
+
+
+@dataclass(frozen=True)
 class FingerprintingConfig:
     """Bundle of all method parameters, defaulting to the paper's choices."""
 
@@ -296,5 +388,6 @@ __all__ = [
     "IndexConfig",
     "FleetConfig",
     "ReliabilityConfig",
+    "ServingConfig",
     "FingerprintingConfig",
 ]

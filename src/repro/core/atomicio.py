@@ -19,8 +19,28 @@ from typing import Dict
 import numpy as np
 
 
+def fsync_dir(path) -> None:
+    """fsync a directory so a rename within it is itself durable.
+
+    A rename is atomic the moment it happens, but only survives a power
+    loss once the directory entry reaches disk.  Filesystems that do not
+    support opening directories (or exotic mounts) are ignored — the
+    rename still happened, durability is merely best-effort there.
+    """
+    try:
+        fd = os.open(pathlib.Path(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_npz(path, arrays: Dict[str, np.ndarray]) -> None:
-    """Write an ``.npz`` atomically: tmp file + fsync + rename."""
+    """Write an ``.npz`` atomically: tmp file + fsync + rename + dir fsync."""
     path = pathlib.Path(path)
     fd, tmp = tempfile.mkstemp(
         dir=path.parent or pathlib.Path("."), suffix=".tmp"
@@ -31,6 +51,7 @@ def atomic_write_npz(path, arrays: Dict[str, np.ndarray]) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent or pathlib.Path("."))
     except BaseException:
         try:
             os.unlink(tmp)
@@ -51,4 +72,4 @@ def unpack_header(data) -> dict:
     return json.loads(bytes(data["header"]).decode("utf-8"))
 
 
-__all__ = ["atomic_write_npz", "pack_header", "unpack_header"]
+__all__ = ["atomic_write_npz", "fsync_dir", "pack_header", "unpack_header"]

@@ -20,6 +20,7 @@ gate), and dead workers are respawned before the next epoch.  The close
 
 from __future__ import annotations
 
+import logging
 import queue as queue_module
 import time
 from dataclasses import dataclass
@@ -36,6 +37,8 @@ from repro.fleet.worker import worker_main
 from repro.telemetry.chaos import ShardChaosConfig
 from repro.telemetry.collector import EpochQuality, EpochSummary, MachineAgent
 from repro.telemetry.reliability import AgentHealthTracker, QuorumPolicy
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -136,6 +139,7 @@ class FleetAggregator:
         ]
         self.last_partials: Dict[int, ShardPartial] = {}
         self.n_respawns = 0  # lifetime count of workers brought back
+        self.force_killed_shards: List[int] = []  # shards needing SIGKILL
         self._ctx = multiprocessing.get_context(config.start_method)
         self._result_queue = self._ctx.Queue()
         self._workers: List[_Worker] = [
@@ -151,8 +155,16 @@ class FleetAggregator:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
-    def shutdown(self) -> None:
-        """Stop every worker; idempotent."""
+    def shutdown(self, join_timeout_s: float = 2.0) -> None:
+        """Stop every worker; idempotent — and guaranteed to reap.
+
+        Escalation ladder per worker: cooperative stop sentinel →
+        ``join(timeout)`` → ``terminate()`` (SIGTERM) → ``kill()``
+        (SIGKILL, which no handler can ignore) → final join.  A hung or
+        signal-ignoring worker can therefore never leak a process past
+        shutdown; shards that needed SIGKILL are logged and recorded in
+        :attr:`force_killed_shards`.
+        """
         if self._closed:
             return
         self._closed = True
@@ -163,10 +175,18 @@ class FleetAggregator:
                 except queue_module.Full:
                     pass
         for worker in self._workers:
-            worker.process.join(timeout=2.0)
+            worker.process.join(timeout=join_timeout_s)
             if worker.process.is_alive():
                 worker.process.terminate()
-                worker.process.join(timeout=1.0)
+                worker.process.join(timeout=min(join_timeout_s, 1.0))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=min(join_timeout_s, 1.0))
+                self.force_killed_shards.append(worker.shard_id)
+                logger.warning(
+                    "shard %d ignored terminate; force-killed (SIGKILL)",
+                    worker.shard_id,
+                )
         self._result_queue.close()
 
     def _respawn_dead(self) -> None:

@@ -1,0 +1,71 @@
+"""Durable multi-tenant ingestion front door (ROADMAP item 1).
+
+The paper's monitor must run *through* the crises it diagnoses, so this
+package turns the in-process :class:`repro.core.streaming.StreamingCrisisMonitor`
+into a long-running service engineered for durability first:
+
+* :mod:`repro.serving.wire` — the JSON-lines wire format and its typed
+  validation errors;
+* :mod:`repro.serving.journal` — the per-tenant write-ahead journal
+  (append + fsync *before* ack, CRC-framed records, torn-tail replay,
+  compaction after checkpoint);
+* :mod:`repro.serving.tenant` — one tenant's engine: pending-epoch
+  buffer, quality-gated epoch close, checkpoint + journal cursor,
+  bit-identical crash recovery;
+* :mod:`repro.serving.supervisor` — restart-with-backoff and crash-loop
+  quarantine so one bad tenant never takes down the service;
+* :mod:`repro.serving.server` — the threaded TCP front door with
+  admission control (explicit retry-after, bounded in-flight) and
+  slow-loris defense;
+* :mod:`repro.serving.loadgen` — deterministic load generator and
+  resend-on-reconnect client used by tests, chaos runs, and the
+  ``benchmarks/test_serving_ingest.py`` benchmark.
+
+See ``docs/serving.md`` for the wire format and the operational runbook.
+"""
+
+from repro.serving.journal import (
+    JournalCorruptError,
+    JournalError,
+    JournalTornWrite,
+    WriteAheadJournal,
+)
+from repro.serving.loadgen import LoadResult, ServingClient, run_load
+from repro.serving.server import IngestServer
+from repro.serving.supervisor import (
+    QUARANTINED,
+    RESTARTING,
+    RUNNING,
+    TenantSupervisor,
+)
+from repro.serving.tenant import TenantRuntime
+from repro.serving.wire import (
+    MalformedFrame,
+    decode_frame,
+    encode_frame,
+    event_from_wire,
+    event_to_wire,
+    parse_request,
+)
+
+__all__ = [
+    "IngestServer",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalTornWrite",
+    "LoadResult",
+    "MalformedFrame",
+    "QUARANTINED",
+    "RESTARTING",
+    "RUNNING",
+    "ServingClient",
+    "TenantRuntime",
+    "TenantSupervisor",
+    "WriteAheadJournal",
+    "decode_frame",
+    "encode_frame",
+    "event_from_wire",
+    "event_to_wire",
+    "parse_request",
+    "run_load",
+]

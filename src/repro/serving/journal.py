@@ -1,0 +1,286 @@
+"""Per-tenant write-ahead journal: append + fsync before ack.
+
+The durability contract of the serving tier: a report is acknowledged
+only after its journal record has reached disk, so a ``kill -9`` at any
+instant loses *at most* unacked work — the client's
+resend-on-reconnect (:mod:`repro.serving.loadgen`) then re-delivers it.
+
+Record framing is ``<u32 length> <u32 crc32> <payload>`` (little
+endian), payload = compact JSON carrying the record's sequence number.
+The CRC plus length prefix makes every torn-write mode detectable on
+replay:
+
+* a tail cut mid-payload (pulled plug) fails the length or CRC check —
+  replay stops at the last intact record and :meth:`~WriteAheadJournal.truncate_tail`
+  trims the garbage;
+* a failed append (e.g. ``ENOSPC``) is rolled back by truncating the
+  file to its pre-append size, so the journal never holds a half batch.
+
+Group commit: :meth:`~WriteAheadJournal.append_many` writes a whole
+batch of records and fsyncs **once**, which is what makes the
+journal-per-report discipline affordable (see
+``benchmarks/test_serving_ingest.py``).
+
+After a checkpoint the applied prefix is dead weight;
+:meth:`~WriteAheadJournal.compact` rewrites the journal atomically
+(tmp + fsync + rename + dir fsync, the :mod:`repro.core.atomicio`
+discipline) keeping only records past the checkpoint cursor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import tempfile
+import zlib
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.atomicio import fsync_dir
+
+#: ``<u32 length> <u32 crc32>`` record prefix.
+_PREFIX = struct.Struct("<II")
+
+#: Sanity cap on a single record; a length field beyond this is garbage,
+#: not a record (protects replay from allocating absurd buffers).
+MAX_RECORD_BYTES = 16 << 20
+
+
+class JournalError(ValueError):
+    """Base class for journal failures."""
+
+
+class JournalCorruptError(JournalError):
+    """A record that should be intact (not the tail) failed validation."""
+
+
+class JournalTornWrite(JournalError):
+    """An append was cut short mid-record (chaos mid-write kill).
+
+    The in-process stand-in for dying inside ``write(2)``: the journal
+    holds a torn tail exactly as a pulled plug would leave it, and the
+    server must treat the process as dead (exit) rather than ack.
+    """
+
+
+def _frame(record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    return _PREFIX.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadJournal:
+    """Append-only, CRC-framed, fsync-on-commit record log.
+
+    ``write_hook`` is the chaos seam: called with each encoded frame
+    before it is written, it may raise ``OSError`` (disk full — the
+    append is rolled back) or return a truncated prefix of the frame
+    (torn write — the truncated bytes are written and
+    :class:`JournalTornWrite` raised, leaving the on-disk state a crash
+    would).  ``None`` (the default) writes frames verbatim.
+    """
+
+    def __init__(
+        self,
+        path,
+        write_hook: Optional[Callable[[bytes], Optional[bytes]]] = None,
+    ):
+        self.path = pathlib.Path(path)
+        self.write_hook = write_hook
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "ab")
+        self._last_seq: Optional[int] = None
+
+    # -- write path --------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number ever journaled (0 when empty)."""
+        if self._last_seq is None:
+            last = 0
+            for record, _ in self._scan():
+                last = record.get("seq", last)
+            self._last_seq = last
+        return self._last_seq
+
+    def append_many(self, records: List[dict]) -> List[int]:
+        """Journal a batch durably: one write span, one fsync.
+
+        Sequence numbers are assigned here (``last_seq + 1`` onward) and
+        embedded in each record before encoding.  On any failure the
+        file is truncated back to its pre-batch size — the journal never
+        exposes a half-committed batch.
+        """
+        if not records:
+            return []
+        start = self._fh.tell()
+        seqs: List[int] = []
+        next_seq = self.last_seq
+        torn = False
+        try:
+            for record in records:
+                next_seq += 1
+                record["seq"] = next_seq
+                seqs.append(next_seq)
+                frame = _frame(record)
+                if self.write_hook is not None:
+                    replacement = self.write_hook(frame)
+                    if replacement is not None:
+                        # Torn write: persist the damage, then die.
+                        self._fh.write(replacement)
+                        torn = True
+                        break
+                self._fh.write(frame)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except JournalError:
+            raise
+        except OSError:
+            # Disk full (or any write error): roll the batch back so the
+            # journal stays a clean sequence of intact records.
+            try:
+                self._fh.flush()
+            except OSError:
+                pass
+            os.ftruncate(self._fh.fileno(), start)
+            self._fh.seek(start)
+            raise
+        if torn:
+            self._last_seq = next_seq - 1
+            raise JournalTornWrite(
+                f"append of seq {next_seq} was cut short mid-record"
+            )
+        self._last_seq = next_seq
+        return seqs
+
+    def append(self, record: dict) -> int:
+        """Journal one record durably; returns its sequence number."""
+        return self.append_many([record])[0]
+
+    # -- read path ---------------------------------------------------------
+
+    def _scan(self) -> Iterator[Tuple[dict, int]]:
+        """Yield ``(record, end_offset)`` for every intact record.
+
+        Stops silently at a torn tail (short prefix, short payload, or
+        CRC mismatch *at the end of the file* — the shape a crash
+        leaves); damage followed by more bytes is corruption, raised as
+        :class:`JournalCorruptError`.
+        """
+        self._fh.flush()
+        with open(self.path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            offset = 0
+            while True:
+                prefix = fh.read(_PREFIX.size)
+                if len(prefix) < _PREFIX.size:
+                    if prefix and offset + len(prefix) < size:
+                        raise JournalCorruptError(
+                            f"undersized record prefix at offset {offset}"
+                        )
+                    return
+                length, crc = _PREFIX.unpack(prefix)
+                tail_end = offset + _PREFIX.size + length
+                if length > MAX_RECORD_BYTES:
+                    raise JournalCorruptError(
+                        f"implausible record length {length} at offset "
+                        f"{offset}"
+                    )
+                payload = fh.read(length)
+                damaged = (
+                    len(payload) < length or zlib.crc32(payload) != crc
+                )
+                if damaged:
+                    if tail_end >= size:
+                        return  # torn tail: the crash signature
+                    raise JournalCorruptError(
+                        f"record at offset {offset} fails its CRC but is "
+                        "not the tail"
+                    )
+                try:
+                    record = json.loads(payload.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise JournalCorruptError(
+                        f"record at offset {offset} passed CRC but is not "
+                        f"JSON: {exc}"
+                    ) from exc
+                offset = tail_end
+                yield record, offset
+
+    def replay(self, after_seq: int = 0) -> List[dict]:
+        """All intact records with ``seq > after_seq``, in order."""
+        return [
+            record
+            for record, _ in self._scan()
+            if record.get("seq", 0) > after_seq
+        ]
+
+    def valid_size(self) -> int:
+        """Byte length of the intact record prefix of the file."""
+        end = 0
+        for _, end in self._scan():
+            pass
+        return end
+
+    def truncate_tail(self) -> int:
+        """Trim a torn tail; returns how many bytes were dropped."""
+        keep = self.valid_size()
+        self._fh.flush()
+        size = os.fstat(self._fh.fileno()).st_size
+        if size > keep:
+            os.ftruncate(self._fh.fileno(), keep)
+            self._fh.seek(keep)
+        return size - keep
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self, applied_seq: int) -> int:
+        """Drop records with ``seq <= applied_seq``; returns records kept.
+
+        The rewrite is atomic (tmp + fsync + rename + dir fsync): a
+        crash mid-compaction leaves the full journal, never a torn one.
+        Called after a successful checkpoint, whose cursor makes the
+        applied prefix redundant.
+        """
+        survivors = self.replay(after_seq=applied_seq)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, suffix=".wal.tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                for record in survivors:
+                    fh.write(_frame(record))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh.close()
+            os.replace(tmp, self.path)
+            fsync_dir(self.path.parent)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        finally:
+            if self._fh.closed:
+                self._fh = open(self.path, "ab")
+        return len(survivors)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "JournalCorruptError",
+    "JournalError",
+    "JournalTornWrite",
+    "MAX_RECORD_BYTES",
+    "WriteAheadJournal",
+]

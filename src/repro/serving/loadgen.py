@@ -1,0 +1,342 @@
+"""Deterministic load generator and resend-on-reconnect client.
+
+The client half of the durability contract: the server only guarantees
+*acked* reports survive, so :class:`ServingClient` keeps every sent
+frame in an unacked window and, on reconnect after a connection drop
+(e.g. the server was ``kill -9``'d), resends the window verbatim.
+Epoch-addressed idempotency on the server turns re-delivered
+already-applied records into duplicate acks, so at-least-once delivery
+composes into effectively-exactly-once application.
+
+The synthetic workload is a pure function of ``(seed, tenant, epoch,
+machine)`` — :func:`synthetic_report` — so an interrupted run and an
+uninterrupted reference run offer the server byte-identical input, the
+precondition for the kill/recover bit-identity proof.  Crisis windows
+shift a metric group and raise SLA-violation flags on a deterministic
+subset of machines, driving the full detect → identify → end event
+sequence downstream.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving import wire
+from repro.serving.wire import MalformedFrame
+
+
+def synthetic_report(
+    seed: int,
+    tenant_idx: int,
+    epoch: int,
+    machine_idx: int,
+    n_metrics: int,
+    crisis_epochs: Sequence[int] = (),
+) -> dict:
+    """One machine's report, reproducible from its coordinates alone."""
+    rng = np.random.default_rng([seed, tenant_idx, epoch, machine_idx])
+    values = rng.normal(10.0, 2.0, size=n_metrics)
+    in_crisis = epoch in crisis_epochs
+    if in_crisis:
+        # Crises shift the leading metric group fleet-wide.
+        values[: max(1, n_metrics // 4)] += 25.0
+    # 30% of machines violate their SLA during a crisis — above the
+    # paper's 10%-of-machines detection rule.
+    violation = in_crisis and machine_idx % 10 < 3
+    return {
+        "op": "report",
+        "tenant": f"tenant-{tenant_idx}",
+        "machine": f"m{machine_idx:04d}",
+        "epoch": epoch,
+        "values": [float(v) for v in values],
+        "violation": bool(violation),
+    }
+
+
+def workload(
+    seed: int,
+    n_tenants: int,
+    n_machines: int,
+    n_epochs: int,
+    n_metrics: int,
+    crisis_epochs: Sequence[int] = (),
+) -> Iterator[dict]:
+    """The full request stream: reports then close, epoch by epoch."""
+    for epoch in range(n_epochs):
+        for t in range(n_tenants):
+            for m in range(n_machines):
+                yield synthetic_report(
+                    seed, t, epoch, m, n_metrics, crisis_epochs
+                )
+            yield {
+                "op": "close_epoch",
+                "tenant": f"tenant-{t}",
+                "epoch": epoch,
+            }
+
+
+class ServingClient:
+    """Pipelined JSON-lines client with resend-after-reconnect.
+
+    ``send`` enqueues a request into the pipeline; ``drain`` collects
+    acks.  Any frame without a terminal response when the connection
+    drops is resent on the next connect, in order.  Overload and
+    restarting sheds are retried after the server's ``retry_after``
+    hint (bounded by ``max_retries``).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        max_retries: int = 200,
+        reconnect_delay: float = 0.05,
+        reconnect_attempts: int = 100,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.reconnect_delay = reconnect_delay
+        self.reconnect_attempts = reconnect_attempts
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+        self.responses: List[dict] = []
+        self.events: List[dict] = []
+        self.retries = 0
+        self.overloads = 0
+        self.reconnects = 0
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> None:
+        last: Optional[Exception] = None
+        for _ in range(self.reconnect_attempts):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                sock.settimeout(self.timeout)
+                self._sock = sock
+                self._buffer = b""
+                return
+            except OSError as exc:
+                last = exc
+                time.sleep(self.reconnect_delay)
+        raise ConnectionError(
+            f"could not connect to {self.host}:{self.port}: {last}"
+        )
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServingClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _reconnect(self) -> None:
+        self.close()
+        self.reconnects += 1
+        self.connect()
+
+    # -- request/response --------------------------------------------------
+
+    def _read_response(self) -> dict:
+        while b"\n" not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return wire.decode_frame(line)
+
+    def request(self, obj: dict) -> dict:
+        """Send one request and wait for its terminal response.
+
+        Retries through overload/restarting sheds (honoring
+        ``retry_after``) and through connection drops (resending the
+        request — safe because requests are epoch-addressed).
+        """
+        frame = wire.encode_frame(obj)
+        for _ in range(self.max_retries):
+            try:
+                self._sock.sendall(frame)
+                resp = self._read_response()
+            except (OSError, ConnectionError, MalformedFrame):
+                self._reconnect()
+                continue
+            if not resp.get("ok") and resp.get("error") in (
+                "overloaded", "restarting"
+            ):
+                self.retries += 1
+                if resp["error"] == "overloaded":
+                    self.overloads += 1
+                time.sleep(min(float(resp.get("retry_after", 0.05)), 0.5))
+                continue
+            self.responses.append(resp)
+            self.events.extend(resp.get("events") or [])
+            return resp
+        raise TimeoutError(
+            f"request not acknowledged after {self.max_retries} retries"
+        )
+
+    def request_many(
+        self, objs: Sequence[dict], window: int = 64
+    ) -> List[dict]:
+        """Pipeline requests ``window`` at a time, collecting all acks.
+
+        The pipelined window is exactly the unacked set: if the
+        connection drops, the whole window is resent after reconnect.
+        Sheds within a window are retried individually.
+        """
+        out: List[dict] = []
+        pending = list(objs)
+        while pending:
+            chunk, pending = pending[:window], pending[window:]
+            unacked = list(chunk)
+            acked: List[dict] = []
+            attempts = 0
+            while unacked:
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise TimeoutError(
+                        f"{len(unacked)} requests unacked after "
+                        f"{self.max_retries} rounds"
+                    )
+                try:
+                    self._sock.sendall(
+                        b"".join(wire.encode_frame(o) for o in unacked)
+                    )
+                    round_resps = [
+                        self._read_response() for _ in unacked
+                    ]
+                except (OSError, ConnectionError, MalformedFrame):
+                    # Kill mid-window: reconnect and resend every frame
+                    # still lacking a terminal response.
+                    self._reconnect()
+                    continue
+                still_unacked: List[dict] = []
+                max_retry_after = 0.0
+                for obj, resp in zip(unacked, round_resps):
+                    if not resp.get("ok") and resp.get("error") in (
+                        "overloaded", "restarting"
+                    ):
+                        self.retries += 1
+                        if resp["error"] == "overloaded":
+                            self.overloads += 1
+                        still_unacked.append(obj)
+                        max_retry_after = max(
+                            max_retry_after,
+                            float(resp.get("retry_after", 0.05)),
+                        )
+                        continue
+                    acked.append(resp)
+                    self.responses.append(resp)
+                    self.events.extend(resp.get("events") or [])
+                unacked = still_unacked
+                if unacked:
+                    time.sleep(min(max_retry_after, 0.5))
+            out.extend(acked)
+        return out
+
+
+@dataclass
+class LoadResult:
+    """What one load-generation run observed."""
+
+    reports_sent: int = 0
+    acked: int = 0
+    duplicates: int = 0
+    rejected: int = 0
+    overloads: int = 0
+    reconnects: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, 99) * 1e3)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.mean(self.latencies_s) * 1e3)
+
+
+def run_load(
+    host: str,
+    port: int,
+    seed: int,
+    n_tenants: int,
+    n_machines: int,
+    n_epochs: int,
+    n_metrics: int,
+    crisis_epochs: Sequence[int] = (),
+    window: int = 64,
+    start_epoch: int = 0,
+) -> LoadResult:
+    """Drive the synthetic workload against a server, measuring ingest.
+
+    Latency is measured per pipelined window (wall time / window size),
+    which is what an agent batching its fleet's reports experiences.
+    """
+    result = LoadResult()
+    with ServingClient(host, port) as client:
+        for epoch in range(start_epoch, n_epochs):
+            for t in range(n_tenants):
+                batch = [
+                    synthetic_report(
+                        seed, t, epoch, m, n_metrics, crisis_epochs
+                    )
+                    for m in range(n_machines)
+                ]
+                batch.append({
+                    "op": "close_epoch",
+                    "tenant": f"tenant-{t}",
+                    "epoch": epoch,
+                })
+                start = time.perf_counter()
+                resps = client.request_many(batch, window=window)
+                elapsed = time.perf_counter() - start
+                result.reports_sent += n_machines
+                result.latencies_s.extend(
+                    [elapsed / len(batch)] * len(batch)
+                )
+                for resp in resps:
+                    if resp.get("ok"):
+                        if resp.get("status") == "duplicate":
+                            result.duplicates += 1
+                        else:
+                            result.acked += 1
+                    else:
+                        result.rejected += 1
+        result.overloads = client.overloads
+        result.reconnects = client.reconnects
+        result.events = list(client.events)
+    return result
+
+
+__all__ = [
+    "LoadResult",
+    "ServingClient",
+    "run_load",
+    "synthetic_report",
+    "workload",
+]

@@ -1,0 +1,333 @@
+"""Threaded TCP front door: admission control, batching, durability.
+
+One accept loop plus one thread per connection; per-tenant work is
+serialized by the supervisor lock, so tenant engines never see
+concurrent applies.  The receive loop drains *every* complete frame
+available on the socket before dispatching, which is where group commit
+comes from: a pipelined client's burst becomes one journal fsync per
+tenant per drain, not one per report.
+
+**Admission control.**  A global in-flight budget
+(``cfg.max_inflight``) bounds accepted-but-unapplied requests across
+all connections.  Beyond it the server answers
+``{"ok": false, "error": "overloaded", "retry_after": s}`` — an
+explicit shed, never a silent drop and never an unbounded queue.
+``peak_inflight`` records the high-water mark so tests can prove the
+bound was honored.
+
+**Slow-loris defense.**  A connection that leaves a partial frame
+unfinished for ``cfg.idle_timeout_s`` is dropped, as is any frame
+longer than ``cfg.max_frame_bytes``.
+
+**Fatality.**  A torn journal write
+(:class:`~repro.serving.journal.JournalTornWrite`) means the store can
+no longer be trusted to ack — the server stops accepting and shuts
+down; the on-disk state is exactly what a mid-write power cut leaves,
+and restart-time replay truncates the torn tail.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import ServingConfig
+from repro.serving import wire
+from repro.serving.journal import JournalTornWrite
+from repro.serving.supervisor import TenantSupervisor
+
+logger = logging.getLogger(__name__)
+
+#: How statuses from the tenant/supervisor layer map onto the wire.
+_OK_STATUSES = {"applied", "duplicate"}
+
+
+class IngestServer:
+    """The durable multi-tenant ingestion service."""
+
+    def __init__(
+        self,
+        cfg: ServingConfig,
+        root,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        journal_hook_factory: Optional[Callable[[str], Optional[Callable]]] = None,
+        fault_hook_factory: Optional[Callable[[str], Optional[Callable]]] = None,
+    ):
+        self.cfg = cfg
+        self.host = host
+        self.port = port
+        self.supervisor = TenantSupervisor(
+            cfg, root,
+            journal_hook_factory=journal_hook_factory,
+            fault_hook_factory=fault_hook_factory,
+        )
+        self._lock = threading.Lock()  # serializes supervisor access
+        self._admission = threading.Lock()  # guards in-flight counters
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.overload_responses = 0
+        self.malformed_frames = 0
+        self.slowloris_drops = 0
+        self.accepted_total = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self.fatal_error: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> int:
+        """Recover existing tenants, bind, and serve; returns the port."""
+        adopted = self.supervisor.adopt_existing()
+        if adopted:
+            logger.info("recovered tenants at startup: %s", adopted)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serving-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.port
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, addr),
+                name=f"serving-conn-{addr[1]}",
+                daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain, checkpoint tenants."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._conn_threads:
+            thread.join(timeout=2.0)
+        with self._lock:
+            if checkpoint and self.fatal_error is None:
+                self.supervisor.checkpoint_all()
+            self.supervisor.close()
+
+    def _fatal(self, message: str) -> None:
+        # The journal can no longer guarantee the ack contract: stop the
+        # world.  On-disk state is a valid crash image; restart recovers.
+        self.fatal_error = message
+        logger.critical("fatal serving error, shutting down: %s", message)
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    # -- connection handling ----------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        conn.settimeout(self.cfg.idle_timeout_s)
+        buffer = b""
+        try:
+            while not self._stopping.is_set():
+                try:
+                    chunk = conn.recv(65536)
+                except socket.timeout:
+                    if buffer:
+                        # Mid-frame stall: the slow-loris signature.
+                        self.slowloris_drops += 1
+                        logger.warning(
+                            "dropping slow-loris connection %s "
+                            "(%d bytes stalled mid-frame)",
+                            addr, len(buffer),
+                        )
+                        return
+                    continue
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                buffer += chunk
+                if b"\n" not in buffer:
+                    if len(buffer) > self.cfg.max_frame_bytes:
+                        conn.sendall(wire.encode_frame(
+                            wire.error_response("frame-too-long")
+                        ))
+                        return
+                    continue
+                *lines, buffer = buffer.split(b"\n")
+                responses = self._handle_lines(lines)
+                if responses:
+                    conn.sendall(b"".join(
+                        wire.encode_frame(r) for r in responses
+                    ))
+        except JournalTornWrite as exc:
+            self._fatal(str(exc))
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _admit(self, n: int) -> int:
+        """Reserve in-flight slots; returns how many were granted."""
+        with self._admission:
+            granted = max(0, min(n, self.cfg.max_inflight - self.inflight))
+            self.inflight += granted
+            self.peak_inflight = max(self.peak_inflight, self.inflight)
+        return granted
+
+    def _release(self, n: int) -> None:
+        with self._admission:
+            self.inflight -= n
+
+    def _handle_lines(self, lines: List[bytes]) -> List[dict]:
+        """Parse, admit, and dispatch one drained batch of frames.
+
+        Journaled verbs for the same tenant that sit adjacently in the
+        batch are dispatched together (one group commit); control verbs
+        are answered inline.  Response order matches frame order.
+        """
+        parsed: List[Tuple[Optional[dict], Optional[dict]]] = []
+        admitted = 0
+        for line in lines:
+            if not line.strip():
+                continue  # blank keep-alive lines are ignored
+            if len(line) > self.cfg.max_frame_bytes:
+                parsed.append((None, wire.error_response("frame-too-long")))
+                continue
+            try:
+                request = wire.parse_request(wire.decode_frame(line))
+            except wire.MalformedFrame as exc:
+                self.malformed_frames += 1
+                parsed.append(
+                    (None, wire.error_response("malformed", detail=str(exc)))
+                )
+                continue
+            if request["op"] in ("report", "close_epoch", "diagnose"):
+                if self._admit(1) == 0:
+                    self.overload_responses += 1
+                    parsed.append((None, wire.error_response(
+                        "overloaded", retry_after=0.05,
+                    )))
+                    continue
+                admitted += 1
+                self.accepted_total += 1
+                parsed.append((request, None))
+            else:
+                parsed.append((request, None))
+        responses: List[Optional[dict]] = [resp for _, resp in parsed]
+        try:
+            # Dispatch journaled verbs tenant-batch by tenant-batch,
+            # preserving order within the drained buffer.
+            i = 0
+            while i < len(parsed):
+                request, pre = parsed[i]
+                if request is None:
+                    i += 1
+                    continue
+                op = request["op"]
+                if op in ("ping", "stats", "state"):
+                    responses[i] = self._control(request)
+                    i += 1
+                    continue
+                tenant = request["tenant"]
+                j = i
+                batch: List[dict] = []
+                slots: List[int] = []
+                while j < len(parsed):
+                    req_j, _ = parsed[j]
+                    if (
+                        req_j is None
+                        or req_j.get("tenant") != tenant
+                        or req_j["op"] not in (
+                            "report", "close_epoch", "diagnose"
+                        )
+                    ):
+                        break
+                    batch.append(dict(req_j))
+                    slots.append(j)
+                    j += 1
+                with self._lock:
+                    results = self.supervisor.dispatch_batch(tenant, batch)
+                for slot_i, (status, payload) in zip(slots, results):
+                    responses[slot_i] = self._wire_response(status, payload)
+                i = j
+        finally:
+            self._release(admitted)
+        return [r for r in responses if r is not None]
+
+    def _wire_response(self, status: str, payload: dict) -> dict:
+        if status in _OK_STATUSES:
+            return wire.ok_response(
+                seq=payload.get("seq"),
+                events=payload.get("events", []),
+                status=status,
+            )
+        if status == "shed":
+            return wire.error_response(
+                "restarting",
+                retry_after=payload.get("retry_after", 0.1),
+                detail=payload.get("detail"),
+            )
+        if status == "quarantined":
+            return wire.error_response(
+                "quarantined", detail=payload.get("detail")
+            )
+        # bad-epoch / unknown-crisis: client-side errors.
+        return wire.error_response(status)
+
+    def _control(self, request: dict) -> dict:
+        op = request["op"]
+        if op == "ping":
+            return wire.ok_response(op="pong")
+        if op == "stats":
+            with self._lock:
+                tenants = self.supervisor.stats()
+            return wire.ok_response(
+                tenants=tenants,
+                inflight=self.inflight,
+                peak_inflight=self.peak_inflight,
+                overload_responses=self.overload_responses,
+                malformed_frames=self.malformed_frames,
+                slowloris_drops=self.slowloris_drops,
+                accepted_total=self.accepted_total,
+            )
+        # state: one tenant's recovery-relevant snapshot.
+        tenant = request["tenant"]
+        with self._lock:
+            slot = self.supervisor.slot(tenant)
+            if slot.runtime is None:
+                return wire.error_response(
+                    slot.state, detail=slot.last_error
+                )
+            return wire.ok_response(state=slot.runtime.state())
+
+
+__all__ = ["IngestServer"]

@@ -1,0 +1,325 @@
+"""One tenant's durable streaming engine.
+
+A :class:`TenantRuntime` owns everything the front door knows about one
+tenant: the write-ahead journal, the pending-epoch report buffer, the
+agent-health tracker, the :class:`~repro.core.streaming.StreamingCrisisMonitor`
+(one :class:`~repro.core.engine.EpochStateEngine` + per-slot
+:class:`~repro.index.FingerprintIndex` under the hood), and the
+checkpoint that ties them together.
+
+**Apply is replay.**  Every state change flows through
+:meth:`TenantRuntime.apply` on a journaled record — the live path and
+crash recovery execute the *same* code, which is how recovery is
+bit-identical: checkpoint restore rebuilds the monitor exactly
+(:mod:`repro.core.checkpoint`), the journal cursor (``applied_seq``)
+stored in the checkpoint's ``extra`` header says where to resume, and
+replaying the journal suffix re-derives precisely the state an
+uninterrupted run would hold.
+
+**Epoch-addressed idempotency.**  Records carry the epoch they belong
+to; a record for an already-closed epoch is a duplicate no-op (acked,
+never re-applied), a report for the current epoch overwrites by machine
+id.  A client may therefore resend everything unacked after a reconnect
+without corrupting state.
+
+**Checkpoint cadence.**  Every ``checkpoint_every_epochs`` closed
+epochs, the runtime snapshots the monitor atomically with the journal
+cursor, agent-health counters, and the cumulative event log in the
+header's ``extra`` — one file, one rename — then compacts the journal
+down to the unapplied suffix.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import (
+    FingerprintingConfig,
+    QuantileConfig,
+    ReliabilityConfig,
+    ServingConfig,
+    ThresholdConfig,
+)
+from repro.core import checkpoint as ckpt
+from repro.core.streaming import StreamingCrisisMonitor
+from repro.serving.journal import WriteAheadJournal
+from repro.serving.wire import event_to_wire
+from repro.telemetry.collector import EpochQuality
+from repro.telemetry.epochs import EpochClock
+from repro.telemetry.quantiles import summarize_epoch
+from repro.telemetry.reliability import AgentHealthTracker
+
+#: Apply statuses, also used as ack detail on the wire.
+APPLIED = "applied"
+DUPLICATE = "duplicate"
+BAD_EPOCH = "bad-epoch"
+UNKNOWN_CRISIS = "unknown-crisis"
+
+
+def monitor_config(cfg: ServingConfig) -> FingerprintingConfig:
+    """The method configuration a serving tenant runs under."""
+    return FingerprintingConfig(
+        quantiles=QuantileConfig(quantiles=tuple(cfg.quantiles)),
+        thresholds=ThresholdConfig(window_days=cfg.window_days),
+    )
+
+
+def _build_monitor(cfg: ServingConfig) -> StreamingCrisisMonitor:
+    return StreamingCrisisMonitor(
+        n_metrics=cfg.n_metrics,
+        relevant_metrics=list(range(cfg.n_relevant)),
+        config=monitor_config(cfg),
+        threshold_refresh_epochs=cfg.resolved_refresh_epochs(),
+        min_history_epochs=cfg.resolved_min_history(),
+        reliability=ReliabilityConfig(coverage_floor=cfg.coverage_floor),
+        clock=EpochClock(epoch_minutes=cfg.epoch_minutes),
+    )
+
+
+class TenantRuntime:
+    """Journal + engine + checkpoint for one tenant.
+
+    ``fault_hook``, when set, is called with every record at the top of
+    :meth:`apply` — the chaos seam for injected tenant crashes (and the
+    mechanism by which a *poison record* crash-loops: the record was
+    journaled before the crash, so recovery replays it and crashes
+    again, which is exactly what the supervisor's quarantine exists
+    for).
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        cfg: ServingConfig,
+        root,
+        journal_hook: Optional[Callable[[bytes], Optional[bytes]]] = None,
+        fault_hook: Optional[Callable[[dict], None]] = None,
+    ):
+        self.tenant = tenant
+        self.cfg = cfg
+        self.dir = pathlib.Path(root) / "tenants" / tenant
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.journal = WriteAheadJournal(
+            self.dir / "journal.wal", write_hook=journal_hook
+        )
+        self.checkpoint_path = self.dir / "checkpoint.npz"
+        self.fault_hook = fault_hook
+        self.monitor = _build_monitor(cfg)
+        self.health: Optional[AgentHealthTracker] = None
+        self.next_epoch = 0
+        self.applied_seq = 0
+        self.epochs_since_checkpoint = 0
+        self.event_log: List[dict] = []  # wire-encoded, cumulative
+        #: reports currently buffered for ``next_epoch``, by machine id
+        self.pending: Dict[str, Tuple[List[float], bool]] = {}
+
+    # -- record application (live path AND replay path) --------------------
+
+    def classify(self, record: dict) -> str:
+        """What :meth:`apply` would do with this record, without doing it.
+
+        The server consults this *before* journaling so duplicates and
+        out-of-order records are acked/nacked without a disk write.
+        """
+        kind = record["op"]
+        if kind in ("report", "close_epoch"):
+            epoch = record["epoch"]
+            if epoch < self.next_epoch:
+                return DUPLICATE
+            if epoch > self.next_epoch:
+                return BAD_EPOCH
+            return APPLIED
+        if kind == "diagnose":
+            numbers = {
+                s.number for s in self.monitor._library
+            }
+            return APPLIED if record["crisis"] in numbers else UNKNOWN_CRISIS
+        raise ValueError(f"unjournalable record kind {kind!r}")
+
+    def apply(self, record: dict) -> Tuple[str, List[dict]]:
+        """Apply one journaled record; returns ``(status, wire events)``."""
+        if self.fault_hook is not None:
+            self.fault_hook(record)
+        status = self.classify(record)
+        events: List[dict] = []
+        if status == APPLIED:
+            kind = record["op"]
+            if kind == "report":
+                self._apply_report(record)
+            elif kind == "close_epoch":
+                events = self._apply_close(record)
+            else:
+                self.monitor.diagnose(record["crisis"], record["label"])
+        seq = record.get("seq")
+        if seq is not None:
+            self.applied_seq = max(self.applied_seq, seq)
+        return status, events
+
+    def _apply_report(self, record: dict) -> None:
+        machine = record["machine"]
+        if self.health is None:
+            self.health = AgentHealthTracker([machine])
+        else:
+            self.health.add_agent(machine)
+        self.health.observe_report(machine, record["epoch"])
+        self.pending[machine] = (record["values"], record["violation"])
+
+    def _apply_close(self, record: dict) -> List[dict]:
+        epoch = record["epoch"]
+        nq = len(self.cfg.quantiles)
+        if self.pending:
+            samples = np.asarray(
+                [values for values, _ in self.pending.values()], dtype=float
+            )
+            summary = summarize_epoch(samples, self.cfg.quantiles)
+            violation = float(
+                np.mean([bool(v) for _, v in self.pending.values()])
+            )
+        else:
+            # A silent fleet still closes its epoch: a NaN summary fails
+            # the monitor's validation gate, so the epoch is quarantined
+            # rather than poisoning thresholds.
+            summary = np.full((self.cfg.n_metrics, nq), np.nan)
+            violation = 0.0
+        if self.health is not None:
+            self.health.close_epoch(epoch)
+            fleet = self.health.expected_fleet
+        else:
+            fleet = 0
+        quality = EpochQuality(
+            epoch=epoch,
+            n_reporting=len(self.pending),
+            fleet_size=fleet if fleet > 0 else None,
+            n_stale_agents=(
+                self.health.n_stale if self.health is not None else 0
+            ),
+            n_dead_agents=(
+                self.health.n_dead if self.health is not None else 0
+            ),
+            quorum_met=len(self.pending) > 0,
+        )
+        raw = self.monitor.ingest(summary, violation, quality)
+        wire_events = [event_to_wire(e) for e in raw]
+        self.event_log.extend(wire_events)
+        self.pending.clear()
+        self.next_epoch = epoch + 1
+        self.epochs_since_checkpoint += 1
+        if self.epochs_since_checkpoint >= self.cfg.checkpoint_every_epochs:
+            self.checkpoint()
+        return wire_events
+
+    # -- durability --------------------------------------------------------
+
+    def _health_state(self) -> Optional[dict]:
+        if self.health is None:
+            return None
+        return {
+            mid: {
+                "misses": state.consecutive_misses,
+                "last": state.last_report_epoch,
+                "trips": state.trips,
+            }
+            for mid, state in self.health._agents.items()
+        }
+
+    def checkpoint(self) -> None:
+        """Snapshot monitor + journal cursor atomically, then compact.
+
+        Called at epoch boundaries only, so the pending buffer is empty
+        and the checkpoint's ``extra`` stays a small JSON cursor.
+        A crash between the snapshot rename and the journal compaction
+        is safe: replay of already-applied records is a sequence of
+        duplicate no-ops.
+        """
+        extra = {
+            "applied_seq": self.applied_seq,
+            "next_epoch": self.next_epoch,
+            "health": self._health_state(),
+            "events": self.event_log,
+        }
+        ckpt.save_monitor(self.monitor, self.checkpoint_path, extra=extra)
+        self.journal.compact(self.applied_seq)
+        self.epochs_since_checkpoint = 0
+
+    @classmethod
+    def recover(
+        cls,
+        tenant: str,
+        cfg: ServingConfig,
+        root,
+        journal_hook: Optional[Callable[[bytes], Optional[bytes]]] = None,
+        fault_hook: Optional[Callable[[dict], None]] = None,
+    ) -> "TenantRuntime":
+        """Restore from checkpoint + journal; safe after ``kill -9``.
+
+        A corrupt checkpoint raises
+        :class:`~repro.core.checkpoint.CheckpointCorruptError` (typed,
+        never a raw ``KeyError``) — the supervisor surfaces it and
+        quarantines the tenant rather than crashing the service.
+        """
+        runtime = cls(
+            tenant, cfg, root,
+            journal_hook=journal_hook, fault_hook=fault_hook,
+        )
+        if runtime.checkpoint_path.exists():
+            runtime.monitor = ckpt.load_monitor(
+                runtime.checkpoint_path,
+                config=monitor_config(cfg),
+                reliability=ReliabilityConfig(
+                    coverage_floor=cfg.coverage_floor
+                ),
+            )
+            extra = ckpt.read_checkpoint_extra(runtime.checkpoint_path)
+            runtime.applied_seq = int(extra.get("applied_seq", 0))
+            runtime.next_epoch = int(extra.get("next_epoch", 0))
+            runtime.event_log = list(extra.get("events", []))
+            health = extra.get("health")
+            if health:
+                tracker = AgentHealthTracker(list(health))
+                for mid, state in health.items():
+                    agent = tracker._agents[mid]
+                    agent.consecutive_misses = int(state["misses"])
+                    agent.last_report_epoch = state["last"]
+                    agent.trips = int(state["trips"])
+                runtime.health = tracker
+        # A torn tail is the expected signature of a crash mid-append;
+        # everything past the last intact record was never acked.
+        runtime.journal.truncate_tail()
+        for record in runtime.journal.replay(after_seq=runtime.applied_seq):
+            runtime.apply(record)
+        return runtime
+
+    def state(self) -> dict:
+        """Wire-safe snapshot of recovery-relevant state (for tests/ops)."""
+        thresholds = self.monitor.thresholds
+        return {
+            "tenant": self.tenant,
+            "next_epoch": self.next_epoch,
+            "applied_seq": self.applied_seq,
+            "pending": sorted(self.pending),
+            "ready": self.monitor.ready,
+            "crises": self.monitor._crisis_counter,
+            "untrusted_epochs": self.monitor.untrusted_epochs,
+            "library_labels": list(self.monitor.library_labels),
+            "thresholds": None if thresholds is None else {
+                "cold": thresholds.cold.tolist(),
+                "hot": thresholds.hot.tolist(),
+            },
+            "events": list(self.event_log),
+        }
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+__all__ = [
+    "APPLIED",
+    "BAD_EPOCH",
+    "DUPLICATE",
+    "TenantRuntime",
+    "UNKNOWN_CRISIS",
+    "monitor_config",
+]

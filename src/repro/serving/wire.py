@@ -1,0 +1,265 @@
+"""JSON-lines wire format for the ingestion front door.
+
+One frame is one UTF-8 JSON object terminated by ``\\n``.  JSON is the
+transport deliberately: Python's ``repr``-based float serialization is
+shortest-round-trip, so a ``float64`` metric value survives
+encode → decode **bit-identically** — the property the kill/recover
+proof (``tests/test_serving_recovery.py``) rests on.
+
+Requests (``op`` selects the verb):
+
+``report``
+    ``{"op": "report", "tenant": t, "machine": m, "epoch": e,
+    "values": [...], "violation": bool}`` — one machine's metric vector
+    for epoch ``e``.  Reports are *epoch-addressed* so a client that
+    resends after a reconnect is safe: a report for an already-closed
+    epoch is acknowledged as a duplicate no-op, never applied twice.
+``close_epoch``
+    ``{"op": "close_epoch", "tenant": t, "epoch": e}`` — summarize the
+    pending reports for ``e`` and feed the streaming monitor.
+``diagnose``
+    ``{"op": "diagnose", "tenant": t, "crisis": n, "label": s}`` — the
+    operators' diagnosis for a past crisis.
+``ping`` / ``stats`` / ``state``
+    liveness, service-wide counters, and one tenant's full recovery
+    state (used by tests to prove bit-identity).
+
+Responses are ``{"ok": true, ...}`` (``seq`` carries the journal
+sequence number for journaled verbs; ``events`` carries monitor events)
+or ``{"ok": false, "error": code}`` with ``retry_after`` seconds on
+``overloaded`` / ``restarting`` shed responses.
+
+Anything that cannot be parsed into a valid request raises
+:class:`MalformedFrame` — a typed error the server answers with an
+``{"ok": false, "error": "malformed"}`` frame instead of crashing the
+connection, which is exactly what the chaos mode's corrupted frames
+exercise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.streaming import (
+    CrisisDetected,
+    CrisisEnded,
+    EpochUntrusted,
+    IdentificationUpdate,
+    MonitorEvent,
+)
+
+#: Request verbs understood by the server.
+OPS = ("report", "close_epoch", "diagnose", "ping", "stats", "state")
+
+
+class MalformedFrame(ValueError):
+    """The frame is not a valid request (bad JSON, wrong shape/types)."""
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one frame into a dict; typed error on garbage."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise MalformedFrame(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise MalformedFrame(
+            f"frame is a {type(obj).__name__}, not an object"
+        )
+    return obj
+
+
+def _require(obj: Dict[str, Any], key: str, kind, what: str):
+    if key not in obj:
+        raise MalformedFrame(f"{what} is missing {key!r}")
+    value = obj[key]
+    # bool is an int subclass; an epoch of ``true`` is still malformed.
+    if kind is int and isinstance(value, bool):
+        raise MalformedFrame(f"{what} field {key!r} must be an integer")
+    if not isinstance(value, kind):
+        raise MalformedFrame(
+            f"{what} field {key!r} must be {getattr(kind, '__name__', kind)}"
+        )
+    return value
+
+
+def _require_tenant(obj: Dict[str, Any], what: str) -> str:
+    tenant = _require(obj, "tenant", str, what)
+    if not tenant or "/" in tenant or tenant in (".", ".."):
+        # Tenant names become directory names; keep them path-safe.
+        raise MalformedFrame(f"invalid tenant name {tenant!r}")
+    return tenant
+
+
+def parse_request(obj: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a decoded frame into a canonical request dict.
+
+    Returns a fresh dict holding only the validated fields, so a frame
+    smuggling extra keys cannot reach the journal.
+    """
+    op = obj.get("op")
+    if op not in OPS:
+        raise MalformedFrame(f"unknown op {op!r}")
+    if op == "report":
+        tenant = _require_tenant(obj, "report")
+        machine = _require(obj, "machine", str, "report")
+        if not machine:
+            raise MalformedFrame("report machine must be non-empty")
+        epoch = _require(obj, "epoch", int, "report")
+        if epoch < 0:
+            raise MalformedFrame("report epoch must be non-negative")
+        values = _require(obj, "values", list, "report")
+        if not values:
+            raise MalformedFrame("report values must be non-empty")
+        for v in values:
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise MalformedFrame("report values must be numbers")
+        violation = _require(obj, "violation", bool, "report")
+        return {
+            "op": "report",
+            "tenant": tenant,
+            "machine": machine,
+            "epoch": epoch,
+            "values": [float(v) for v in values],
+            "violation": violation,
+        }
+    if op == "close_epoch":
+        tenant = _require_tenant(obj, "close_epoch")
+        epoch = _require(obj, "epoch", int, "close_epoch")
+        if epoch < 0:
+            raise MalformedFrame("close_epoch epoch must be non-negative")
+        return {"op": "close_epoch", "tenant": tenant, "epoch": epoch}
+    if op == "diagnose":
+        tenant = _require_tenant(obj, "diagnose")
+        crisis = _require(obj, "crisis", int, "diagnose")
+        label = _require(obj, "label", str, "diagnose")
+        if not label:
+            raise MalformedFrame("diagnose label must be non-empty")
+        return {
+            "op": "diagnose", "tenant": tenant,
+            "crisis": crisis, "label": label,
+        }
+    if op == "state":
+        return {"op": "state", "tenant": _require_tenant(obj, "state")}
+    return {"op": op}
+
+
+# ---------------------------------------------------------------------------
+# Monitor events on the wire
+# ---------------------------------------------------------------------------
+
+_EVENT_TYPES = {
+    "crisis_detected": CrisisDetected,
+    "crisis_ended": CrisisEnded,
+    "epoch_untrusted": EpochUntrusted,
+    "identification": IdentificationUpdate,
+}
+
+
+def event_to_wire(event: MonitorEvent) -> Dict[str, Any]:
+    """Serialize one monitor event to a JSON-safe dict."""
+    if isinstance(event, CrisisDetected):
+        return {
+            "type": "crisis_detected",
+            "epoch": event.epoch,
+            "crisis": event.crisis_number,
+        }
+    if isinstance(event, CrisisEnded):
+        return {
+            "type": "crisis_ended",
+            "epoch": event.epoch,
+            "crisis": event.crisis_number,
+            "duration": event.duration_epochs,
+        }
+    if isinstance(event, EpochUntrusted):
+        return {
+            "type": "epoch_untrusted",
+            "epoch": event.epoch,
+            "reasons": list(event.reasons),
+        }
+    if isinstance(event, IdentificationUpdate):
+        return {
+            "type": "identification",
+            "epoch": event.epoch,
+            "crisis": event.crisis_number,
+            "slot": event.identification_epoch,
+            "label": event.label,
+            # repr round-trip: the float64 distance survives bitwise.
+            "distance": event.distance,
+        }
+    raise TypeError(f"unknown monitor event {type(event).__name__}")
+
+
+def event_from_wire(obj: Dict[str, Any]) -> MonitorEvent:
+    """Rebuild the frozen event dataclass from its wire dict."""
+    kind = obj.get("type")
+    if kind == "crisis_detected":
+        return CrisisDetected(epoch=obj["epoch"], crisis_number=obj["crisis"])
+    if kind == "crisis_ended":
+        return CrisisEnded(
+            epoch=obj["epoch"],
+            crisis_number=obj["crisis"],
+            duration_epochs=obj["duration"],
+        )
+    if kind == "epoch_untrusted":
+        return EpochUntrusted(
+            epoch=obj["epoch"], reasons=tuple(obj["reasons"])
+        )
+    if kind == "identification":
+        distance = obj["distance"]
+        return IdentificationUpdate(
+            epoch=obj["epoch"],
+            crisis_number=obj["crisis"],
+            identification_epoch=obj["slot"],
+            label=obj["label"],
+            distance=None if distance is None else float(distance),
+        )
+    raise MalformedFrame(f"unknown event type {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Response builders
+# ---------------------------------------------------------------------------
+
+
+def ok_response(
+    seq: Optional[int] = None,
+    events: Optional[List[Dict[str, Any]]] = None,
+    **fields: Any,
+) -> Dict[str, Any]:
+    resp: Dict[str, Any] = {"ok": True}
+    if seq is not None:
+        resp["seq"] = seq
+    if events is not None:
+        resp["events"] = events
+    resp.update(fields)
+    return resp
+
+
+def error_response(
+    code: str, retry_after: Optional[float] = None, **fields: Any
+) -> Dict[str, Any]:
+    resp: Dict[str, Any] = {"ok": False, "error": code}
+    if retry_after is not None:
+        resp["retry_after"] = retry_after
+    resp.update(fields)
+    return resp
+
+
+__all__ = [
+    "MalformedFrame",
+    "OPS",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "event_from_wire",
+    "event_to_wire",
+    "ok_response",
+    "parse_request",
+]

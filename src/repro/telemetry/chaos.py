@@ -297,13 +297,163 @@ class ShardChaosInjector:
         return events
 
 
+@dataclass(frozen=True)
+class ServingChaosConfig:
+    """Fault probabilities for the ingestion front door (:mod:`repro.serving`).
+
+    Four serving-specific failure modes, each independently seeded off the
+    shared ``seed`` so schedules replay exactly:
+
+    * ``malformed_frame`` — the load generator corrupts a wire frame
+      (truncated JSON, binary garbage, wrong types) before sending it;
+    * ``slow_loris`` — a client opens a connection, sends a partial frame,
+      and stalls, holding the socket until the server's idle timeout;
+    * ``disk_full`` — a journal append fails with ``ENOSPC`` before any
+      byte is written (the ack must not happen, the journal must stay
+      consistent);
+    * ``torn_write`` — a journal append is cut short mid-record and the
+      process dies (the classic pulled-plug tail; replay must stop at the
+      last intact record);
+    * ``tenant_crash`` — the tenant engine raises mid-apply (exercises
+      the supervisor's restart/backoff/quarantine path).
+    """
+
+    malformed_frame: float = 0.0
+    slow_loris: float = 0.0
+    disk_full: float = 0.0
+    torn_write: float = 0.0
+    tenant_crash: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("malformed_frame", "slow_loris", "disk_full",
+                     "torn_write", "tenant_crash"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+
+class InjectedTenantCrash(RuntimeError):
+    """A chaos-injected tenant-engine crash (not a real bug)."""
+
+
+class ServingChaosInjector:
+    """Deterministic serving-path fault schedule.
+
+    Every decision is a pure function of ``(seed, fault kind, event
+    index)`` — :meth:`fires` with the same arguments always answers the
+    same — so a load generator and the assertions checking its damage
+    reconstruct identical schedules without sharing state, the same
+    contract as :class:`ShardChaosInjector`.  Per-kind counters are kept
+    for the common sequential case (:meth:`next_index`), and injected
+    faults are logged in :attr:`events` with the event index in the
+    ``machine`` slot.
+    """
+
+    #: Corruption styles cycled through by :meth:`corrupt_frame`.
+    _CORRUPTIONS = ("truncate", "binary", "not-json", "wrong-type",
+                    "empty", "huge")
+
+    def __init__(self, config: ServingChaosConfig):
+        self.config = config
+        self.events: List[ChaosEvent] = []
+        self._counters: Dict[str, int] = {}
+
+    def next_index(self, kind: str) -> int:
+        """The next sequential event index for one fault kind."""
+        n = self._counters.get(kind, 0)
+        self._counters[kind] = n + 1
+        return n
+
+    def _rng(self, kind: str, index: int) -> np.random.Generator:
+        kinds = ("malformed_frame", "slow_loris", "disk_full",
+                 "torn_write", "tenant_crash")
+        return np.random.default_rng(
+            [self.config.seed, kinds.index(kind), index]
+        )
+
+    def fires(self, kind: str, index: int) -> bool:
+        """Does fault ``kind`` fire at event ``index``?  Pure function."""
+        p = getattr(self.config, kind)
+        if p == 0.0:
+            return False
+        fired = bool(self._rng(kind, index).random() < p)
+        if fired:
+            self.events.append(ChaosEvent(0, index, kind))
+        return fired
+
+    def corrupt_frame(self, frame: bytes, index: int) -> bytes:
+        """Deterministically damage one wire frame.
+
+        The corruption style cycles with the event index so a sweep hits
+        truncated JSON, binary garbage, non-object JSON, wrong field
+        types, empty lines, and oversized frames.
+        """
+        style = self._CORRUPTIONS[index % len(self._CORRUPTIONS)]
+        rng = self._rng("malformed_frame", index)
+        body = frame.rstrip(b"\n")
+        if style == "truncate":
+            cut = max(1, int(rng.integers(1, max(len(body), 2))))
+            damaged = body[:cut]
+        elif style == "binary":
+            damaged = bytes(rng.integers(128, 256, size=32, dtype=np.uint8))
+        elif style == "not-json":
+            damaged = b"[1, 2, 3]"
+        elif style == "wrong-type":
+            damaged = b'{"op": 42, "tenant": null}'
+        elif style == "empty":
+            damaged = b""
+        else:  # huge
+            damaged = b'{"op": "' + b"x" * 4096 + b'"}'
+        return damaged + b"\n"
+
+    def journal_hook(self, tenant: str):
+        """A ``write_hook`` for :class:`repro.serving.journal.WriteAheadJournal`.
+
+        Raises ``OSError(ENOSPC)`` on disk-full events and returns a
+        truncated byte prefix on torn-write events (the journal writes
+        exactly those bytes, then surfaces a torn-write error — the
+        in-process stand-in for dying mid-``write``).
+        """
+        import errno
+
+        def hook(frame: bytes):
+            i = self.next_index("disk_full")
+            if self.fires("disk_full", i):
+                raise OSError(errno.ENOSPC, f"chaos: disk full ({tenant})")
+            j = self.next_index("torn_write")
+            if self.fires("torn_write", j):
+                rng = self._rng("torn_write", j)
+                cut = int(rng.integers(1, max(len(frame), 2)))
+                return frame[:cut]
+            return None
+
+        return hook
+
+    def tenant_fault_hook(self, tenant: str):
+        """A per-record fault hook raising :class:`InjectedTenantCrash`."""
+
+        def hook(record: dict) -> None:
+            i = self.next_index("tenant_crash")
+            if self.fires("tenant_crash", i):
+                raise InjectedTenantCrash(
+                    f"chaos: injected crash in tenant {tenant!r} "
+                    f"(event {i})"
+                )
+
+        return hook
+
+
 __all__ = [
     "ChaosConfig",
     "ChaosEvent",
     "ChaosInjector",
+    "InjectedTenantCrash",
     "SHARD_KILL",
     "SHARD_OK",
     "SHARD_STRAGGLE",
+    "ServingChaosConfig",
+    "ServingChaosInjector",
     "ShardChaosConfig",
     "ShardChaosInjector",
 ]

@@ -68,8 +68,9 @@ class RetryPolicy:
     attempt, capped at ``max_delay``; each delay is then jittered
     uniformly in ``[1 - jitter, 1 + jitter]`` so a fleet of agents
     retrying after a shared outage does not thundering-herd the
-    aggregator.  All randomness comes from the caller's generator, so a
-    seeded generator gives a reproducible delay sequence.
+    aggregator.  All randomness comes from the caller's generator — or,
+    when ``seed`` is set, from the policy's own seeded generator — so
+    tests and chaos replays reproduce the exact delay sequence.
     """
 
     max_attempts: int = 5
@@ -77,6 +78,12 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 30.0
     jitter: float = 0.1
+    #: When set, jitter draws come from a per-policy generator seeded
+    #: here whenever the caller passes no ``rng`` — the serving
+    #: supervisor and chaos tests use this for reproducible schedules.
+    #: ``None`` (the default) keeps the historical behavior: no ``rng``
+    #: means no jitter.
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -88,6 +95,16 @@ class RetryPolicy:
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must lie in [0, 1)")
 
+    def _seeded_rng(self) -> Optional[np.random.Generator]:
+        """The policy's own jitter generator (lazy; frozen-safe)."""
+        if self.seed is None:
+            return None
+        rng = self.__dict__.get("_rng")
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
+            object.__setattr__(self, "_rng", rng)
+        return rng
+
     def backoff(self, attempt: int,
                 rng: Optional[np.random.Generator] = None) -> float:
         """Delay before retry number ``attempt`` (0-based)."""
@@ -95,6 +112,8 @@ class RetryPolicy:
             raise ValueError("attempt must be non-negative")
         delay = min(self.base_delay * self.multiplier ** attempt,
                     self.max_delay)
+        if rng is None:
+            rng = self._seeded_rng()
         if self.jitter and rng is not None:
             delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
         return float(delay)
@@ -163,6 +182,16 @@ class AgentHealthTracker:
 
     def __contains__(self, machine_id: str) -> bool:
         return machine_id in self._agents
+
+    def add_agent(self, machine_id: str) -> None:
+        """Admit a machine discovered after construction (idempotent).
+
+        The serving tier learns a tenant's fleet from the reports
+        themselves, so machines join the expected fleet on first
+        contact instead of being declared up front.
+        """
+        if machine_id not in self._agents:
+            self._agents[machine_id] = _AgentState()
 
     def observe_report(self, machine_id: str, epoch: int) -> None:
         """An agent delivered its report for the current epoch."""

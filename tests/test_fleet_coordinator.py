@@ -141,3 +141,50 @@ class TestMonitorIntegration:
         untrusted = [e for e in events if isinstance(e, EpochUntrusted)]
         assert len(untrusted) == 1
         assert "quorum-failed" in untrusted[0].reasons
+
+
+def _stubborn_worker(ready):
+    """A worker that installs SIG_IGN for SIGTERM and spins forever."""
+    import signal
+    import time
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    ready.set()
+    while True:
+        time.sleep(0.05)
+
+
+class TestShutdownEscalation:
+    def test_clean_shutdown_needs_no_force_kill(self):
+        fleet = make_fleet()
+        fleet.shutdown()
+        assert fleet.force_killed_shards == []
+        assert all(not w.process.is_alive() for w in fleet._workers)
+
+    def test_hung_worker_is_reaped_and_recorded(self, caplog):
+        import logging
+
+        fleet = make_fleet()
+        # Swap shard 1's real worker for one that ignores SIGTERM and
+        # never reads its queue — the worst-case hung process.
+        victim = fleet._workers[1]
+        victim.process.kill()
+        victim.process.join()
+        ready = fleet._ctx.Event()
+        stub = fleet._ctx.Process(
+            target=_stubborn_worker, args=(ready,), daemon=True
+        )
+        stub.start()
+        assert ready.wait(timeout=10), "stub never installed its handler"
+        victim.process = stub
+        with caplog.at_level(
+            logging.WARNING, logger="repro.fleet.coordinator"
+        ):
+            fleet.shutdown(join_timeout_s=0.3)
+        # The escalation ladder reached SIGKILL: the process is dead,
+        # the shard is recorded, and the operator got a log line.
+        assert not stub.is_alive()
+        assert fleet.force_killed_shards == [1]
+        assert any("force-killed" in r.message for r in caplog.records)
+        # No other worker leaked either.
+        assert all(not w.process.is_alive() for w in fleet._workers)

@@ -1,0 +1,186 @@
+"""The kill/recover proof: SIGKILL mid-epoch, bit-identical resumption.
+
+Acceptance criterion of the durable front door: a ``kill -9`` of the
+serving process mid-epoch loses no acked report, and after restart +
+journal replay the tenant's thresholds and full event history are
+**bit-identical** (``assert_array_equal``, event for event) to a server
+that was never killed, fed the byte-identical workload.
+
+The servers run as real subprocesses of the ``repro serve`` CLI so the
+kill is a true SIGKILL — no atexit handlers, no flush-on-close mercy.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving.loadgen import ServingClient, run_load
+
+TENANTS = ("tenant-0", "tenant-1")
+SERVE_ARGS = [
+    "--metrics", "6", "--relevant", "3", "--epoch-minutes", "144",
+    "--window-days", "2", "--refresh-epochs", "5",
+    "--min-history-epochs", "8", "--checkpoint-every", "4",
+    "--seed", "7",
+]
+LOAD = dict(
+    seed=42, n_tenants=len(TENANTS), n_machines=20, n_epochs=18,
+    n_metrics=6, crisis_epochs=(12, 13, 14),
+)
+
+
+def start_server(root):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ["src", env.get("PYTHONPATH", "")] if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--root", str(root)]
+        + SERVE_ARGS,
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        env=env, text=True,
+    )
+    line = proc.stdout.readline().strip()
+    tag, host, port = line.split()
+    assert tag == "SERVING"
+    return proc, host, int(port)
+
+
+def tenant_states(host, port):
+    states = {}
+    with ServingClient(host, port) as client:
+        for tenant in TENANTS:
+            states[tenant] = client.request(
+                {"op": "state", "tenant": tenant}
+            )["state"]
+    return states
+
+
+@pytest.fixture(scope="module")
+def reference_states(tmp_path_factory):
+    """The uninterrupted run every kill scenario must match exactly."""
+    root = tmp_path_factory.mktemp("serving-ref")
+    proc, host, port = start_server(root)
+    try:
+        result = run_load(host, port, **LOAD)
+        assert result.rejected == 0
+        states = tenant_states(host, port)
+    finally:
+        proc.kill()
+        proc.wait()
+    # Sanity: the workload exercised the full crisis machinery.
+    kinds = {e["type"] for t in states for e in states[t]["events"]}
+    assert {"crisis_detected", "identification", "crisis_ended"} <= kinds
+    assert all(states[t]["thresholds"] is not None for t in TENANTS)
+    return states
+
+
+def assert_bit_identical(got, ref):
+    for tenant in TENANTS:
+        a, b = got[tenant], ref[tenant]
+        # Event for event: same types, same epochs, same labels, same
+        # float64 distances, in the same order.
+        assert a["events"] == b["events"], (
+            f"{tenant}: event history diverged after recovery"
+        )
+        assert a["next_epoch"] == b["next_epoch"]
+        assert a["library_labels"] == b["library_labels"]
+        assert a["untrusted_epochs"] == b["untrusted_epochs"]
+        np.testing.assert_array_equal(
+            np.asarray(a["thresholds"]["cold"]),
+            np.asarray(b["thresholds"]["cold"]),
+        )
+        np.testing.assert_array_equal(
+            np.asarray(a["thresholds"]["hot"]),
+            np.asarray(b["thresholds"]["hot"]),
+        )
+
+
+class TestKillRecover:
+    @pytest.mark.parametrize("kill_epoch", [6, 13])
+    def test_sigkill_mid_epoch_recovers_bit_identically(
+        self, tmp_path, reference_states, kill_epoch
+    ):
+        """SIGKILL mid-run (once pre-crisis, once mid-crisis)."""
+        proc, host, port = start_server(tmp_path)
+        killed = {"done": False}
+
+        # Feed epochs until the kill point, then SIGKILL mid-epoch:
+        # half of kill_epoch's reports are acked, the rest in flight.
+        run_load(host, port, **{**LOAD, "n_epochs": kill_epoch})
+        with ServingClient(host, port) as client:
+            from repro.serving.loadgen import synthetic_report
+            for t in range(LOAD["n_tenants"]):
+                for m in range(LOAD["n_machines"] // 2):
+                    client.request(synthetic_report(
+                        LOAD["seed"], t, kill_epoch, m,
+                        LOAD["n_metrics"], LOAD["crisis_epochs"],
+                    ))
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+        killed["done"] = True
+
+        # Restart on the same state directory; replay the journal.
+        proc2, host2, port2 = start_server(tmp_path)
+        try:
+            # The client simply re-offers everything from the kill
+            # epoch on; epoch-addressed idempotency absorbs resends of
+            # already-acked reports as duplicates.
+            result = run_load(
+                host2, port2, start_epoch=kill_epoch, **LOAD
+            )
+            assert result.rejected == 0
+            # The half-epoch of pre-kill acked reports was re-offered;
+            # every resend was absorbed (idempotent overwrite into the
+            # still-open epoch, or duplicate ack if already closed).
+            assert result.acked + result.duplicates == (
+                (LOAD["n_epochs"] - kill_epoch)
+                * LOAD["n_tenants"] * (LOAD["n_machines"] + 1)
+            )
+            got = tenant_states(host2, port2)
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=15) == 0
+        assert_bit_identical(got, reference_states)
+
+    def test_kill_between_epochs_loses_nothing(
+        self, tmp_path, reference_states
+    ):
+        """SIGKILL at an epoch boundary (clean journal, no torn tail)."""
+        proc, host, port = start_server(tmp_path)
+        run_load(host, port, **{**LOAD, "n_epochs": 10})
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+        proc2, host2, port2 = start_server(tmp_path)
+        try:
+            run_load(host2, port2, start_epoch=10, **LOAD)
+            got = tenant_states(host2, port2)
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            proc2.wait(timeout=15)
+        assert_bit_identical(got, reference_states)
+
+    def test_double_kill_still_converges(self, tmp_path, reference_states):
+        """Two SIGKILLs in one run: recovery composes."""
+        proc, host, port = start_server(tmp_path)
+        run_load(host, port, **{**LOAD, "n_epochs": 5})
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+        proc, host, port = start_server(tmp_path)
+        run_load(host, port, start_epoch=5, **{**LOAD, "n_epochs": 13})
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+        proc, host, port = start_server(tmp_path)
+        try:
+            run_load(host, port, start_epoch=13, **LOAD)
+            got = tenant_states(host, port)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=15)
+        assert_bit_identical(got, reference_states)

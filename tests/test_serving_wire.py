@@ -1,0 +1,129 @@
+"""Wire-format round-trips and typed rejection of malformed frames."""
+
+import pytest
+
+from repro.core.streaming import (
+    CrisisDetected,
+    CrisisEnded,
+    EpochUntrusted,
+    IdentificationUpdate,
+)
+from repro.serving.wire import (
+    MalformedFrame,
+    decode_frame,
+    encode_frame,
+    event_from_wire,
+    event_to_wire,
+    parse_request,
+)
+
+
+def roundtrip(obj):
+    return parse_request(decode_frame(encode_frame(obj)))
+
+
+class TestRequestRoundtrip:
+    def test_report(self):
+        req = roundtrip({
+            "op": "report", "tenant": "t", "machine": "m1",
+            "epoch": 3, "values": [1.5, 2.0], "violation": True,
+        })
+        assert req == {
+            "op": "report", "tenant": "t", "machine": "m1",
+            "epoch": 3, "values": [1.5, 2.0], "violation": True,
+        }
+
+    def test_float_values_survive_bitwise(self):
+        # JSON uses repr (shortest round-trip): float64 is preserved
+        # exactly, the foundation of the recovery bit-identity proof.
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        values = [float(v) for v in rng.normal(size=64) * 1e17]
+        req = roundtrip({
+            "op": "report", "tenant": "t", "machine": "m",
+            "epoch": 0, "values": values, "violation": False,
+        })
+        assert all(a == b for a, b in zip(req["values"], values))
+
+    def test_close_epoch_and_diagnose(self):
+        assert roundtrip(
+            {"op": "close_epoch", "tenant": "t", "epoch": 0}
+        )["op"] == "close_epoch"
+        assert roundtrip({
+            "op": "diagnose", "tenant": "t", "crisis": 1, "label": "db",
+        })["label"] == "db"
+
+    def test_extra_keys_are_stripped(self):
+        req = roundtrip({
+            "op": "close_epoch", "tenant": "t", "epoch": 0,
+            "__smuggled": "x",
+        })
+        assert "__smuggled" not in req
+
+
+class TestMalformed:
+    @pytest.mark.parametrize("line", [
+        b"not json at all",
+        b"[1, 2, 3]",
+        b'"a string"',
+        b"\xff\xfe\x00garbage",
+        b"{trailing",
+    ])
+    def test_garbage_lines(self, line):
+        with pytest.raises(MalformedFrame):
+            parse_request(decode_frame(line))
+
+    @pytest.mark.parametrize("obj", [
+        {"op": "nope"},
+        {"op": 42},
+        {},
+        {"op": "report", "tenant": "t"},  # missing fields
+        {"op": "report", "tenant": "t", "machine": "m", "epoch": -1,
+         "values": [1.0], "violation": False},
+        {"op": "report", "tenant": "t", "machine": "m", "epoch": True,
+         "values": [1.0], "violation": False},  # bool is not an epoch
+        {"op": "report", "tenant": "t", "machine": "m", "epoch": 0,
+         "values": [], "violation": False},
+        {"op": "report", "tenant": "t", "machine": "m", "epoch": 0,
+         "values": [1.0, "x"], "violation": False},
+        {"op": "report", "tenant": "t", "machine": "m", "epoch": 0,
+         "values": [1.0, True], "violation": False},
+        {"op": "report", "tenant": "t", "machine": "", "epoch": 0,
+         "values": [1.0], "violation": False},
+        {"op": "report", "tenant": "a/b", "machine": "m", "epoch": 0,
+         "values": [1.0], "violation": False},  # path-unsafe tenant
+        {"op": "report", "tenant": "..", "machine": "m", "epoch": 0,
+         "values": [1.0], "violation": False},
+        {"op": "close_epoch", "tenant": "t"},
+        {"op": "diagnose", "tenant": "t", "crisis": 1, "label": ""},
+        {"op": "state"},
+    ])
+    def test_invalid_requests(self, obj):
+        with pytest.raises(MalformedFrame):
+            parse_request(obj)
+
+
+class TestEventRoundtrip:
+    @pytest.mark.parametrize("event", [
+        CrisisDetected(epoch=4, crisis_number=2),
+        CrisisEnded(epoch=9, crisis_number=2, duration_epochs=5),
+        EpochUntrusted(epoch=3, reasons=("quorum-failed", "low-coverage")),
+        IdentificationUpdate(
+            epoch=5, crisis_number=2, identification_epoch=1,
+            label="overload", distance=0.12345678901234567,
+        ),
+        IdentificationUpdate(
+            epoch=5, crisis_number=2, identification_epoch=0,
+            label="unknown crisis", distance=None,
+        ),
+    ])
+    def test_roundtrip_is_identity(self, event):
+        wire_obj = event_to_wire(event)
+        # ... and through actual JSON bytes, as the server sends it.
+        decoded = decode_frame(encode_frame(wire_obj))
+        assert event_from_wire(decoded) == event
+
+    def test_unknown_event_type_is_typed(self):
+        with pytest.raises(MalformedFrame):
+            event_from_wire({"type": "mystery"})

@@ -5,7 +5,14 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.telemetry.chaos import ChaosConfig, ChaosEvent, ChaosInjector
+from repro.telemetry.chaos import (
+    ChaosConfig,
+    ChaosEvent,
+    ChaosInjector,
+    InjectedTenantCrash,
+    ServingChaosConfig,
+    ServingChaosInjector,
+)
 
 N_MACHINES, N_METRICS = 12, 6
 
@@ -140,3 +147,94 @@ class TestValidation:
 
     def test_event_is_value_object(self):
         assert ChaosEvent(0, 1, "dropout") == ChaosEvent(0, 1, "dropout")
+
+
+class TestServingChaos:
+    """The serving-path injector: pure-function schedules, typed faults."""
+
+    def test_fires_is_a_pure_function_of_seed_kind_index(self):
+        cfg = ServingChaosConfig(tenant_crash=0.5, disk_full=0.5, seed=5)
+        a, b = ServingChaosInjector(cfg), ServingChaosInjector(cfg)
+        forward = [a.fires("tenant_crash", i) for i in range(64)]
+        # Query b in reverse order: state-free, same answers.
+        backward = [b.fires("tenant_crash", i) for i in reversed(range(64))]
+        assert forward == list(reversed(backward))
+        assert any(forward) and not all(forward)
+        # Kinds are independently seeded: same indices, different draws.
+        assert forward != [a.fires("disk_full", i) for i in range(64)]
+
+    def test_seed_changes_the_schedule(self):
+        fire = lambda seed: [
+            ServingChaosInjector(
+                ServingChaosConfig(slow_loris=0.5, seed=seed)
+            ).fires("slow_loris", i)
+            for i in range(64)
+        ]
+        assert fire(0) != fire(1)
+
+    def test_fired_events_are_logged(self):
+        chaos = ServingChaosInjector(
+            ServingChaosConfig(malformed_frame=0.5, seed=2)
+        )
+        hits = sum(chaos.fires("malformed_frame", i) for i in range(40))
+        assert hits == len(chaos.events)
+        assert all(e.kind == "malformed_frame" for e in chaos.events)
+
+    def test_next_index_counts_per_kind(self):
+        chaos = ServingChaosInjector(ServingChaosConfig())
+        assert [chaos.next_index("disk_full") for _ in range(3)] == [0, 1, 2]
+        assert chaos.next_index("torn_write") == 0
+
+    def test_corrupt_frame_is_deterministic_and_varied(self):
+        cfg = ServingChaosConfig(malformed_frame=1.0, seed=3)
+        frame = b'{"op": "ping"}\n'
+        a = [ServingChaosInjector(cfg).corrupt_frame(frame, i)
+             for i in range(12)]
+        b = [ServingChaosInjector(cfg).corrupt_frame(frame, i)
+             for i in range(12)]
+        assert a == b
+        assert all(f.endswith(b"\n") for f in a)
+        # The style cycle actually produces distinct damage shapes.
+        assert len(set(a)) >= 5
+        assert b"[1, 2, 3]\n" in a          # not-json
+        assert b"\n" in a                   # empty line
+
+    def test_journal_hook_disk_full_is_enospc(self):
+        import errno
+
+        chaos = ServingChaosInjector(
+            ServingChaosConfig(disk_full=1.0, seed=1)
+        )
+        hook = chaos.journal_hook("t")
+        with pytest.raises(OSError) as err:
+            hook(b"frame-bytes")
+        assert err.value.errno == errno.ENOSPC
+
+    def test_journal_hook_torn_write_returns_proper_prefix(self):
+        chaos = ServingChaosInjector(
+            ServingChaosConfig(torn_write=1.0, seed=1)
+        )
+        hook = chaos.journal_hook("t")
+        frame = b"x" * 100
+        torn = hook(frame)
+        assert torn == frame[: len(torn)]
+        assert 0 < len(torn) < len(frame)
+
+    def test_tenant_fault_hook_raises_typed_crash(self):
+        chaos = ServingChaosInjector(
+            ServingChaosConfig(tenant_crash=1.0, seed=1)
+        )
+        hook = chaos.tenant_fault_hook("bad")
+        with pytest.raises(InjectedTenantCrash, match="bad"):
+            hook({"op": "report"})
+
+    def test_zero_probability_never_fires(self):
+        chaos = ServingChaosInjector(ServingChaosConfig(seed=9))
+        assert not any(chaos.fires("torn_write", i) for i in range(100))
+        assert chaos.events == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingChaosConfig(disk_full=1.5)
+        with pytest.raises(ValueError):
+            ServingChaosConfig(malformed_frame=-0.1)

@@ -129,3 +129,40 @@ class TestAgentHealthTracker:
             AgentHealthTracker(["a"], dead_after=0)
         with pytest.raises(ValueError):
             AgentHealthTracker(["a"], dead_after=2, stale_after=3)
+
+
+class TestRetryPolicySeededJitter:
+    """The injectable jitter seed (serving supervisor reproducibility)."""
+
+    def test_default_policy_is_unchanged_without_rng(self):
+        # Historical contract: no seed and no caller rng means no jitter
+        # at all — deterministic geometric delays.
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=30.0)
+        assert [policy.backoff(k) for k in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_seeded_policies_replay_the_same_schedule(self):
+        def schedule():
+            policy = RetryPolicy(base_delay=1.0, jitter=0.2, seed=99)
+            return [policy.backoff(k) for k in range(6)]
+
+        first, second = schedule(), schedule()
+        assert first == second
+        # And the jitter is real: the schedule is not the bare geometry.
+        bare = RetryPolicy(base_delay=1.0, jitter=0.0)
+        assert first != [bare.backoff(k) for k in range(6)]
+        # Jitter stays inside the contract band around each bare delay.
+        for got, k in zip(first, range(6)):
+            center = bare.backoff(k)
+            assert 0.8 * center <= got <= 1.2 * center
+
+    def test_different_seeds_diverge(self):
+        a = RetryPolicy(base_delay=1.0, jitter=0.2, seed=1)
+        b = RetryPolicy(base_delay=1.0, jitter=0.2, seed=2)
+        assert [a.backoff(k) for k in range(6)] != \
+            [b.backoff(k) for k in range(6)]
+
+    def test_caller_rng_takes_precedence_over_seed(self):
+        seeded = RetryPolicy(base_delay=1.0, jitter=0.2, seed=7)
+        unseeded = RetryPolicy(base_delay=1.0, jitter=0.2)
+        assert seeded.backoff(0, rng=np.random.default_rng(0)) == \
+            unseeded.backoff(0, rng=np.random.default_rng(0))
