@@ -302,6 +302,10 @@ class ServingConfig:
     coverage_floor: float = 0.5
     # --- durability ---
     checkpoint_every_epochs: int = 4
+    #: Crisis events retained in memory (and in each checkpoint /
+    #: ``state`` response).  Older events age out of the ring so a
+    #: long-running daemon's checkpoints stay bounded.
+    event_log_retain: int = 4096
     # --- admission control ---
     max_inflight: int = 1024
     max_frame_bytes: int = 1 << 20
@@ -331,6 +335,8 @@ class ServingConfig:
             raise ValueError("coverage_floor must lie in [0, 1]")
         if self.checkpoint_every_epochs < 1:
             raise ValueError("checkpoint_every_epochs must be positive")
+        if self.event_log_retain < 1:
+            raise ValueError("event_log_retain must be positive")
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be positive")
         if self.max_frame_bytes < 64:

@@ -63,11 +63,16 @@ def pairwise_distances(
     # consumers (pair extraction, ROC thresholds) assume exact symmetry.
     out = np.minimum(out, out.T)
     np.fill_diagonal(out, 0.0)
-    # The Gram expansion has absolute error ~eps * ||a|| * ||b||, which is
-    # a large *relative* error exactly when a ~= b.  Recompute those few
-    # pairs (near-duplicate fingerprints) with the direct difference.
+    # The Gram expansion's absolute error in d^2 is ~ dim * eps * |a||b|,
+    # which the square root turns into a large *relative* error exactly
+    # when a ~= b.  Flag pairs whose computed d^2 sits within a generous
+    # multiple of that error bound — the square root of a pure-noise d^2
+    # lands well above any threshold stated in distance units — and
+    # recompute them (near-duplicate fingerprints) with the direct
+    # difference.
     scale = np.sqrt(sq_norms[:, None] * sq_norms[None, :])
-    suspect = out <= 1e-6 * scale
+    eps = np.finfo(float).eps
+    suspect = out ** 2 <= 1e4 * stacked.shape[1] * eps * scale
     np.fill_diagonal(suspect, False)
     for i, j in np.argwhere(suspect):
         out[i, j] = np.linalg.norm(stacked[i] - stacked[j])

@@ -103,6 +103,17 @@ class WriteAheadJournal:
             self._last_seq = last
         return self._last_seq
 
+    def reserve_seq(self, floor: int) -> None:
+        """Never assign sequence numbers at or below ``floor``.
+
+        Recovery seeds this with the checkpoint's ``applied_seq``: after
+        a compaction-to-empty plus restart the file alone no longer
+        remembers how far numbering got, and reusing old seqs would make
+        the next replay skip freshly acked records.
+        """
+        if floor > self.last_seq:
+            self._last_seq = floor
+
     def append_many(self, records: List[dict]) -> List[int]:
         """Journal a batch durably: one write span, one fsync.
 
@@ -137,13 +148,22 @@ class WriteAheadJournal:
             raise
         except OSError:
             # Disk full (or any write error): roll the batch back so the
-            # journal stays a clean sequence of intact records.
+            # journal stays a clean sequence of intact records.  The
+            # BufferedWriter may still hold frames a failed flush never
+            # delivered — close it (dropping that buffer) and reopen on
+            # a fresh handle, so rolled-back bytes can never leak into
+            # the file after the truncation below.
             try:
-                self._fh.flush()
+                self._fh.close()
             except OSError:
                 pass
-            os.ftruncate(self._fh.fileno(), start)
-            self._fh.seek(start)
+            fd = os.open(self.path, os.O_WRONLY)
+            try:
+                os.ftruncate(fd, start)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._fh = open(self.path, "ab")
             raise
         if torn:
             self._last_seq = next_seq - 1

@@ -319,10 +319,16 @@ class IngestServer:
                 slowloris_drops=self.slowloris_drops,
                 accepted_total=self.accepted_total,
             )
-        # state: one tenant's recovery-relevant snapshot.
+        # state: one tenant's recovery-relevant snapshot.  Read-only:
+        # an unknown name is an error, never a freshly minted tenant
+        # directory (only journaled verbs create slots).
         tenant = request["tenant"]
         with self._lock:
-            slot = self.supervisor.slot(tenant)
+            slot = self.supervisor.peek(tenant)
+            if slot is None:
+                return wire.error_response(
+                    "unknown-tenant", detail=tenant
+                )
             if slot.runtime is None:
                 return wire.error_response(
                     slot.state, detail=slot.last_error

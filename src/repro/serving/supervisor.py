@@ -115,6 +115,15 @@ class TenantSupervisor:
                 self._mark_crashed(tenant, slot, exc)
         return slot
 
+    def peek(self, tenant: str) -> Optional[_TenantSlot]:
+        """The slot for ``tenant`` if one exists — never creates one.
+
+        Read-only paths (the ``state`` verb) use this so an arbitrary
+        queried name cannot mint a tenant directory on disk; only
+        journaled verbs create slots.
+        """
+        return self._slots.get(tenant)
+
     def tenants(self) -> List[str]:
         return sorted(self._slots)
 
@@ -237,8 +246,14 @@ class TenantSupervisor:
                     plan = APPLIED
                     if op == "close_epoch":
                         pred += 1
-            else:  # diagnose
-                plan = runtime.classify(record)
+            else:
+                # diagnose is classified at *apply* time, after earlier
+                # records in the batch have taken effect — a diagnose
+                # referencing a crisis that a close_epoch in this same
+                # pipelined batch detects must not be rejected against
+                # the pre-batch library.  An unknown crisis becomes a
+                # journaled no-op (idempotent on replay).
+                plan = APPLIED
             plans.append(plan)
             if plan == APPLIED:
                 to_journal.append(record)

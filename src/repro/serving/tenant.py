@@ -24,9 +24,12 @@ without corrupting state.
 
 **Checkpoint cadence.**  Every ``checkpoint_every_epochs`` closed
 epochs, the runtime snapshots the monitor atomically with the journal
-cursor, agent-health counters, and the cumulative event log in the
-header's ``extra`` — one file, one rename — then compacts the journal
-down to the unapplied suffix.
+cursor, agent-health counters, the retained event log, and the
+open epoch's pending report buffer in the header's ``extra`` — one
+file, one rename — then compacts the journal down to the unapplied
+suffix.  Checkpointing mid-epoch (graceful shutdown) is safe: the
+pending buffer rides inside the snapshot, so journaled-and-acked
+reports for the open epoch survive the compaction that follows.
 """
 
 from __future__ import annotations
@@ -204,6 +207,9 @@ class TenantRuntime:
         raw = self.monitor.ingest(summary, violation, quality)
         wire_events = [event_to_wire(e) for e in raw]
         self.event_log.extend(wire_events)
+        retain = self.cfg.event_log_retain
+        if len(self.event_log) > retain:
+            del self.event_log[: len(self.event_log) - retain]
         self.pending.clear()
         self.next_epoch = epoch + 1
         self.epochs_since_checkpoint += 1
@@ -221,6 +227,7 @@ class TenantRuntime:
                 "misses": state.consecutive_misses,
                 "last": state.last_report_epoch,
                 "trips": state.trips,
+                "reported": state.reported_this_epoch,
             }
             for mid, state in self.health._agents.items()
         }
@@ -228,17 +235,23 @@ class TenantRuntime:
     def checkpoint(self) -> None:
         """Snapshot monitor + journal cursor atomically, then compact.
 
-        Called at epoch boundaries only, so the pending buffer is empty
-        and the checkpoint's ``extra`` stays a small JSON cursor.
-        A crash between the snapshot rename and the journal compaction
-        is safe: replay of already-applied records is a sequence of
-        duplicate no-ops.
+        The snapshot carries the open epoch's ``pending`` buffer (and
+        the per-epoch health flags), so a mid-epoch checkpoint — the
+        graceful-shutdown path — never loses journaled-and-acked
+        reports to the compaction below.  A crash between the snapshot
+        rename and the journal compaction is safe: replay of
+        already-applied records is a sequence of idempotent overwrites
+        and duplicate no-ops.
         """
         extra = {
             "applied_seq": self.applied_seq,
             "next_epoch": self.next_epoch,
             "health": self._health_state(),
             "events": self.event_log,
+            "pending": {
+                machine: {"values": values, "violation": violation}
+                for machine, (values, violation) in self.pending.items()
+            },
         }
         ckpt.save_monitor(self.monitor, self.checkpoint_path, extra=extra)
         self.journal.compact(self.applied_seq)
@@ -276,6 +289,10 @@ class TenantRuntime:
             runtime.applied_seq = int(extra.get("applied_seq", 0))
             runtime.next_epoch = int(extra.get("next_epoch", 0))
             runtime.event_log = list(extra.get("events", []))
+            runtime.pending = {
+                machine: (entry["values"], entry["violation"])
+                for machine, entry in (extra.get("pending") or {}).items()
+            }
             health = extra.get("health")
             if health:
                 tracker = AgentHealthTracker(list(health))
@@ -284,7 +301,15 @@ class TenantRuntime:
                     agent.consecutive_misses = int(state["misses"])
                     agent.last_report_epoch = state["last"]
                     agent.trips = int(state["trips"])
+                    agent.reported_this_epoch = bool(
+                        state.get("reported", False)
+                    )
                 runtime.health = tracker
+            # The compacted journal may be empty while the checkpoint
+            # cursor is far along; pin the seq high-water mark so fresh
+            # appends can never reuse sequence numbers at or below it
+            # (replay would silently skip them on the next recovery).
+            runtime.journal.reserve_seq(runtime.applied_seq)
         # A torn tail is the expected signature of a crash mid-append;
         # everything past the last intact record was never acked.
         runtime.journal.truncate_tail()

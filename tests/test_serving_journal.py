@@ -139,6 +139,74 @@ class TestWriteFailures:
             j.write_hook = None
             assert j.append(rec(4)) == 2
 
+    def test_enospc_at_flush_cannot_leak_buffered_frames(self, tmp_path):
+        """Frames stuck in the writer's buffer die with the rollback.
+
+        The true ENOSPC shape: writes land in the BufferedWriter fine
+        and the *flush* fails.  If the rollback merely truncated the
+        file, the undelivered frames would sit in the buffer and a
+        later successful append would flush them past the truncation
+        point with sequence numbers that were never advanced — durable
+        duplicate seqs.  The rollback must discard the buffer.
+        """
+        path = tmp_path / "j.wal"
+        j = WriteAheadJournal(path)
+        j.append(rec(0))  # committed before the failure
+
+        class FlushFull:
+            """File proxy: buffering works, the next 2 flushes fail."""
+
+            def __init__(self, fh):
+                self._fh = fh
+                self.failures = 2
+
+            def write(self, b):
+                return self._fh.write(b)
+
+            def flush(self):
+                if self.failures:
+                    self.failures -= 1
+                    raise OSError(errno.ENOSPC, "chaos: disk full")
+                self._fh.flush()
+
+            def tell(self):
+                return self._fh.tell()
+
+            def fileno(self):
+                return self._fh.fileno()
+
+            def seek(self, *args):
+                return self._fh.seek(*args)
+
+            def close(self):
+                self._fh.close()
+
+        j._fh = FlushFull(j._fh)
+        with pytest.raises(OSError):
+            j.append_many([rec(1), rec(2)])
+        # Space comes back: the rolled-back frames must not resurface
+        # with reused sequence numbers on the next successful append.
+        assert j.append(rec(3)) == 2
+        records = j.replay()
+        assert [r["seq"] for r in records] == [1, 2]
+        assert [r["machine"] for r in records] == ["m0", "m3"]
+        j.close()
+
+    def test_reserve_seq_pins_numbering_above_checkpoint_cursor(
+        self, tmp_path
+    ):
+        """An empty journal + a reserved floor never reuses old seqs."""
+        path = tmp_path / "j.wal"
+        with WriteAheadJournal(path) as j:
+            j.append_many([rec(0), rec(1)])
+            j.compact(applied_seq=2)  # journal now empty
+        with WriteAheadJournal(path) as j:  # restart: file remembers nothing
+            j.reserve_seq(2)
+            assert j.append(rec(2)) == 3
+            # A floor below the journal's own knowledge is a no-op.
+            j.reserve_seq(1)
+            assert j.append(rec(3)) == 4
+
     def test_torn_write_persists_damage_and_raises(self, tmp_path):
         def hook(frame):
             return frame[: len(frame) // 2]  # die mid-write

@@ -67,6 +67,23 @@ class TestBasicProtocol:
             )["state"]
             assert state["next_epoch"] == 1
 
+    def test_state_unknown_tenant_is_error_not_mkdir(
+        self, server, tmp_path
+    ):
+        """The read-only state op must not mint tenant directories for
+        arbitrary queried names (adopt_existing would then resurrect
+        them at every startup)."""
+        srv = server()
+        with ServingClient("127.0.0.1", srv.port) as client:
+            resp = client.request({"op": "state", "tenant": "ghost"})
+            assert not resp["ok"]
+            assert resp["error"] == "unknown-tenant"
+            assert not (tmp_path / "tenants" / "ghost").exists()
+            # Journaled verbs still create tenants normally.
+            assert client.request(report(0, tenant="real"))["ok"]
+            assert client.request({"op": "state", "tenant": "real"})["ok"]
+            assert (tmp_path / "tenants" / "real").exists()
+
     def test_duplicate_report_is_acked_not_reapplied(self, server):
         srv = server()
         with ServingClient("127.0.0.1", srv.port) as client:

@@ -86,6 +86,42 @@ class TestHappyPath:
         assert sup.slot("a").runtime.journal.last_seq == before
         sup.close()
 
+    def test_diagnose_sees_crisis_ended_earlier_in_same_batch(
+        self, tmp_path
+    ):
+        """Diagnose is classified at apply time, not against the
+        pre-batch library: a pipelined batch may end a crisis and
+        diagnose it in one go."""
+        sup = TenantSupervisor(small_cfg(), tmp_path)
+        for epoch in range(6):  # calm history arms the thresholds
+            sup.dispatch_batch("a", [report(epoch), close(epoch)])
+        assert sup.slot("a").runtime.monitor.ready
+        # Crisis epoch: the whole (one-machine) fleet violates its SLA.
+        violating = dict(report(6), violation=True, values=[9.0] * 4)
+        sup.dispatch_batch("a", [violating, close(6)])
+        # One pipelined batch: the calm epoch 7 ends crisis #1 (which
+        # stores it in the library), and the diagnose follows directly.
+        results = sup.dispatch_batch("a", [
+            report(7), close(7),
+            {"op": "diagnose", "crisis": 1, "label": "overload"},
+        ])
+        assert [s for s, _ in results] == ["applied"] * 3
+        assert sup.slot("a").runtime.monitor.library_labels == ["overload"]
+        # A diagnose for a crisis that never existed stays an error.
+        status, _ = sup.dispatch(
+            "a", {"op": "diagnose", "crisis": 99, "label": "ghost"}
+        )
+        assert status == "unknown-crisis"
+        sup.close()
+
+    def test_peek_never_creates_a_slot(self, tmp_path):
+        sup = TenantSupervisor(small_cfg(), tmp_path)
+        assert sup.peek("ghost") is None
+        assert sup.tenants() == []
+        sup.dispatch("a", report(0))
+        assert sup.peek("a") is not None
+        sup.close()
+
 
 class TestCrashLoop:
     def test_poison_record_quarantines_after_max_restarts(self, tmp_path):
@@ -184,6 +220,27 @@ class TestRecoveryIntegration:
         assert sup2.adopt_existing() == ["a", "b"]
         assert sup2.slot("a").runtime.next_epoch == 1
         assert sup2.slot("a").state == RUNNING
+        sup2.close()
+
+    def test_mid_epoch_checkpoint_all_keeps_acked_reports(self, tmp_path):
+        """Graceful shutdown mid-epoch must not drop journaled+acked
+        reports: the checkpoint carries the pending buffer through the
+        compaction that follows it."""
+        cfg = small_cfg()
+        sup = TenantSupervisor(cfg, tmp_path)
+        sup.dispatch_batch("a", [report(0), close(0), report(1)])
+        sup.checkpoint_all()  # shutdown with epoch 1 still open
+        sup.close()
+        sup2 = TenantSupervisor(cfg, tmp_path)
+        sup2.adopt_existing()
+        rt = sup2.slot("a").runtime
+        assert rt.next_epoch == 1
+        assert sorted(rt.pending) == ["m0"]
+        # Closing the epoch uses the recovered report: the summary is
+        # real data, not the NaN placeholder of a silent fleet.
+        status, _ = sup2.dispatch("a", close(1))
+        assert status == "applied"
+        assert rt.monitor.untrusted_epochs == 0
         sup2.close()
 
     def test_stats_shape(self, tmp_path):

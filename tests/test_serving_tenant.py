@@ -106,6 +106,13 @@ class TestEpochClose:
         # Journal was compacted down to the unapplied suffix (empty).
         assert rt.journal.replay(after_seq=rt.applied_seq) == []
 
+    def test_event_log_is_bounded(self, tmp_path):
+        rt = TenantRuntime("t", small_cfg(event_log_retain=3), tmp_path)
+        for epoch in range(6):  # each silent close emits epoch_untrusted
+            rt.apply(close(epoch))
+        assert len(rt.event_log) == 3
+        assert [e["epoch"] for e in rt.event_log] == [3, 4, 5]
+
 
 class TestRecovery:
     def test_recover_from_journal_only(self, tmp_path):
@@ -160,6 +167,62 @@ class TestRecovery:
         ckpt.write_bytes(b"this is not an npz archive")
         with pytest.raises(CheckpointCorruptError):
             TenantRuntime.recover("t", cfg, tmp_path)
+
+    def test_mid_epoch_checkpoint_preserves_acked_pending(self, tmp_path):
+        """Graceful shutdown mid-epoch: journaled+acked reports survive.
+
+        checkpoint() compacts the journal through applied_seq, so the
+        open epoch's reports must ride inside the snapshot — otherwise
+        they are gone from both stores and the client (correctly) never
+        resends acked work.
+        """
+        cfg = small_cfg(checkpoint_every_epochs=100)
+        rt = TenantRuntime("t", cfg, tmp_path)
+        drive(rt, 2)
+        # Half an epoch: journaled, acked, epoch 2 still open.
+        for m in range(3):
+            r = report(2, machine=f"m{m}", values=[float(m)] * 4)
+            rt.journal.append(r)
+            rt.apply(r)
+        rt.checkpoint()  # the shutdown path: pending is non-empty
+        expected = rt.state()
+        rt.close()
+        back = TenantRuntime.recover("t", cfg, tmp_path)
+        assert back.state() == expected
+        assert sorted(back.pending) == ["m0", "m1", "m2"]
+        assert back.pending["m1"] == ([1.0, 1.0, 1.0, 1.0], False)
+        # Closing epoch 2 after recovery matches an uninterrupted run
+        # fed the identical workload: the epoch is trusted (no NaN
+        # summary) and produces the same state.
+        ref = TenantRuntime("ref", cfg, tmp_path)
+        drive(ref, 2)
+        for m in range(3):
+            r = report(2, machine=f"m{m}", values=[float(m)] * 4)
+            ref.journal.append(r)
+            ref.apply(r)
+        rec_close = close(2)
+        back.journal.append(dict(rec_close))
+        back.apply(rec_close)
+        ref.journal.append(dict(rec_close))
+        ref.apply(rec_close)
+        got, want = back.state(), ref.state()
+        for key in ("next_epoch", "events", "thresholds", "crises",
+                    "untrusted_epochs"):
+            assert got[key] == want[key], key
+        back.close()
+        ref.close()
+
+    def test_seq_floor_survives_compaction_to_empty(self, tmp_path):
+        """New appends after recovery never reuse compacted-away seqs."""
+        cfg = small_cfg(checkpoint_every_epochs=2)
+        rt = TenantRuntime("t", cfg, tmp_path)
+        drive(rt, 2)  # cadence checkpoint compacted the journal to empty
+        applied = rt.applied_seq
+        assert applied > 0
+        rt.close()
+        back = TenantRuntime.recover("t", cfg, tmp_path)
+        assert back.journal.append(report(2)) == applied + 1
+        back.close()
 
     def test_health_state_survives_recovery(self, tmp_path):
         cfg = small_cfg(checkpoint_every_epochs=2)
