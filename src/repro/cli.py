@@ -10,6 +10,9 @@ Nine subcommands cover the common workflows without writing Python:
   (:mod:`repro.index`) over a trace's crisis fingerprints;
 * ``fleet`` — plan/run/bench the sharded parallel aggregation tier
   (:mod:`repro.fleet`) over a simulated fleet;
+* ``serve`` — the durable ingestion front door (``--standby-of`` runs a
+  warm replica); ``admin`` — operate a running fleet (stats,
+  unquarantine, promote, fence, failover);
 * ``discriminate`` — Figure 3's AUC comparison of all four methods;
 * ``render`` — print a Figure 1-style fingerprint heatmap for one crisis;
 * ``timeline`` — print a day-by-day strip of the trace's crises;
@@ -22,7 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.config import (
     FingerprintingConfig,
@@ -195,7 +198,67 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                         "is dropped")
     p.add_argument("--max-restarts", type=int, default=3,
                    help="consecutive tenant crashes before quarantine")
+    p.add_argument("--standby-of", default=None, metavar="HOST:PORT[,...]",
+                   help="run as a warm standby tailing the given "
+                        "primary's journals (rejects client writes "
+                        "until promoted; see docs/operations.md)")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   help="replication heartbeat cadence on idle links")
+    p.add_argument("--repl-ack-timeout", type=float, default=5.0,
+                   help="seconds without an ack before a replication "
+                        "subscriber is presumed dead and reaped")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _parse_endpoints(spec: str) -> List[Tuple[str, int]]:
+    """Parse ``host:port[,host:port...]`` into endpoint tuples."""
+    out: List[Tuple[str, int]] = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        host, sep, port = item.rpartition(":")
+        if not sep or not host:
+            raise SystemExit(f"bad endpoint {item!r}: expected HOST:PORT")
+        try:
+            out.append((host, int(port)))
+        except ValueError:
+            raise SystemExit(f"bad endpoint port in {item!r}")
+    if not out:
+        raise SystemExit(f"no endpoints in {spec!r}")
+    return out
+
+
+def _add_admin(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "admin",
+        help="operate a running serving fleet: stats, unquarantine, "
+             "promote, fence, failover (see docs/operations.md)",
+    )
+    p.add_argument("--endpoints", required=True, metavar="HOST:PORT[,...]",
+                   help="serving nodes, primary first by convention")
+    asub = p.add_subparsers(dest="admin_command", required=True)
+    asub.add_parser("stats", help="print every node's stats as JSON")
+    u = asub.add_parser(
+        "unquarantine",
+        help="release a quarantined tenant with a fresh restart budget",
+    )
+    u.add_argument("tenant")
+    asub.add_parser(
+        "promote",
+        help="promote the first reachable standby to primary "
+             "(mints a new fencing epoch)",
+    )
+    f = asub.add_parser(
+        "fence", help="fence every node at the given epoch"
+    )
+    f.add_argument("epoch", type=int)
+    fo = asub.add_parser(
+        "failover",
+        help="one controller round: probe, and promote + fence if the "
+             "primary is gone",
+    )
+    fo.add_argument("--grace-probes", type=int, default=2)
 
 
 def _add_discriminate(sub: argparse._SubParsersAction) -> None:
@@ -243,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_index(sub)
     _add_fleet(sub)
     _add_serve(sub)
+    _add_admin(sub)
     _add_discriminate(sub)
     _add_render(sub)
     _add_timeline(sub)
@@ -707,9 +771,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         idle_timeout_s=args.idle_timeout,
         max_restarts=args.max_restarts,
+        heartbeat_interval_s=args.heartbeat_interval,
+        repl_ack_timeout_s=args.repl_ack_timeout,
         seed=args.seed,
     )
-    server = IngestServer(cfg, args.root, host=args.host, port=args.port)
+    standby_of = (
+        _parse_endpoints(args.standby_of)
+        if args.standby_of else None
+    )
+    server = IngestServer(
+        cfg, args.root, host=args.host, port=args.port,
+        standby_of=standby_of,
+    )
     port = server.start()
     # Discovery line for supervisors/tests: flushed before serving.
     print(f"SERVING {args.host} {port}", flush=True)
@@ -725,6 +798,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_admin(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.failover import FailoverController
+
+    endpoints = _parse_endpoints(args.endpoints)
+    controller = FailoverController(endpoints)
+    if args.admin_command == "stats":
+        out = {
+            f"{h}:{p}": controller.probe((h, p)) for h, p in endpoints
+        }
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0 if any(v is not None for v in out.values()) else 1
+    if args.admin_command == "unquarantine":
+        for endpoint in endpoints:
+            resp = controller._call(
+                endpoint, {"op": "unquarantine", "tenant": args.tenant}
+            )
+            if resp is not None:
+                print(f"UNQUARANTINED {args.tenant} "
+                      f"on {endpoint[0]}:{endpoint[1]}")
+                return 0
+        print(f"no reachable node would unquarantine {args.tenant!r}",
+              file=sys.stderr)
+        return 1
+    if args.admin_command == "promote":
+        for endpoint in endpoints:
+            status = controller.probe(endpoint)
+            if status is not None and status.get("role") == "standby":
+                resp = controller._call(endpoint, {"op": "promote"})
+                if resp is not None:
+                    print(f"PROMOTED {endpoint[0]}:{endpoint[1]} "
+                          f"fence {resp['fence']}")
+                    return 0
+        print("no reachable standby to promote", file=sys.stderr)
+        return 1
+    if args.admin_command == "fence":
+        fenced = 0
+        for endpoint in endpoints:
+            resp = controller._call(
+                endpoint, {"op": "fence", "epoch": args.epoch}
+            )
+            if resp is not None:
+                fenced += 1
+                print(f"FENCE {endpoint[0]}:{endpoint[1]} "
+                      f"epoch {resp['fence']} fenced {resp['fenced']}")
+        return 0 if fenced else 1
+    # failover: one controller round.
+    controller.grace_probes = args.grace_probes
+    # Pre-charge the miss counter so a single invocation acts
+    # immediately when the operator has already decided the primary is
+    # gone; the grace period matters for the looped/daemonized form.
+    result = None
+    for _ in range(args.grace_probes):
+        result = controller.step()
+        if result["action"] != "wait":
+            break
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if result["action"] in ("healthy", "promoted") else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "identify": _cmd_identify,
@@ -732,6 +866,7 @@ _COMMANDS = {
     "index": _cmd_index,
     "fleet": _cmd_fleet,
     "serve": _cmd_serve,
+    "admin": _cmd_admin,
     "discriminate": _cmd_discriminate,
     "render": _cmd_render,
     "timeline": _cmd_timeline,

@@ -314,6 +314,16 @@ class ServingConfig:
     max_restarts: int = 3
     restart_base_delay: float = 0.05
     restart_max_delay: float = 2.0
+    # --- replication (journal shipping to a warm standby) ---
+    #: Heartbeat cadence on an idle replication link, so a long-lived
+    #: subscription is never mistaken for a slow-loris attack.
+    heartbeat_interval_s: float = 1.0
+    #: A subscriber that has not acked for this long is presumed dead
+    #: and reaped (its journal-retention pin is released).  The standby
+    #: uses the same bound for declaring its primary's link dead.
+    repl_ack_timeout_s: float = 5.0
+    #: Maximum journal records shipped per ``repl_frames`` push.
+    repl_batch_records: int = 512
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -347,6 +357,15 @@ class ServingConfig:
             raise ValueError("max_restarts must be positive")
         if self.restart_base_delay < 0 or self.restart_max_delay < 0:
             raise ValueError("restart delays must be non-negative")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.repl_ack_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "repl_ack_timeout_s must exceed heartbeat_interval_s "
+                "(a live-but-quiet link heartbeats at that cadence)"
+            )
+        if self.repl_batch_records < 1:
+            raise ValueError("repl_batch_records must be positive")
 
     @property
     def epochs_per_day(self) -> int:

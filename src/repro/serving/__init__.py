@@ -18,8 +18,16 @@ into a long-running service engineered for durability first:
   admission control (explicit retry-after, bounded in-flight) and
   slow-loris defense;
 * :mod:`repro.serving.loadgen` — deterministic load generator and
-  resend-on-reconnect client used by tests, chaos runs, and the
-  ``benchmarks/test_serving_ingest.py`` benchmark.
+  resend-on-reconnect client (with endpoint failover and fencing-token
+  tracking) used by tests, chaos runs, and the
+  ``benchmarks/test_serving_ingest.py`` benchmark;
+* :mod:`repro.serving.fencing` — monotonic fencing epochs, the
+  split-brain guard for failover;
+* :mod:`repro.serving.replication` — journal-shipping replication to a
+  warm standby (the WAL stream *is* the replication stream), with
+  seq-based resume, lag accounting, and retention pinning;
+* :mod:`repro.serving.failover` — the probe → promote → fence
+  controller.
 
 See ``docs/serving.md`` for the wire format and the operational runbook.
 """
@@ -30,9 +38,17 @@ from repro.serving.journal import (
     JournalTornWrite,
     WriteAheadJournal,
 )
+from repro.serving.failover import FailoverController
+from repro.serving.fencing import FencingState, StaleFencingToken
 from repro.serving.loadgen import LoadResult, ServingClient, run_load
+from repro.serving.replication import (
+    ReplicationDivergence,
+    ReplicationHub,
+    StandbyReplicator,
+)
 from repro.serving.server import IngestServer
 from repro.serving.supervisor import (
+    FENCED,
     QUARANTINED,
     RESTARTING,
     RUNNING,
@@ -45,11 +61,19 @@ from repro.serving.wire import (
     encode_frame,
     event_from_wire,
     event_to_wire,
+    parse_repl_push,
     parse_request,
 )
 
 __all__ = [
+    "FENCED",
+    "FailoverController",
+    "FencingState",
     "IngestServer",
+    "ReplicationDivergence",
+    "ReplicationHub",
+    "StaleFencingToken",
+    "StandbyReplicator",
     "JournalCorruptError",
     "JournalError",
     "JournalTornWrite",
@@ -66,6 +90,7 @@ __all__ = [
     "encode_frame",
     "event_from_wire",
     "event_to_wire",
+    "parse_repl_push",
     "parse_request",
     "run_load",
 ]

@@ -1,0 +1,160 @@
+"""Failover controller: detect a dead primary, promote, fence.
+
+A deliberately small external observer — the shape an operator's
+watchdog (or the operator themselves, via ``repro admin``) takes:
+
+1. **Probe** every endpoint with the ``stats`` verb.
+2. A live, unfenced primary → healthy; nothing to do.
+3. No live primary for ``grace_probes`` consecutive rounds (the grace
+   period keeps a single dropped probe from triggering a needless
+   failover) → **promote** the most caught-up reachable standby (the
+   one with the highest total applied journal cursor, i.e. the least
+   replication lag, so promotion loses the least acked-but-unshipped
+   work) and **fence** every displaced primary (and any unreachable
+   node, best-effort) with the freshly minted epoch; surviving standbys
+   are left unfenced — they re-point at the new primary and adopt its
+   epoch through their subscriptions.
+
+Fencing the old primary here is best-effort — it may be partitioned
+away.  Correctness does not depend on reaching it: its epoch is now
+stale everywhere, so the first post-promotion client that contacts it
+seals it (see :mod:`repro.serving.fencing`), and until then nothing it
+acks is visible to clients that have observed the promotion.
+
+The controller never *un*-fences and never re-seeds: returning a
+displaced primary to service is an operator action (runbook in
+``docs/operations.md``).
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serving import wire
+from repro.serving.wire import MalformedFrame
+
+logger = logging.getLogger(__name__)
+
+Endpoint = Tuple[str, int]
+
+
+class FailoverController:
+    """Probe a fleet of serving nodes; promote a standby when needed."""
+
+    def __init__(
+        self,
+        endpoints: Sequence[Endpoint],
+        grace_probes: int = 2,
+        probe_timeout: float = 2.0,
+    ):
+        if not endpoints:
+            raise ValueError("controller needs at least one endpoint")
+        if grace_probes < 1:
+            raise ValueError("grace_probes must be at least 1")
+        self.endpoints: List[Endpoint] = [
+            (h, int(p)) for h, p in endpoints
+        ]
+        self.grace_probes = grace_probes
+        self.probe_timeout = probe_timeout
+        #: Consecutive probe rounds without a live primary.
+        self.misses = 0
+        self.promotions = 0
+
+    # -- wire plumbing -----------------------------------------------------
+
+    def _call(self, endpoint: Endpoint, request: dict) -> Optional[dict]:
+        """One request/response against one node; ``None`` if unreachable."""
+        try:
+            with socket.create_connection(
+                endpoint, timeout=self.probe_timeout
+            ) as sock:
+                sock.settimeout(self.probe_timeout)
+                sock.sendall(wire.encode_frame(request))
+                buffer = b""
+                while b"\n" not in buffer:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        return None
+                    buffer += chunk
+                resp = wire.decode_frame(buffer.split(b"\n", 1)[0])
+                return resp if resp.get("ok") else None
+        except (OSError, MalformedFrame):
+            return None
+
+    def probe(self, endpoint: Endpoint) -> Optional[dict]:
+        """The node's ``stats`` response, or ``None`` if it is down."""
+        return self._call(endpoint, {"op": "stats"})
+
+    # -- the control loop --------------------------------------------------
+
+    @staticmethod
+    def _applied_total(status: dict) -> int:
+        """How caught-up a node is: its total applied journal cursor."""
+        return sum(
+            t.get("applied_seq") or 0
+            for t in status.get("tenants", {}).values()
+        )
+
+    def step(self) -> dict:
+        """One observe → decide → act round; returns what happened."""
+        statuses: Dict[Endpoint, Optional[dict]] = {
+            ep: self.probe(ep) for ep in self.endpoints
+        }
+        primaries = [
+            ep for ep, s in statuses.items()
+            if s is not None
+            and s.get("role") == "primary"
+            and not s.get("fenced")
+        ]
+        if primaries:
+            self.misses = 0
+            return {"action": "healthy", "primary": primaries[0]}
+        self.misses += 1
+        if self.misses < self.grace_probes:
+            return {"action": "wait", "misses": self.misses}
+        candidates = [
+            ep for ep, s in statuses.items()
+            if s is not None
+            and s.get("role") == "standby"
+            and not s.get("fenced")
+        ]
+        if not candidates:
+            return {"action": "no-candidate", "misses": self.misses}
+        candidate = max(
+            candidates, key=lambda ep: self._applied_total(statuses[ep])
+        )
+        resp = self._call(candidate, {"op": "promote"})
+        if resp is None:
+            # The candidate died between probe and promote; next round
+            # picks another (misses stays above the grace threshold).
+            return {"action": "promote-failed", "endpoint": candidate}
+        epoch = int(resp["fence"])
+        self.promotions += 1
+        self.misses = 0
+        logger.warning(
+            "promoted %s:%d to primary at fencing epoch %d",
+            candidate[0], candidate[1], epoch,
+        )
+        fenced: List[Endpoint] = []
+        for ep in self.endpoints:
+            if ep == candidate:
+                continue
+            status = statuses[ep]
+            if status is not None and status.get("role") == "standby":
+                # A surviving standby is redundancy, not a threat: it
+                # re-points at the new primary and adopts the epoch via
+                # its subscription.  Fencing it would seal it for good.
+                continue
+            if self._call(ep, {"op": "fence", "epoch": epoch}) is not None:
+                fenced.append(ep)
+        return {
+            "action": "promoted",
+            "endpoint": candidate,
+            "fence": epoch,
+            "fenced": fenced,
+        }
+
+
+__all__ = ["FailoverController"]

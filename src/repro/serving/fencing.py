@@ -1,0 +1,139 @@
+"""Monotonic fencing epochs: the split-brain guard for failover.
+
+Promotion of a standby mints a new **fencing epoch** — a monotonically
+increasing integer persisted durably (atomic tmp + fsync + rename) in
+the node's state directory.  Every write acknowledged by a node is
+stamped with the node's current epoch, clients remember the highest
+epoch they have ever observed and attach it to subsequent writes, and
+the rules are strict:
+
+* a request carrying an epoch **newer** than the node's own proves the
+  node has been superseded — the node *permanently fences itself*
+  (``fenced`` is persisted, surviving restarts) and answers ``fenced``;
+* a request carrying an epoch **older** than the node's own is a stale
+  writer — rejected with ``stale-fence`` plus the current epoch so the
+  client can adopt it and retry against the real primary;
+* once fenced, the node's write-ahead journals refuse appends outright
+  (:class:`StaleFencingToken` raised from the journal's ``fence_check``
+  seam), so no code path — not even one that slipped past the server
+  layer — can ack after promotion.
+
+This is token fencing, not a shared-storage lease: a fully partitioned
+old primary that no post-promotion writer ever reaches can still ack
+the equally-partitioned writers on its side, and those acks are
+discarded when the node is re-seeded as a standby (see the failover
+runbook in ``docs/operations.md``).  The failover controller therefore
+sends an explicit ``fence`` op to the old primary as soon as it is
+reachable, and every client that has observed the promotion seals the
+old primary on first contact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.core.atomicio import fsync_dir
+
+
+class StaleFencingToken(RuntimeError):
+    """This node has been fenced: a newer fencing epoch exists.
+
+    Raised by the journal's ``fence_check`` seam on any append attempted
+    after the node learned it was superseded — the write must never
+    reach disk, let alone be acked.
+    """
+
+
+class FencingState:
+    """The durable ``(epoch, fenced)`` pair for one serving node.
+
+    ``epoch`` is the highest fencing epoch this node has ever observed
+    (its own when primary, the primary's when standby); ``fenced`` means
+    a *newer* epoch was observed while this node held the primary role —
+    a terminal, persisted condition cleared only by an explicit
+    :meth:`mint` (operator re-promotion after re-seeding).
+    """
+
+    def __init__(self, root):
+        self.path = pathlib.Path(root) / "fence.json"
+        self.epoch = 0
+        self.fenced = False
+        if self.path.exists():
+            state = json.loads(self.path.read_text())
+            self.epoch = int(state["epoch"])
+            self.fenced = bool(state["fenced"])
+
+    # -- persistence -------------------------------------------------------
+
+    def _save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"epoch": self.epoch, "fenced": self.fenced}
+        ).encode("utf-8")
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, suffix=".fence.tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            fsync_dir(self.path.parent)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- transitions -------------------------------------------------------
+
+    def mint(self) -> int:
+        """Take (or retake) the primary role under a fresh, higher epoch.
+
+        The new epoch strictly exceeds everything this node has ever
+        seen, so writers holding older tokens are rejected as stale and
+        the displaced primary fences itself on first contact.
+        """
+        self.epoch += 1
+        self.fenced = False
+        self._save()
+        return self.epoch
+
+    def observe(self, epoch: int) -> None:
+        """Track the highest epoch seen *without* taking the fenced hit.
+
+        A standby tailing its primary learns the primary's epoch this
+        way; a later :meth:`mint` then always lands strictly above it.
+        """
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self._save()
+
+    def fence(self, observed_epoch: int) -> bool:
+        """A writer carrying ``observed_epoch`` arrived; fence if newer.
+
+        Returns ``True`` if this call (or a previous one) left the node
+        fenced.  Fencing is persisted immediately: a fenced node that is
+        killed and restarted comes back fenced.
+        """
+        if observed_epoch > self.epoch:
+            self.epoch = observed_epoch
+            self.fenced = True
+            self._save()
+        return self.fenced
+
+    def check(self) -> None:
+        """Journal seam: refuse the append if this node is fenced."""
+        if self.fenced:
+            raise StaleFencingToken(
+                f"node is fenced at epoch {self.epoch}: a newer primary "
+                "exists; this journal must never ack again"
+            )
+
+
+__all__ = ["FencingState", "StaleFencingToken"]

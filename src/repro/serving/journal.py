@@ -78,15 +78,24 @@ class WriteAheadJournal:
     (torn write — the truncated bytes are written and
     :class:`JournalTornWrite` raised, leaving the on-disk state a crash
     would).  ``None`` (the default) writes frames verbatim.
+
+    ``fence_check`` is the split-brain seam: called before any byte of
+    a batch is written, it raises
+    :class:`~repro.serving.fencing.StaleFencingToken` when this node
+    has been superseded by a newer fencing epoch — a fenced node can
+    never journal (and therefore never ack) again, no matter which code
+    path reached the append.
     """
 
     def __init__(
         self,
         path,
         write_hook: Optional[Callable[[bytes], Optional[bytes]]] = None,
+        fence_check: Optional[Callable[[], None]] = None,
     ):
         self.path = pathlib.Path(path)
         self.write_hook = write_hook
+        self.fence_check = fence_check
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "ab")
         self._last_seq: Optional[int] = None
@@ -124,6 +133,8 @@ class WriteAheadJournal:
         """
         if not records:
             return []
+        if self.fence_check is not None:
+            self.fence_check()
         start = self._fh.tell()
         seqs: List[int] = []
         next_seq = self.last_seq

@@ -28,6 +28,10 @@ import numpy as np
 
 from repro.serving import wire
 from repro.serving.wire import MalformedFrame
+from repro.telemetry.reliability import RetryPolicy
+
+#: Verbs the client stamps with its highest observed fencing token.
+_JOURNALED_OPS = ("report", "close_epoch", "diagnose")
 
 
 def synthetic_report(
@@ -88,39 +92,79 @@ class ServingClient:
     drops is resent on the next connect, in order.  Overload and
     restarting sheds are retried after the server's ``retry_after``
     hint (bounded by ``max_retries``).
+
+    **Failover.**  ``endpoints`` lists every serving node (primary and
+    standbys).  Connection failures and ``standby`` / ``fenced``
+    rejections rotate to the next endpoint and resend the unacked
+    window — epoch-addressed idempotency makes the resend safe even
+    when the old primary had already applied it.  Reconnect pacing is a
+    seeded-jitter :class:`~repro.telemetry.reliability.RetryPolicy`
+    (exponential backoff, jitter drawn from ``seed``), so a fleet of
+    clients does not thundering-herd a recovering server and a test can
+    replay the exact schedule; each delay slept is recorded in
+    ``backoff_delays``.
+
+    **Fencing.**  The client remembers the highest fencing epoch any
+    response has carried and stamps it on every journaled request; a
+    ``stale-fence`` rejection updates the token and retries, so after a
+    failover the client converges on the new primary's epoch — and its
+    stamped requests are what seal a resurfacing old primary.
     """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         timeout: float = 10.0,
         max_retries: int = 200,
         reconnect_delay: float = 0.05,
         reconnect_attempts: int = 100,
+        endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+        seed: int = 0,
     ):
-        self.host = host
-        self.port = port
+        if endpoints is None:
+            if host is None or port is None:
+                raise ValueError("need host+port or an endpoints list")
+            endpoints = [(host, port)]
+        self.endpoints = [(h, int(p)) for h, p in endpoints]
+        self.host, self.port = self.endpoints[0]
         self.timeout = timeout
         self.max_retries = max_retries
         self.reconnect_delay = reconnect_delay
         self.reconnect_attempts = reconnect_attempts
+        self.policy = RetryPolicy(
+            max_attempts=max(reconnect_attempts, 1),
+            base_delay=reconnect_delay,
+            max_delay=1.0,
+            jitter=0.25,
+            seed=seed,
+        )
+        self._ep = 0
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
+        self.fence = 0
         self.responses: List[dict] = []
         self.events: List[dict] = []
         self.retries = 0
         self.overloads = 0
         self.reconnects = 0
+        self.failovers = 0
+        self.backoff_delays: List[float] = []
 
     # -- connection --------------------------------------------------------
 
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        """The endpoint the client is currently pointed at."""
+        return self.endpoints[self._ep % len(self.endpoints)]
+
     def connect(self) -> None:
         last: Optional[Exception] = None
-        for _ in range(self.reconnect_attempts):
+        for attempt in range(self.reconnect_attempts):
+            host, port = self.endpoint
             try:
                 sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
+                    (host, port), timeout=self.timeout
                 )
                 sock.settimeout(self.timeout)
                 self._sock = sock
@@ -128,9 +172,15 @@ class ServingClient:
                 return
             except OSError as exc:
                 last = exc
-                time.sleep(self.reconnect_delay)
+                # Unreachable node: try the next endpoint after a
+                # seeded-jitter backoff (capped exponent so a long
+                # outage polls steadily instead of overflowing).
+                self._ep += 1
+                delay = self.policy.backoff(min(attempt, 8))
+                self.backoff_delays.append(delay)
+                time.sleep(delay)
         raise ConnectionError(
-            f"could not connect to {self.host}:{self.port}: {last}"
+            f"could not connect to any of {self.endpoints}: {last}"
         )
 
     def close(self) -> None:
@@ -153,6 +203,25 @@ class ServingClient:
         self.reconnects += 1
         self.connect()
 
+    def _rotate(self) -> None:
+        """This endpoint cannot serve writes: fail over to the next."""
+        self._ep += 1
+        self.failovers += 1
+        self._reconnect()
+
+    # -- fencing tokens ----------------------------------------------------
+
+    def _stamp(self, obj: dict) -> dict:
+        """Attach the highest observed fencing token to a write."""
+        if self.fence > 0 and obj.get("op") in _JOURNALED_OPS:
+            return {**obj, "fence": self.fence}
+        return obj
+
+    def _absorb_fence(self, resp: dict) -> None:
+        fence = resp.get("fence")
+        if isinstance(fence, int) and fence > self.fence:
+            self.fence = fence
+
     # -- request/response --------------------------------------------------
 
     def _read_response(self) -> dict:
@@ -168,24 +237,33 @@ class ServingClient:
         """Send one request and wait for its terminal response.
 
         Retries through overload/restarting sheds (honoring
-        ``retry_after``) and through connection drops (resending the
-        request — safe because requests are epoch-addressed).
+        ``retry_after``), connection drops (resending the request —
+        safe because requests are epoch-addressed), ``standby`` /
+        ``fenced`` rejections (rotating to the next endpoint), and
+        ``stale-fence`` rejections (adopting the newer token).
         """
-        frame = wire.encode_frame(obj)
         for _ in range(self.max_retries):
             try:
-                self._sock.sendall(frame)
+                self._sock.sendall(wire.encode_frame(self._stamp(obj)))
                 resp = self._read_response()
             except (OSError, ConnectionError, MalformedFrame):
                 self._reconnect()
                 continue
-            if not resp.get("ok") and resp.get("error") in (
-                "overloaded", "restarting"
-            ):
+            err = None if resp.get("ok") else resp.get("error")
+            if err in ("overloaded", "restarting"):
                 self.retries += 1
-                if resp["error"] == "overloaded":
+                if err == "overloaded":
                     self.overloads += 1
                 time.sleep(min(float(resp.get("retry_after", 0.05)), 0.5))
+                continue
+            if err in ("standby", "fenced"):
+                self._absorb_fence(resp)
+                self.retries += 1
+                self._rotate()
+                continue
+            if err == "stale-fence":
+                self._absorb_fence(resp)
+                self.retries += 1
                 continue
             self.responses.append(resp)
             self.events.extend(resp.get("events") or [])
@@ -218,9 +296,9 @@ class ServingClient:
                         f"{self.max_retries} rounds"
                     )
                 try:
-                    self._sock.sendall(
-                        b"".join(wire.encode_frame(o) for o in unacked)
-                    )
+                    self._sock.sendall(b"".join(
+                        wire.encode_frame(self._stamp(o)) for o in unacked
+                    ))
                     round_resps = [
                         self._read_response() for _ in unacked
                     ]
@@ -231,12 +309,12 @@ class ServingClient:
                     continue
                 still_unacked: List[dict] = []
                 max_retry_after = 0.0
+                rotate = False
                 for obj, resp in zip(unacked, round_resps):
-                    if not resp.get("ok") and resp.get("error") in (
-                        "overloaded", "restarting"
-                    ):
+                    err = None if resp.get("ok") else resp.get("error")
+                    if err in ("overloaded", "restarting"):
                         self.retries += 1
-                        if resp["error"] == "overloaded":
+                        if err == "overloaded":
                             self.overloads += 1
                         still_unacked.append(obj)
                         max_retry_after = max(
@@ -244,11 +322,25 @@ class ServingClient:
                             float(resp.get("retry_after", 0.05)),
                         )
                         continue
+                    if err in ("standby", "fenced"):
+                        # Wrong node for writes: fail the window over.
+                        self._absorb_fence(resp)
+                        self.retries += 1
+                        still_unacked.append(obj)
+                        rotate = True
+                        continue
+                    if err == "stale-fence":
+                        self._absorb_fence(resp)
+                        self.retries += 1
+                        still_unacked.append(obj)
+                        continue
                     acked.append(resp)
                     self.responses.append(resp)
                     self.events.extend(resp.get("events") or [])
                 unacked = still_unacked
-                if unacked:
+                if rotate:
+                    self._rotate()
+                elif unacked:
                     time.sleep(min(max_retry_after, 0.5))
             out.extend(acked)
         return out
@@ -264,6 +356,7 @@ class LoadResult:
     rejected: int = 0
     overloads: int = 0
     reconnects: int = 0
+    failovers: int = 0
     latencies_s: List[float] = field(default_factory=list)
     events: List[dict] = field(default_factory=list)
 
@@ -291,14 +384,19 @@ def run_load(
     crisis_epochs: Sequence[int] = (),
     window: int = 64,
     start_epoch: int = 0,
+    endpoints: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> LoadResult:
     """Drive the synthetic workload against a server, measuring ingest.
 
     Latency is measured per pipelined window (wall time / window size),
     which is what an agent batching its fleet's reports experiences.
+    ``endpoints`` (when given) supersedes ``host``/``port`` and enables
+    client-side failover across primary + standbys.
     """
     result = LoadResult()
-    with ServingClient(host, port) as client:
+    with ServingClient(
+        host, port, endpoints=endpoints, seed=seed
+    ) as client:
         for epoch in range(start_epoch, n_epochs):
             for t in range(n_tenants):
                 batch = [
@@ -329,6 +427,7 @@ def run_load(
                         result.rejected += 1
         result.overloads = client.overloads
         result.reconnects = client.reconnects
+        result.failovers = client.failovers
         result.events = list(client.events)
     return result
 

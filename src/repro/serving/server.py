@@ -24,6 +24,18 @@ longer than ``cfg.max_frame_bytes``.
 no longer be trusted to ack — the server stops accepting and shuts
 down; the on-disk state is exactly what a mid-write power cut leaves,
 and restart-time replay truncates the torn tail.
+
+**Roles (PR 7).**  A server runs as ``primary`` (accepts writes, fans
+journaled batches out to subscribed standbys via
+:class:`~repro.serving.replication.ReplicationHub`) or ``standby``
+(rejects client writes with an explicit ``standby`` error, tails the
+primary's journal stream through a
+:class:`~repro.serving.replication.StandbyReplicator`, and answers
+reads/stats).  :meth:`IngestServer.promote` flips a standby to primary,
+minting a fresh fencing epoch; write requests carrying a stale fencing
+token are rejected (``stale-fence``), and a token *newer* than the
+node's own fences the node permanently (split-brain guard — see
+:mod:`repro.serving.fencing`).
 """
 
 from __future__ import annotations
@@ -31,17 +43,22 @@ from __future__ import annotations
 import logging
 import socket
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ServingConfig
 from repro.serving import wire
+from repro.serving.fencing import FencingState
 from repro.serving.journal import JournalTornWrite
-from repro.serving.supervisor import TenantSupervisor
+from repro.serving.replication import ReplicationHub, StandbyReplicator
+from repro.serving.supervisor import FENCED, TenantSupervisor
 
 logger = logging.getLogger(__name__)
 
 #: How statuses from the tenant/supervisor layer map onto the wire.
 _OK_STATUSES = {"applied", "duplicate"}
+
+#: Verbs that reach the journal (and therefore replication + fencing).
+_JOURNALED_OPS = ("report", "close_epoch", "diagnose")
 
 
 class IngestServer:
@@ -55,15 +72,34 @@ class IngestServer:
         port: int = 0,
         journal_hook_factory: Optional[Callable[[str], Optional[Callable]]] = None,
         fault_hook_factory: Optional[Callable[[str], Optional[Callable]]] = None,
+        standby_of: Optional[Sequence[Tuple[str, int]]] = None,
+        repl_chaos=None,
     ):
         self.cfg = cfg
         self.host = host
         self.port = port
+        self.role = "standby" if standby_of else "primary"
+        self.fencing = FencingState(root)
+        # Every server owns a hub: a standby's hub simply has no
+        # subscribers until the node is promoted (and chained standbys
+        # work for free).  The hub pins journal compaction at the
+        # slowest live subscriber's acked cursor.
+        self.hub = ReplicationHub(self, chaos=repl_chaos)
         self.supervisor = TenantSupervisor(
             cfg, root,
             journal_hook_factory=journal_hook_factory,
             fault_hook_factory=fault_hook_factory,
+            fencing=self.fencing,
+            on_journaled=self.hub.publish,
+            retention_floor=self.hub.retention_floor,
         )
+        self.replicator: Optional[StandbyReplicator] = None
+        if standby_of:
+            self.replicator = StandbyReplicator(
+                self, standby_of, chaos=repl_chaos
+            )
+        self.standby_rejects = 0
+        self.stale_fence_rejects = 0
         self._lock = threading.Lock()  # serializes supervisor access
         self._admission = threading.Lock()  # guards in-flight counters
         self.inflight = 0
@@ -96,6 +132,8 @@ class IngestServer:
             target=self._accept_loop, name="serving-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.replicator is not None:
+            self.replicator.start()
         return self.port
 
     def _accept_loop(self) -> None:
@@ -121,6 +159,9 @@ class IngestServer:
     def close(self, checkpoint: bool = True) -> None:
         """Graceful shutdown: stop accepting, drain, checkpoint tenants."""
         self._stopping.set()
+        if self.replicator is not None:
+            self.replicator.stop()
+        self.hub.close()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -134,6 +175,26 @@ class IngestServer:
             if checkpoint and self.fatal_error is None:
                 self.supervisor.checkpoint_all()
             self.supervisor.close()
+
+    def promote(self) -> int:
+        """Flip this node to primary under a fresh fencing epoch.
+
+        Stops the standby replicator *before* taking the dispatch lock
+        (the replicator thread may be blocked on it mid-apply), then
+        mints the new epoch — strictly above everything this node has
+        observed from its old primary, so the displaced primary's token
+        is stale everywhere and the displaced primary fences itself on
+        first contact with any post-promotion writer.
+        """
+        replicator = self.replicator
+        if replicator is not None:
+            self.replicator = None
+            replicator.stop()
+        with self._lock:
+            epoch = self.fencing.mint()
+            self.role = "primary"
+        logger.warning("promoted to primary at fencing epoch %d", epoch)
+        return epoch
 
     def _fatal(self, message: str) -> None:
         # The journal can no longer guarantee the ack contract: stop the
@@ -180,6 +241,22 @@ class IngestServer:
                         return
                     continue
                 *lines, buffer = buffer.split(b"\n")
+                handoff = self._find_subscribe(lines)
+                if handoff is not None:
+                    index, request = handoff
+                    responses = self._handle_lines(lines[:index])
+                    if responses:
+                        conn.sendall(b"".join(
+                            wire.encode_frame(r) for r in responses
+                        ))
+                    # The connection now belongs to the replication
+                    # hub: it pushes frames/heartbeats and reads acks
+                    # until the subscriber disappears or is reaped.
+                    conn.settimeout(None)
+                    self.hub.serve_subscriber(
+                        conn, addr, request, lines[index + 1:], buffer
+                    )
+                    return
                 responses = self._handle_lines(lines)
                 if responses:
                     conn.sendall(b"".join(
@@ -194,6 +271,25 @@ class IngestServer:
                 conn.close()
             except OSError:
                 pass
+
+    def _find_subscribe(
+        self, lines: List[bytes]
+    ) -> Optional[Tuple[int, dict]]:
+        """Locate a valid ``repl_subscribe`` frame in a drained batch.
+
+        A malformed subscribe falls through to :meth:`_handle_lines`
+        and is answered with the usual ``malformed`` error.
+        """
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                request = wire.parse_request(wire.decode_frame(line))
+            except wire.MalformedFrame:
+                continue
+            if request["op"] == "repl_subscribe":
+                return i, request
+        return None
 
     def _admit(self, n: int) -> int:
         """Reserve in-flight slots; returns how many were granted."""
@@ -230,7 +326,35 @@ class IngestServer:
                     (None, wire.error_response("malformed", detail=str(exc)))
                 )
                 continue
-            if request["op"] in ("report", "close_epoch", "diagnose"):
+            if request["op"] in _JOURNALED_OPS:
+                if self.role != "primary":
+                    # A standby never acks client writes: an ack here
+                    # could be lost when the real primary's stream is
+                    # replayed over this node.
+                    self.standby_rejects += 1
+                    parsed.append((None, wire.error_response(
+                        "standby", fence=self.fencing.epoch,
+                    )))
+                    continue
+                token = request.pop("fence", None)
+                if token is not None:
+                    if token > self.fencing.epoch:
+                        # The writer has seen a newer primary: we are
+                        # the stale side of a failover.  Seal this node
+                        # permanently before another byte is journaled.
+                        self.fencing.fence(token)
+                        parsed.append((None, wire.error_response(
+                            "fenced", fence=self.fencing.epoch,
+                        )))
+                        continue
+                    if token < self.fencing.epoch:
+                        # Stale writer: reject with the current epoch
+                        # so the client adopts it and retries.
+                        self.stale_fence_rejects += 1
+                        parsed.append((None, wire.error_response(
+                            "stale-fence", fence=self.fencing.epoch,
+                        )))
+                        continue
                 if self._admit(1) == 0:
                     self.overload_responses += 1
                     parsed.append((None, wire.error_response(
@@ -253,7 +377,7 @@ class IngestServer:
                     i += 1
                     continue
                 op = request["op"]
-                if op in ("ping", "stats", "state"):
+                if op not in _JOURNALED_OPS:
                     responses[i] = self._control(request)
                     i += 1
                     continue
@@ -266,9 +390,7 @@ class IngestServer:
                     if (
                         req_j is None
                         or req_j.get("tenant") != tenant
-                        or req_j["op"] not in (
-                            "report", "close_epoch", "diagnose"
-                        )
+                        or req_j["op"] not in _JOURNALED_OPS
                     ):
                         break
                     batch.append(dict(req_j))
@@ -300,6 +422,10 @@ class IngestServer:
             return wire.error_response(
                 "quarantined", detail=payload.get("detail")
             )
+        if status == FENCED:
+            return wire.error_response(
+                "fenced", fence=payload.get("fence")
+            )
         # bad-epoch / unknown-crisis: client-side errors.
         return wire.error_response(status)
 
@@ -308,17 +434,58 @@ class IngestServer:
         if op == "ping":
             return wire.ok_response(op="pong")
         if op == "stats":
+            replicator = self.replicator
+            replication = {
+                "hub": self.hub.stats(),
+                "standby": (
+                    replicator.stats() if replicator is not None else None
+                ),
+            }
             with self._lock:
                 tenants = self.supervisor.stats()
             return wire.ok_response(
+                role=self.role,
+                fence=self.fencing.epoch,
+                fenced=self.fencing.fenced,
                 tenants=tenants,
+                replication=replication,
                 inflight=self.inflight,
                 peak_inflight=self.peak_inflight,
                 overload_responses=self.overload_responses,
                 malformed_frames=self.malformed_frames,
                 slowloris_drops=self.slowloris_drops,
+                standby_rejects=self.standby_rejects,
+                stale_fence_rejects=self.stale_fence_rejects,
                 accepted_total=self.accepted_total,
             )
+        if op == "promote":
+            epoch = self.promote()
+            return wire.ok_response(role=self.role, fence=epoch)
+        if op == "fence":
+            # Operator/controller verb: seal this node if the given
+            # epoch supersedes it (idempotent; a node never fences
+            # itself below or at its own minted epoch).
+            fenced = self.fencing.fence(request["epoch"])
+            return wire.ok_response(
+                fence=self.fencing.epoch, fenced=fenced
+            )
+        if op == "unquarantine":
+            tenant = request["tenant"]
+            with self._lock:
+                try:
+                    self.supervisor.clear_quarantine(tenant)
+                except KeyError:
+                    return wire.error_response(
+                        "not-quarantined", detail=tenant
+                    )
+            return wire.ok_response(tenant=tenant, status="restarting")
+        if op == "repl_ack":
+            # An ack outside a live subscription has nothing to update.
+            return wire.error_response("not-subscribed")
+        if op == "repl_subscribe":
+            # Valid subscribes are handed off before dispatch; reaching
+            # here means the frame shared a drain with a handed-off one.
+            return wire.error_response("already-subscribed")
         # state: one tenant's recovery-relevant snapshot.  Read-only:
         # an unknown name is an error, never a freshly minted tenant
         # directory (only journaled verbs create slots).

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import ServingConfig
+from repro.serving.fencing import FencingState, StaleFencingToken
 from repro.serving.journal import JournalTornWrite
 from repro.serving.tenant import APPLIED, BAD_EPOCH, DUPLICATE, TenantRuntime
 from repro.telemetry.reliability import RetryPolicy
@@ -41,6 +42,9 @@ logger = logging.getLogger(__name__)
 RUNNING = "running"
 RESTARTING = "restarting"
 QUARANTINED = "quarantined"
+
+#: Terminal dispatch status of a fenced (superseded) node.
+FENCED = "fenced"
 
 
 @dataclass
@@ -60,6 +64,15 @@ class TenantSupervisor:
     ``journal_hook_factory`` / ``fault_hook_factory`` take a tenant name
     and return the per-tenant chaos hooks (or ``None``); production runs
     pass neither.
+
+    ``fencing`` (when serving behind a front door) threads the node's
+    :class:`~repro.serving.fencing.FencingState` into every tenant
+    journal, so a fenced node cannot append.  ``on_journaled`` is the
+    replication tap: called with ``(tenant, records)`` immediately after
+    a batch reaches disk, records carrying their assigned seqs — the
+    hub fans these out to subscribed standbys.  ``retention_floor``
+    maps a tenant name to the lowest seq a live subscriber still needs
+    (or ``None``), pinning journal compaction.
     """
 
     def __init__(
@@ -69,12 +82,18 @@ class TenantSupervisor:
         clock: Callable[[], float] = time.monotonic,
         journal_hook_factory: Optional[Callable[[str], Optional[Callable]]] = None,
         fault_hook_factory: Optional[Callable[[str], Optional[Callable]]] = None,
+        fencing: Optional[FencingState] = None,
+        on_journaled: Optional[Callable[[str, List[dict]], None]] = None,
+        retention_floor: Optional[Callable[[str], Optional[int]]] = None,
     ):
         self.cfg = cfg
         self.root = root
         self.clock = clock
         self.journal_hook_factory = journal_hook_factory
         self.fault_hook_factory = fault_hook_factory
+        self.fencing = fencing
+        self.on_journaled = on_journaled
+        self.retention_floor = retention_floor
         self.policy = RetryPolicy(
             max_attempts=cfg.max_restarts,
             base_delay=cfg.restart_base_delay,
@@ -98,9 +117,16 @@ class TenantSupervisor:
 
     def _recover(self, tenant: str) -> TenantRuntime:
         jh, fh = self._hooks(tenant)
+        floor = None
+        if self.retention_floor is not None:
+            floor = lambda t=tenant: self.retention_floor(t)  # noqa: E731
         return TenantRuntime.recover(
             tenant, self.cfg, self.root,
             journal_hook=jh, fault_hook=fh,
+            fence_check=(
+                self.fencing.check if self.fencing is not None else None
+            ),
+            retention_floor=floor,
         )
 
     def slot(self, tenant: str) -> _TenantSlot:
@@ -225,6 +251,11 @@ class TenantSupervisor:
         escapes to the caller.  :class:`~repro.serving.journal.JournalTornWrite`
         *does* escape: a torn append means this process must die.
         """
+        if self.fencing is not None and self.fencing.fenced:
+            # Superseded: this node must never journal (= ack) again.
+            return [
+                (FENCED, {"fence": self.fencing.epoch}) for _ in records
+            ]
         slot = self.slot(tenant)
         if not self._ensure_running(tenant, slot):
             return [self._shed_payload(slot) for _ in records]
@@ -261,6 +292,12 @@ class TenantSupervisor:
             runtime.journal.append_many(to_journal)
         except JournalTornWrite:
             raise
+        except StaleFencingToken:
+            # Fenced between the check above and the append (a newer
+            # epoch arrived on another connection): reject everything.
+            return [
+                (FENCED, {"fence": self.fencing.epoch}) for _ in records
+            ]
         except OSError as exc:
             # Disk full: the batch was rolled back; shed every record
             # that needed the journal, answer the rest normally.
@@ -273,6 +310,12 @@ class TenantSupervisor:
                 else (plan, {"events": []})
                 for plan in plans
             ]
+        if self.on_journaled is not None and to_journal:
+            # The journal stream is the replication stream: ship copies
+            # (seqs now assigned) before applying, so a tenant crash
+            # mid-apply cannot hide durably journaled records from the
+            # standby — they replay identically on both sides.
+            self.on_journaled(tenant, [dict(r) for r in to_journal])
         responses: List[Tuple[str, dict]] = []
         crashed = False
         for record, plan in zip(records, plans):
@@ -341,6 +384,7 @@ class TenantSupervisor:
 
 
 __all__ = [
+    "FENCED",
     "QUARANTINED",
     "RESTARTING",
     "RUNNING",

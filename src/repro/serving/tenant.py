@@ -100,20 +100,31 @@ class TenantRuntime:
         root,
         journal_hook: Optional[Callable[[bytes], Optional[bytes]]] = None,
         fault_hook: Optional[Callable[[dict], None]] = None,
+        fence_check: Optional[Callable[[], None]] = None,
+        retention_floor: Optional[Callable[[], Optional[int]]] = None,
     ):
         self.tenant = tenant
         self.cfg = cfg
         self.dir = pathlib.Path(root) / "tenants" / tenant
         self.dir.mkdir(parents=True, exist_ok=True)
         self.journal = WriteAheadJournal(
-            self.dir / "journal.wal", write_hook=journal_hook
+            self.dir / "journal.wal", write_hook=journal_hook,
+            fence_check=fence_check,
         )
         self.checkpoint_path = self.dir / "checkpoint.npz"
         self.fault_hook = fault_hook
+        #: When set, compaction never drops records past this floor —
+        #: the replication hub pins it at the slowest live subscriber's
+        #: acked cursor so a standby can always resume from its seq.
+        self.retention_floor = retention_floor
         self.monitor = _build_monitor(cfg)
         self.health: Optional[AgentHealthTracker] = None
         self.next_epoch = 0
         self.applied_seq = 0
+        #: Highest seq ever dropped by compaction: a subscriber whose
+        #: cursor sits below this has a gap the journal can no longer
+        #: fill and must be re-seeded (``snapshot-needed``).
+        self.compacted_through = 0
         self.epochs_since_checkpoint = 0
         self.event_log: List[dict] = []  # wire-encoded, cumulative
         #: reports currently buffered for ``next_epoch``, by machine id
@@ -243,9 +254,18 @@ class TenantRuntime:
         already-applied records is a sequence of idempotent overwrites
         and duplicate no-ops.
         """
+        floor = self.applied_seq
+        if self.retention_floor is not None:
+            pinned = self.retention_floor()
+            if pinned is not None:
+                # Never compact past the slowest live subscriber: its
+                # next resume must find every record after its cursor.
+                floor = min(floor, pinned)
+        floor = max(floor, self.compacted_through)
         extra = {
             "applied_seq": self.applied_seq,
             "next_epoch": self.next_epoch,
+            "compacted_through": floor,
             "health": self._health_state(),
             "events": self.event_log,
             "pending": {
@@ -254,7 +274,8 @@ class TenantRuntime:
             },
         }
         ckpt.save_monitor(self.monitor, self.checkpoint_path, extra=extra)
-        self.journal.compact(self.applied_seq)
+        self.journal.compact(floor)
+        self.compacted_through = floor
         self.epochs_since_checkpoint = 0
 
     @classmethod
@@ -265,6 +286,8 @@ class TenantRuntime:
         root,
         journal_hook: Optional[Callable[[bytes], Optional[bytes]]] = None,
         fault_hook: Optional[Callable[[dict], None]] = None,
+        fence_check: Optional[Callable[[], None]] = None,
+        retention_floor: Optional[Callable[[], Optional[int]]] = None,
     ) -> "TenantRuntime":
         """Restore from checkpoint + journal; safe after ``kill -9``.
 
@@ -276,6 +299,7 @@ class TenantRuntime:
         runtime = cls(
             tenant, cfg, root,
             journal_hook=journal_hook, fault_hook=fault_hook,
+            fence_check=fence_check, retention_floor=retention_floor,
         )
         if runtime.checkpoint_path.exists():
             runtime.monitor = ckpt.load_monitor(
@@ -288,6 +312,11 @@ class TenantRuntime:
             extra = ckpt.read_checkpoint_extra(runtime.checkpoint_path)
             runtime.applied_seq = int(extra.get("applied_seq", 0))
             runtime.next_epoch = int(extra.get("next_epoch", 0))
+            # Pre-replication checkpoints always compacted to the
+            # cursor, so their floor defaults to applied_seq.
+            runtime.compacted_through = int(
+                extra.get("compacted_through", runtime.applied_seq)
+            )
             runtime.event_log = list(extra.get("events", []))
             runtime.pending = {
                 machine: (entry["values"], entry["violation"])

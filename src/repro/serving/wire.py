@@ -24,6 +24,36 @@ Requests (``op`` selects the verb):
     liveness, service-wide counters, and one tenant's full recovery
     state (used by tests to prove bit-identity).
 
+Replication and administration (PR 7):
+
+``repl_subscribe``
+    ``{"op": "repl_subscribe", "cursors": {tenant: seq, ...},
+    "fence": e}`` — a standby opens a journal-shipping subscription,
+    resuming each tenant's stream after the given sequence number.  The
+    primary answers once, then *pushes* ``repl_frames`` /
+    ``repl_heartbeat`` messages down the same connection.
+``repl_frames``
+    ``{"op": "repl_frames", "tenant": t, "records": [...]}`` — a batch
+    of journal records (each carrying its primary-assigned ``seq``),
+    pushed primary → standby.
+``repl_ack``
+    ``{"op": "repl_ack", "cursors": {tenant: seq, ...}}`` — the standby
+    reports how far it has durably applied; drives the primary's lag
+    accounting, journal retention, and dead-subscriber reaping.
+``repl_heartbeat``
+    pushed on idle links so long-lived subscriptions survive the
+    slow-loris timeout; the standby answers with a ``repl_ack``.
+``promote`` / ``fence`` / ``unquarantine``
+    operator verbs: promote this standby to primary (mints a new
+    fencing epoch), tell a superseded node it has been fenced, and
+    release a quarantined tenant with a fresh restart budget.
+
+Journaled verbs additionally accept an optional ``fence`` field — the
+highest fencing epoch the writer has observed.  A token newer than the
+server's proves the server stale (it fences itself); an older token
+marks the *writer* stale (rejected with ``stale-fence`` + the current
+epoch).  See :mod:`repro.serving.fencing`.
+
 Responses are ``{"ok": true, ...}`` (``seq`` carries the journal
 sequence number for journaled verbs; ``events`` carries monitor events)
 or ``{"ok": false, "error": code}`` with ``retry_after`` seconds on
@@ -50,7 +80,14 @@ from repro.core.streaming import (
 )
 
 #: Request verbs understood by the server.
-OPS = ("report", "close_epoch", "diagnose", "ping", "stats", "state")
+OPS = (
+    "report", "close_epoch", "diagnose", "ping", "stats", "state",
+    "repl_subscribe", "repl_ack", "promote", "fence", "unquarantine",
+)
+
+#: Messages pushed primary → standby on a replication link (these are
+#: not client requests; :func:`parse_repl_push` validates them).
+REPL_PUSH_OPS = ("repl_frames", "repl_heartbeat")
 
 
 class MalformedFrame(ValueError):
@@ -97,6 +134,32 @@ def _require_tenant(obj: Dict[str, Any], what: str) -> str:
     return tenant
 
 
+def _optional_fence(obj: Dict[str, Any], out: Dict[str, Any], what: str):
+    """Validate the optional ``fence`` token onto the canonical dict."""
+    if "fence" not in obj:
+        return out
+    fence = _require(obj, "fence", int, what)
+    if fence < 0:
+        raise MalformedFrame(f"{what} fence must be non-negative")
+    out["fence"] = fence
+    return out
+
+
+def _require_cursors(obj: Dict[str, Any], what: str) -> Dict[str, int]:
+    cursors = _require(obj, "cursors", dict, what)
+    out: Dict[str, int] = {}
+    for tenant, seq in cursors.items():
+        if not isinstance(tenant, str) or not tenant:
+            raise MalformedFrame(f"{what} cursor tenant must be a string")
+        if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+            raise MalformedFrame(
+                f"{what} cursor for {tenant!r} must be a non-negative "
+                "integer"
+            )
+        out[tenant] = seq
+    return out
+
+
 def parse_request(obj: Dict[str, Any]) -> Dict[str, Any]:
     """Validate a decoded frame into a canonical request dict.
 
@@ -121,33 +184,96 @@ def parse_request(obj: Dict[str, Any]) -> Dict[str, Any]:
             if isinstance(v, bool) or not isinstance(v, (int, float)):
                 raise MalformedFrame("report values must be numbers")
         violation = _require(obj, "violation", bool, "report")
-        return {
+        return _optional_fence(obj, {
             "op": "report",
             "tenant": tenant,
             "machine": machine,
             "epoch": epoch,
             "values": [float(v) for v in values],
             "violation": violation,
-        }
+        }, "report")
     if op == "close_epoch":
         tenant = _require_tenant(obj, "close_epoch")
         epoch = _require(obj, "epoch", int, "close_epoch")
         if epoch < 0:
             raise MalformedFrame("close_epoch epoch must be non-negative")
-        return {"op": "close_epoch", "tenant": tenant, "epoch": epoch}
+        return _optional_fence(
+            obj, {"op": "close_epoch", "tenant": tenant, "epoch": epoch},
+            "close_epoch",
+        )
     if op == "diagnose":
         tenant = _require_tenant(obj, "diagnose")
         crisis = _require(obj, "crisis", int, "diagnose")
         label = _require(obj, "label", str, "diagnose")
         if not label:
             raise MalformedFrame("diagnose label must be non-empty")
-        return {
+        return _optional_fence(obj, {
             "op": "diagnose", "tenant": tenant,
             "crisis": crisis, "label": label,
-        }
+        }, "diagnose")
     if op == "state":
         return {"op": "state", "tenant": _require_tenant(obj, "state")}
+    if op == "repl_subscribe":
+        return _optional_fence(obj, {
+            "op": "repl_subscribe",
+            "cursors": _require_cursors(obj, "repl_subscribe"),
+        }, "repl_subscribe")
+    if op == "repl_ack":
+        return {
+            "op": "repl_ack",
+            "cursors": _require_cursors(obj, "repl_ack"),
+        }
+    if op == "fence":
+        epoch = _require(obj, "epoch", int, "fence")
+        if epoch < 1:
+            raise MalformedFrame("fence epoch must be positive")
+        return {"op": "fence", "epoch": epoch}
+    if op == "unquarantine":
+        return {
+            "op": "unquarantine",
+            "tenant": _require_tenant(obj, "unquarantine"),
+        }
     return {"op": op}
+
+
+def parse_repl_push(obj: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a primary → standby push message (frames or heartbeat).
+
+    The standby applies these through the live journal-then-apply path,
+    so the same no-garbage rule holds: anything malformed raises
+    :class:`MalformedFrame` and the standby drops the link rather than
+    applying it.
+    """
+    op = obj.get("op")
+    if op not in REPL_PUSH_OPS:
+        raise MalformedFrame(f"unknown replication push op {op!r}")
+    if op == "repl_heartbeat":
+        return {"op": "repl_heartbeat"}
+    tenant = _require_tenant(obj, "repl_frames")
+    records = _require(obj, "records", list, "repl_frames")
+    if not records:
+        raise MalformedFrame("repl_frames records must be non-empty")
+    validated: List[Dict[str, Any]] = []
+    for record in records:
+        if not isinstance(record, dict):
+            raise MalformedFrame("repl_frames records must be objects")
+        seq = record.get("seq")
+        if isinstance(seq, bool) or not isinstance(seq, int) or seq < 1:
+            raise MalformedFrame(
+                "repl_frames record is missing its journal seq"
+            )
+        body = parse_request(record)
+        if body["op"] not in ("report", "close_epoch", "diagnose"):
+            raise MalformedFrame(
+                f"unjournalable op {body['op']!r} in repl_frames"
+            )
+        if body["tenant"] != tenant:
+            raise MalformedFrame(
+                "repl_frames record tenant does not match the frame"
+            )
+        body["seq"] = seq
+        validated.append(body)
+    return {"op": "repl_frames", "tenant": tenant, "records": validated}
 
 
 # ---------------------------------------------------------------------------
@@ -255,11 +381,13 @@ def error_response(
 __all__ = [
     "MalformedFrame",
     "OPS",
+    "REPL_PUSH_OPS",
     "decode_frame",
     "encode_frame",
     "error_response",
     "event_from_wire",
     "event_to_wire",
     "ok_response",
+    "parse_repl_push",
     "parse_request",
 ]

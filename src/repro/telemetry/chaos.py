@@ -316,6 +316,17 @@ class ServingChaosConfig:
       last intact record);
     * ``tenant_crash`` — the tenant engine raises mid-apply (exercises
       the supervisor's restart/backoff/quarantine path).
+
+    Replication failure modes (PR 7), drawn per replicated batch:
+
+    * ``partition`` — the standby's replication link is severed from the
+      standby side (network partition; the subscription resumes from the
+      acked cursors after reconnect backoff);
+    * ``link_drop`` — the primary's hub drops the subscriber connection
+      mid-stream (half-open link / LB reset seen from the other side);
+    * ``delayed_ack`` — the standby applies a batch but suppresses the
+      ack round, inflating observed replication lag and exercising the
+      primary's lag accounting + dead-subscriber reaping threshold.
     """
 
     malformed_frame: float = 0.0
@@ -323,11 +334,15 @@ class ServingChaosConfig:
     disk_full: float = 0.0
     torn_write: float = 0.0
     tenant_crash: float = 0.0
+    partition: float = 0.0
+    link_drop: float = 0.0
+    delayed_ack: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
         for name in ("malformed_frame", "slow_loris", "disk_full",
-                     "torn_write", "tenant_crash"):
+                     "torn_write", "tenant_crash", "partition",
+                     "link_drop", "delayed_ack"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {p}")
@@ -366,8 +381,11 @@ class ServingChaosInjector:
         return n
 
     def _rng(self, kind: str, index: int) -> np.random.Generator:
+        # New kinds are appended so existing kinds keep their exact
+        # historical random streams (schedule stability across PRs).
         kinds = ("malformed_frame", "slow_loris", "disk_full",
-                 "torn_write", "tenant_crash")
+                 "torn_write", "tenant_crash", "partition",
+                 "link_drop", "delayed_ack")
         return np.random.default_rng(
             [self.config.seed, kinds.index(kind), index]
         )

@@ -8,11 +8,16 @@ crash signature) or raises a *typed* error — never a raw
 
 import errno
 import os
+import pathlib
+import tempfile
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serving.journal import (
     JournalCorruptError,
+    JournalError,
     JournalTornWrite,
     WriteAheadJournal,
 )
@@ -250,3 +255,96 @@ class TestCompaction:
             j.compact(applied_seq=2)
         leftovers = [p for p in os.listdir(tmp_path) if "tmp" in p]
         assert leftovers == []
+
+
+class TestFuzzedDamage:
+    """Property fuzz of the frame parser: arbitrary byte-level damage.
+
+    Whatever we do to the file — truncate it anywhere, flip bits, splice
+    in garbage, zero out a span — replay must land in exactly one of the
+    contract's three outcomes: a clean replay, a torn-tail stop at the
+    last intact record, or a typed ``JournalError``.  Any other
+    exception (``struct.error``, ``UnicodeDecodeError``, ``KeyError``,
+    ...) is a crash bug.  When replay *does* return, the records must be
+    a verbatim prefix of the originals — damage may lose the tail, but
+    it must never invent or reorder records.
+    """
+
+    @staticmethod
+    def _pristine(tmp, n):
+        path = tmp / "src.wal"
+        with WriteAheadJournal(path) as j:
+            j.append_many([rec(i) for i in range(n)])
+            original = j.replay()
+        return path.read_bytes(), original
+
+    @given(data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_damage_is_classified_never_a_crash(self, data):
+        with tempfile.TemporaryDirectory() as d:
+            tmp = pathlib.Path(d)
+            n = data.draw(st.integers(min_value=1, max_value=6))
+            blob, original = self._pristine(tmp, n)
+            kind = data.draw(
+                st.sampled_from(["truncate", "flip", "insert", "zero_span"])
+            )
+            if kind == "truncate":
+                cut = data.draw(st.integers(0, len(blob)))
+                damaged = blob[:cut]
+            elif kind == "flip":
+                pos = data.draw(st.integers(0, len(blob) - 1))
+                bit = data.draw(st.integers(0, 7))
+                damaged = (
+                    blob[:pos]
+                    + bytes([blob[pos] ^ (1 << bit)])
+                    + blob[pos + 1:]
+                )
+            elif kind == "insert":
+                pos = data.draw(st.integers(0, len(blob)))
+                junk = bytes(
+                    data.draw(
+                        st.lists(
+                            st.integers(0, 255), min_size=1, max_size=48
+                        )
+                    )
+                )
+                damaged = blob[:pos] + junk + blob[pos:]
+            else:  # zero_span
+                pos = data.draw(st.integers(0, len(blob) - 1))
+                span = data.draw(st.integers(1, min(32, len(blob) - pos)))
+                damaged = blob[:pos] + b"\x00" * span + blob[pos + span:]
+
+            path = tmp / "damaged.wal"
+            path.write_bytes(damaged)
+            with WriteAheadJournal(path) as j:
+                try:
+                    records = j.replay()
+                except JournalError:
+                    return  # typed classification: acceptable outcome
+                # Clean or torn tail: an intact, verbatim prefix.
+                assert records == original[: len(records)]
+                # A torn tail must be repairable: after trimming, the
+                # journal replays the same prefix and accepts appends.
+                assert j.truncate_tail() >= 0
+                assert j.replay() == records
+                j.append(rec(999))
+
+    @given(
+        n=st.integers(min_value=1, max_value=5),
+        cut_back=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pure_truncation_is_never_corrupt(self, n, cut_back):
+        """A pulled plug only ever shortens the file; that exact damage
+        shape must always classify as clean/torn-tail, never corrupt —
+        corrupt would page an operator for a routine crash."""
+        with tempfile.TemporaryDirectory() as d:
+            tmp = pathlib.Path(d)
+            blob, original = self._pristine(tmp, n)
+            damaged = blob[: max(0, len(blob) - cut_back)]
+            path = tmp / "torn.wal"
+            path.write_bytes(damaged)
+            with WriteAheadJournal(path) as j:
+                records = j.replay()  # must NOT raise
+                assert records == original[: len(records)]
+                assert len(records) < len(original)

@@ -259,6 +259,61 @@ class TestOverloadProof:
             srv.close()
 
 
+class TestAdminOps:
+    def test_unquarantine_over_the_wire(self, tmp_path):
+        """Operator releases a quarantined tenant without a restart."""
+        poisoned = {"on": True}
+
+        def poison(tenant):
+            if tenant != "bad":
+                return None
+
+            def hook(record):
+                if poisoned["on"] and record["op"] == "report":
+                    raise InjectedTenantCrash("poison")
+
+            return hook
+
+        srv = IngestServer(
+            small_cfg(max_restarts=2), tmp_path,
+            fault_hook_factory=poison,
+        )
+        srv.start()
+        try:
+            with ServingClient("127.0.0.1", srv.port) as client:
+                for _ in range(12):
+                    resp = client.request(report(0, tenant="bad"))
+                    if resp.get("error") == "quarantined":
+                        break
+                    time.sleep(0.05)
+                assert resp.get("error") == "quarantined"
+                # Releasing a tenant that is not quarantined is a typed
+                # error, not a silent no-op.
+                resp = client.request(
+                    {"op": "unquarantine", "tenant": "never-seen"}
+                )
+                assert resp["error"] == "not-quarantined"
+                # Fix the poison, then release: tenant serves again.
+                poisoned["on"] = False
+                resp = client.request(
+                    {"op": "unquarantine", "tenant": "bad"}
+                )
+                assert resp["ok"]
+                deadline = time.time() + 5.0
+                while time.time() < deadline:
+                    resp = client.request(
+                        report(0, tenant="bad", machine="m9")
+                    )
+                    if resp.get("ok"):
+                        break
+                    time.sleep(0.05)
+                assert resp.get("ok"), resp
+                stats = client.request({"op": "stats"})
+                assert stats["tenants"]["bad"]["state"] == "running"
+        finally:
+            srv.close()
+
+
 class TestGracefulShutdown:
     def test_close_checkpoints_tenants(self, server, tmp_path):
         srv = server()

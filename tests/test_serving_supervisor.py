@@ -207,6 +207,43 @@ class TestCrashLoop:
         assert sup.slot("bad").crash_streak == 0
         sup.close()
 
+    def test_released_tenant_that_still_crashes_requarantines(self, tmp_path):
+        """The unquarantine regression: release must grant a FULL fresh
+        restart budget — and a tenant whose poison record is still in
+        the journal must burn through that budget and land back in
+        quarantine, not crash-loop forever or stay released."""
+        clock = FakeClock()
+        sup = TenantSupervisor(
+            small_cfg(max_restarts=2), tmp_path, clock=clock,
+            fault_hook_factory=poison_factory("bad"),
+        )
+        clock.now += 1000.0
+        sup.dispatch("bad", report(0))
+        clock.now += 1000.0
+        sup.dispatch("bad", report(0))
+        assert sup.slot("bad").state == QUARANTINED
+        # Operator releases it; the poison record is still journaled.
+        sup.clear_quarantine("bad")
+        # The budget really is fresh: the first post-release crash is
+        # a restart, not an immediate re-quarantine.
+        clock.now += 1000.0
+        status, payload = sup.dispatch("bad", report(0))
+        assert status == "shed"
+        assert sup.slot("bad").state == RESTARTING
+        assert sup.slot("bad").crash_streak == 1
+        # ...and the streak runs to the same ceiling as the first time.
+        clock.now += 1000.0
+        sup.dispatch("bad", report(0))
+        assert sup.slot("bad").state == QUARANTINED
+        assert sup.slot("bad").crash_streak == 2
+        # A second release after the poison is fixed actually heals.
+        sup.clear_quarantine("bad")
+        sup.fault_hook_factory = None  # the restart re-derives hooks
+        clock.now += 1000.0
+        status, _ = sup.dispatch("bad", report(0))
+        assert status in ("applied", "shed")
+        sup.close()
+
 
 class TestRecoveryIntegration:
     def test_adopt_existing_recovers_tenant_dirs(self, tmp_path):

@@ -14,6 +14,7 @@ from repro.serving.wire import (
     encode_frame,
     event_from_wire,
     event_to_wire,
+    parse_repl_push,
     parse_request,
 )
 
@@ -102,6 +103,109 @@ class TestMalformed:
     def test_invalid_requests(self, obj):
         with pytest.raises(MalformedFrame):
             parse_request(obj)
+
+
+class TestReplicationOps:
+    def test_repl_subscribe_roundtrip(self):
+        req = roundtrip({
+            "op": "repl_subscribe",
+            "cursors": {"a": 0, "b": 17},
+            "fence": 3,
+            "__smuggled": "x",
+        })
+        assert req == {
+            "op": "repl_subscribe",
+            "cursors": {"a": 0, "b": 17},
+            "fence": 3,
+        }
+
+    def test_repl_ack_roundtrip(self):
+        req = roundtrip({"op": "repl_ack", "cursors": {"t": 9}})
+        assert req == {"op": "repl_ack", "cursors": {"t": 9}}
+
+    def test_fence_and_unquarantine_roundtrip(self):
+        assert roundtrip({"op": "fence", "epoch": 2}) == {
+            "op": "fence", "epoch": 2,
+        }
+        assert roundtrip({"op": "unquarantine", "tenant": "t"}) == {
+            "op": "unquarantine", "tenant": "t",
+        }
+
+    def test_journaled_ops_carry_optional_fence(self):
+        req = roundtrip({
+            "op": "close_epoch", "tenant": "t", "epoch": 4, "fence": 7,
+        })
+        assert req["fence"] == 7
+        # Absent is absent, not zero: 0 is a valid (pre-failover) token.
+        req = roundtrip({"op": "close_epoch", "tenant": "t", "epoch": 4})
+        assert "fence" not in req
+
+    @pytest.mark.parametrize("obj", [
+        {"op": "repl_subscribe"},  # missing cursors
+        {"op": "repl_subscribe", "cursors": [1, 2]},
+        {"op": "repl_subscribe", "cursors": {"t": -1}},
+        {"op": "repl_subscribe", "cursors": {"t": True}},
+        {"op": "repl_subscribe", "cursors": {"": 0}},
+        {"op": "repl_subscribe", "cursors": {}, "fence": -1},
+        {"op": "repl_subscribe", "cursors": {}, "fence": "3"},
+        {"op": "repl_ack", "cursors": {"t": "9"}},
+        {"op": "fence"},
+        {"op": "fence", "epoch": 0},  # epoch 0 is never minted
+        {"op": "fence", "epoch": True},
+        {"op": "unquarantine"},
+        {"op": "unquarantine", "tenant": "a/b"},
+    ])
+    def test_invalid_replication_requests(self, obj):
+        with pytest.raises(MalformedFrame):
+            parse_request(obj)
+
+
+def seq_rec(seq, tenant="t"):
+    return {
+        "op": "report", "tenant": tenant, "machine": "m0",
+        "epoch": 0, "values": [1.0], "violation": False,
+        "seq": seq,
+    }
+
+
+class TestReplPush:
+    def test_frames_roundtrip_preserves_seqs(self):
+        push = parse_repl_push(decode_frame(encode_frame({
+            "op": "repl_frames", "tenant": "t",
+            "records": [seq_rec(4), seq_rec(5)],
+        })))
+        assert push["tenant"] == "t"
+        assert [r["seq"] for r in push["records"]] == [4, 5]
+        assert all(r["op"] == "report" for r in push["records"])
+
+    def test_heartbeat_roundtrip(self):
+        push = parse_repl_push({"op": "repl_heartbeat"})
+        assert push == {"op": "repl_heartbeat"}
+
+    @pytest.mark.parametrize("obj", [
+        {"op": "report"},  # not a push op
+        {"op": "repl_frames", "tenant": "t"},  # missing records
+        {"op": "repl_frames", "tenant": "t", "records": []},
+        {"op": "repl_frames", "tenant": "t", "records": ["x"]},
+        # Record missing its journal seq.
+        {"op": "repl_frames", "tenant": "t", "records": [{
+            "op": "report", "tenant": "t", "machine": "m0",
+            "epoch": 0, "values": [1.0], "violation": False,
+        }]},
+        # Seq must be a positive integer, not a bool.
+        {"op": "repl_frames", "tenant": "t", "records": [seq_rec(0)]},
+        {"op": "repl_frames", "tenant": "t",
+         "records": [{**seq_rec(1), "seq": True}]},
+        # A record for a different tenant smuggled into the frame.
+        {"op": "repl_frames", "tenant": "t",
+         "records": [seq_rec(1, tenant="other")]},
+        # Non-journalable verbs cannot ride the replication stream.
+        {"op": "repl_frames", "tenant": "t", "records": [{
+            "op": "state", "tenant": "t", "seq": 1}]},
+    ])
+    def test_invalid_pushes(self, obj):
+        with pytest.raises(MalformedFrame):
+            parse_repl_push(obj)
 
 
 class TestEventRoundtrip:
