@@ -101,6 +101,15 @@ HEADLINES: Dict[str, Tuple[Headline, ...]] = {
         ),
         Headline("recovery_s", lambda d: d["recovery_s"], LOWER, slack=1.0),
     ),
+    "discovery": (
+        Headline(
+            "recovered_types", lambda d: d["recovered_types"], HIGHER
+        ),
+        Headline(
+            "adjusted_rand", lambda d: d["adjusted_rand"], HIGHER,
+            slack=0.05,
+        ),
+    ),
     "serving_replication": (
         Headline(
             "replicated_reports_per_s",
@@ -133,6 +142,10 @@ BENCH_SOURCES: Dict[str, Tuple[str, str]] = {
     ),
     "serving_replication": (
         "benchmarks/test_serving_failover.py", "SERVING_FAILOVER_QUICK"
+    ),
+    "discovery": (
+        "benchmarks/test_discovery_unlabeled.py",
+        "DISCOVERY_UNLABELED_QUICK",
     ),
 }
 

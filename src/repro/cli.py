@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the common workflows without writing Python:
+The subcommands cover the common workflows without writing Python:
 
 * ``simulate`` — generate a synthetic datacenter trace and save it;
 * ``identify`` — replay online crisis identification over a saved trace;
@@ -13,6 +13,9 @@ Nine subcommands cover the common workflows without writing Python:
 * ``serve`` — the durable ingestion front door (``--standby-of`` runs a
   warm replica); ``admin`` — operate a running fleet (stats,
   unquarantine, promote, fence, failover);
+* ``discover`` — unsupervised crisis discovery: cluster an unlabeled
+  trace (:mod:`repro.discovery`), inspect saved discovery state, and
+  manually promote clusters into the catalog;
 * ``discriminate`` — Figure 3's AUC comparison of all four methods;
 * ``render`` — print a Figure 1-style fingerprint heatmap for one crisis;
 * ``timeline`` — print a day-by-day strip of the trace's crises;
@@ -207,7 +210,51 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--repl-ack-timeout", type=float, default=5.0,
                    help="seconds without an ack before a replication "
                         "subscriber is presumed dead and reaped")
+    p.add_argument("--discovery", action="store_true",
+                   help="attach a discovery engine to every tenant so "
+                        "don't-know crises grow the catalog "
+                        "automatically (see docs/discovery.md)")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _add_discover(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "discover",
+        help="unsupervised crisis discovery over an unlabeled trace "
+             "(see docs/discovery.md)",
+    )
+    dsub = p.add_subparsers(dest="discover_action", required=True)
+
+    r = dsub.add_parser(
+        "run",
+        help="replay a trace with zero diagnoses and cluster its crises",
+    )
+    r.add_argument("trace", help="path of a saved .npz trace")
+    r.add_argument("--state", default=None,
+                   help="write the discovery state archive here")
+    r.add_argument("--relevant-metrics", type=int, default=10)
+    r.add_argument("--window-days", type=int, default=30)
+    r.add_argument("--assign-radius", type=float, default=None,
+                   help="fixed cluster radius "
+                        "(default: auto-calibrated from the stream)")
+    r.add_argument("--radius-scale", type=float, default=1.1,
+                   help="widening applied to the auto-calibrated radius")
+    r.add_argument("--no-promote", action="store_true",
+                   help="cluster only; never mint catalog entries")
+
+    s = dsub.add_parser(
+        "stats", help="print a saved discovery state's statistics"
+    )
+    s.add_argument("state", help="path of a discovery state archive")
+
+    pr = dsub.add_parser(
+        "promote",
+        help="manually promote one cluster into the catalog and save",
+    )
+    pr.add_argument("state", help="path of a discovery state archive")
+    pr.add_argument("cluster", type=int, help="cluster id (see stats)")
+    pr.add_argument("--label", default=None,
+                    help="catalog label (default: discovered-<id>)")
 
 
 def _parse_endpoints(spec: str) -> List[Tuple[str, int]]:
@@ -239,6 +286,12 @@ def _add_admin(sub: argparse._SubParsersAction) -> None:
                    help="serving nodes, primary first by convention")
     asub = p.add_subparsers(dest="admin_command", required=True)
     asub.add_parser("stats", help="print every node's stats as JSON")
+    inc = asub.add_parser(
+        "incidents",
+        help="print one tenant's crisis catalog: stored labels plus "
+             "discovery cluster statistics (read-only)",
+    )
+    inc.add_argument("tenant")
     u = asub.add_parser(
         "unquarantine",
         help="release a quarantined tenant with a fresh restart budget",
@@ -307,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fleet(sub)
     _add_serve(sub)
     _add_admin(sub)
+    _add_discover(sub)
     _add_discriminate(sub)
     _add_render(sub)
     _add_timeline(sub)
@@ -773,6 +827,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_restarts=args.max_restarts,
         heartbeat_interval_s=args.heartbeat_interval,
         repl_ack_timeout_s=args.repl_ack_timeout,
+        discovery_enabled=args.discovery,
         seed=args.seed,
     )
     standby_of = (
@@ -811,6 +866,17 @@ def _cmd_admin(args: argparse.Namespace) -> int:
         }
         print(json.dumps(out, indent=2, sort_keys=True))
         return 0 if any(v is not None for v in out.values()) else 1
+    if args.admin_command == "incidents":
+        for endpoint in endpoints:
+            resp = controller._call(
+                endpoint, {"op": "incidents", "tenant": args.tenant}
+            )
+            if resp is not None:
+                print(json.dumps(resp, indent=2, sort_keys=True))
+                return 0
+        print(f"no reachable node knows tenant {args.tenant!r}",
+              file=sys.stderr)
+        return 1
     if args.admin_command == "unquarantine":
         for endpoint in endpoints:
             resp = controller._call(
@@ -859,6 +925,62 @@ def _cmd_admin(args: argparse.Namespace) -> int:
     return 0 if result["action"] in ("healthy", "promoted") else 1
 
 
+def _cmd_discover(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import replace
+
+    from repro.discovery import load_discovery, save_discovery
+    from repro.discovery.eval import (
+        EVAL_DISCOVERY,
+        format_report,
+        run_unlabeled,
+    )
+
+    if args.discover_action == "run":
+        from repro.persistence import load_trace
+
+        trace = load_trace(args.trace)
+        config = FingerprintingConfig(
+            selection=SelectionConfig(n_relevant=args.relevant_metrics),
+            thresholds=ThresholdConfig(window_days=args.window_days),
+        )
+        discovery = replace(
+            EVAL_DISCOVERY,
+            assign_radius=args.assign_radius,
+            radius_scale=args.radius_scale,
+            auto_promote=not args.no_promote,
+        )
+        result, engine = run_unlabeled(
+            trace, config=config, discovery=discovery
+        )
+        print(format_report(result))
+        if args.state:
+            save_discovery(engine, args.state)
+            print(f"\ndiscovery state written to {args.state}")
+        return 0
+
+    engine = load_discovery(args.state)
+    if args.discover_action == "stats":
+        stats = engine.stats()
+        clusters = stats.pop("clusters", [])
+        for key, value in sorted(stats.items()):
+            print(f"{key:>16}: {value}")
+        for row in clusters:
+            print(json.dumps(row, sort_keys=True))
+        return 0
+
+    # promote: name one cluster by hand, persist the updated state.
+    try:
+        label = engine.promote_cluster(args.cluster, label=args.label)
+    except KeyError:
+        print(f"no cluster {args.cluster} in {args.state}",
+              file=sys.stderr)
+        return 1
+    save_discovery(engine, args.state)
+    print(f"promoted cluster {args.cluster} as {label}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "identify": _cmd_identify,
@@ -867,6 +989,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "serve": _cmd_serve,
     "admin": _cmd_admin,
+    "discover": _cmd_discover,
     "discriminate": _cmd_discriminate,
     "render": _cmd_render,
     "timeline": _cmd_timeline,

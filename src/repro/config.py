@@ -268,6 +268,86 @@ class IndexConfig:
 
 
 @dataclass(frozen=True)
+class DiscoveryConfig:
+    """Policy for unsupervised crisis discovery (:mod:`repro.discovery`).
+
+    Unidentified crisis fingerprints stream into an online medoid
+    clusterer.  A fingerprint within ``assign_radius`` of a cluster
+    medoid joins that cluster; otherwise it seeds a new one.  When
+    ``assign_radius`` is ``None`` the radius is auto-calibrated from the
+    first ``calibration_size`` fingerprints (largest gap in their sorted
+    pairwise distances, scaled by ``radius_scale``) — the unlabeled
+    analogue of the paper's Section 5.3 threshold rules, which need
+    labels this setting does not have.
+
+    Lifecycle knobs are expressed as fractions of the assignment radius
+    and deliberately leave a hysteresis band between them: two clusters
+    merge when their medoids drift within ``merge_fraction * radius``
+    (and the merged cluster would satisfy the split bound), and a
+    cluster splits when a member strays beyond
+    ``split_fraction * radius`` of the medoid (and the two new medoids
+    would sit farther apart than the merge bound).  Because each
+    transition commits only when it cannot immediately re-trigger the
+    opposite one, merge/split cannot oscillate on static evidence
+    (property-tested in ``tests/test_discovery_properties.py``).
+
+    A cluster is *promoted* into a catalog entry once its stability
+    score (evidence count, summed across merges) reaches
+    ``promote_stability`` with at least ``min_promote_size`` members;
+    promoted entries get labels ``{label_prefix}{cluster_id}`` and join
+    the supervised identification path.  ``history_limit`` bounds the
+    retained cluster-event history (the checkpointed audit trail).
+    """
+
+    assign_radius: Optional[float] = None  # None = auto-calibrate
+    radius_scale: float = 1.0
+    calibration_size: int = 12
+    merge_fraction: float = 0.5
+    split_fraction: float = 3.0
+    promote_stability: int = 4
+    min_promote_size: int = 3
+    history_limit: int = 4096
+    backend: str = "brute"
+    label_prefix: str = "discovered-"
+    auto_promote: bool = True
+
+    def __post_init__(self) -> None:
+        if self.assign_radius is not None and self.assign_radius <= 0:
+            raise ValueError("assign_radius must be positive")
+        if self.radius_scale <= 0:
+            raise ValueError("radius_scale must be positive")
+        if self.calibration_size < 2:
+            raise ValueError("calibration_size must be at least 2")
+        if not 0.0 < self.merge_fraction <= 1.0:
+            raise ValueError("merge_fraction must lie in (0, 1]")
+        if self.split_fraction < 1.0:
+            raise ValueError("split_fraction must be at least 1")
+        if self.merge_fraction >= self.split_fraction:
+            raise ValueError(
+                "merge_fraction must be below split_fraction "
+                "(the gap is the merge/split hysteresis band)"
+            )
+        if self.promote_stability < 1:
+            raise ValueError("promote_stability must be positive")
+        if self.min_promote_size < 1:
+            raise ValueError("min_promote_size must be positive")
+        if self.history_limit < 1:
+            raise ValueError("history_limit must be positive")
+        if self.backend not in ("brute", "kdtree", "lsh"):
+            raise ValueError(f"unknown index backend {self.backend!r}")
+        if not self.label_prefix:
+            raise ValueError("label_prefix must be non-empty")
+
+    def merge_radius(self, radius: float) -> float:
+        """Medoid distance below which two clusters merge."""
+        return self.merge_fraction * radius
+
+    def split_dispersion(self, radius: float) -> float:
+        """Member-to-medoid distance beyond which a cluster splits."""
+        return self.split_fraction * radius
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Policy for the durable ingestion front door (:mod:`repro.serving`).
 
@@ -324,6 +404,14 @@ class ServingConfig:
     repl_ack_timeout_s: float = 5.0
     #: Maximum journal records shipped per ``repl_frames`` push.
     repl_batch_records: int = 512
+    # --- unsupervised discovery (opt-in) ---
+    #: When true every tenant monitor gets a
+    #: :class:`repro.discovery.DiscoveryEngine` attached, so don't-know
+    #: crises grow the catalog automatically (see ``docs/discovery.md``);
+    #: its state rides in the tenant checkpoint and recovery stays
+    #: bit-identical.
+    discovery_enabled: bool = False
+    discovery: "DiscoveryConfig" = field(default_factory=lambda: DiscoveryConfig())
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -411,6 +499,7 @@ __all__ = [
     "FingerprintConfig",
     "IdentificationConfig",
     "IndexConfig",
+    "DiscoveryConfig",
     "FleetConfig",
     "ReliabilityConfig",
     "ServingConfig",

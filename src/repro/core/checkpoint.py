@@ -185,6 +185,16 @@ def save_monitor(
         "store_values": np.asarray(monitor.store.values()),
         "store_anomalous": np.asarray(monitor.store.anomalous_mask()),
     }
+    # Opt-in discovery state rides inside the monitor archive so monitor
+    # + engine stay one atomic snapshot.  Checkpoints written without an
+    # engine (including every pre-discovery archive) omit the key.
+    if monitor._discovery is not None:
+        disc_header, disc_arrays = monitor._discovery.snapshot(
+            prefix="discovery_"
+        )
+        header["discovery"] = disc_header
+        arrays["header"] = _pack_header(header)
+        arrays.update(disc_arrays)
     # Identification indexes are derived state, but re-deriving them means
     # re-fingerprinting the whole library per protocol slot — snapshot them
     # so a restored monitor resumes with warm indexes.
@@ -275,6 +285,16 @@ def load_monitor(
                 monitor._index_labels[k] = {
                     i: index.payload(i) for i in index.ids()
                 }
+            disc_header = header.get("discovery")
+            if disc_header is not None:
+                # Lazy import: repro.discovery depends on this module's
+                # siblings, so the package import stays one-directional.
+                from repro.discovery.engine import DiscoveryEngine
+
+                engine = DiscoveryEngine.from_snapshot(
+                    disc_header, data, prefix="discovery_"
+                )
+                engine.attach(monitor)
     except CheckpointError:
         raise
     except KeyError as exc:

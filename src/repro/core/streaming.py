@@ -150,6 +150,9 @@ class StreamingCrisisMonitor:
         # when thresholds or the relevant-metric set change.
         self._index_cache: Dict[int, FingerprintIndex] = {}
         self._index_labels: Dict[int, Dict[int, str]] = {}
+        # Opt-in unsupervised discovery (repro.discovery): observes the
+        # event stream so don't-know crises grow the catalog.
+        self._discovery = None
 
     # -- engine delegation -----------------------------------------------------
 
@@ -204,6 +207,25 @@ class StreamingCrisisMonitor:
     def ready(self) -> bool:
         """True once enough crisis-free history exists to discretize."""
         return self.thresholds is not None
+
+    # -- unsupervised discovery ------------------------------------------------
+
+    @property
+    def discovery(self):
+        """The attached :class:`repro.discovery.DiscoveryEngine`, if any."""
+        return self._discovery
+
+    def attach_discovery(self, engine) -> None:
+        """Opt in to unsupervised discovery: feed don't-know crises to
+        ``engine`` (a :class:`repro.discovery.DiscoveryEngine`) so they
+        cluster into automatic catalog entries instead of being dropped.
+        """
+        engine.attach(self)
+
+    def _notify(self, events: List[MonitorEvent]) -> List[MonitorEvent]:
+        if self._discovery is not None and events:
+            self._discovery.observe(events)
+        return events
 
     # -- fingerprints ----------------------------------------------------------
 
@@ -368,7 +390,7 @@ class StreamingCrisisMonitor:
                 < self.config.identification.n_epochs
             ):
                 events.append(self._dont_know(self._live, epoch))
-            return events
+            return self._notify(events)
 
         pre = self.config.fingerprint.pre_epochs
         if self._live is None:
@@ -406,7 +428,7 @@ class StreamingCrisisMonitor:
                 )
                 self._store_live()
                 self._pre_buffer = [epoch_quantiles]
-        return events
+        return self._notify(events)
 
     def _store_live(self) -> None:
         live = self._live
@@ -428,6 +450,8 @@ class StreamingCrisisMonitor:
         for stored in self._library:
             if stored.number == crisis_number:
                 stored.label = label
+                if self._discovery is not None:
+                    self._discovery.on_diagnose(crisis_number, label)
                 return
         raise KeyError(f"no stored crisis {crisis_number}")
 

@@ -1,0 +1,29 @@
+"""Unsupervised crisis discovery: auto-growing the catalog.
+
+The supervised pipeline (Section 5) can only identify crises whose type
+an operator has already diagnosed — everything else is a "don't know".
+This package mines those don't-knows online: an
+:class:`OnlineClusterer` groups unidentified fingerprints by proximity
+(through the sub-linear fingerprint index), tracks cluster medoids and
+stability, and a :class:`DiscoveryEngine` promotes stable clusters into
+the incident catalog so the supervised path starts matching them.  When
+an operator later diagnoses a member crisis, the promoted entry is
+renamed in place — never duplicated.
+"""
+
+from repro.discovery.clusterer import ClusterEvent, OnlineClusterer
+from repro.discovery.engine import (
+    DISCOVERY_FORMAT_VERSION,
+    DiscoveryEngine,
+    load_discovery,
+    save_discovery,
+)
+
+__all__ = [
+    "DISCOVERY_FORMAT_VERSION",
+    "ClusterEvent",
+    "DiscoveryEngine",
+    "OnlineClusterer",
+    "load_discovery",
+    "save_discovery",
+]

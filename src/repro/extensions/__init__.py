@@ -9,18 +9,22 @@
 
 from repro.extensions.catalog import (
     CrisisCluster,
+    adjusted_rand_index,
     catalog_summary,
     cluster_crises,
     cluster_purity,
+    normalized_mutual_information,
 )
 from repro.extensions.evolution import CrisisEvolutionModel, EvolutionProfile
 from repro.extensions.forecasting import CrisisForecaster, ForecastResult
 
 __all__ = [
     "CrisisCluster",
+    "adjusted_rand_index",
     "catalog_summary",
     "cluster_crises",
     "cluster_purity",
+    "normalized_mutual_information",
     "CrisisEvolutionModel",
     "EvolutionProfile",
     "CrisisForecaster",

@@ -116,6 +116,76 @@ def cluster_purity(
     return agree / total
 
 
+def _contingency(
+    labels_a: Sequence[object], labels_b: Sequence[object]
+) -> np.ndarray:
+    """Contingency table of two partitions over the same items."""
+    if len(labels_a) != len(labels_b):
+        raise ValueError("partitions must label the same items")
+    if len(labels_a) == 0:
+        raise ValueError("partitions are empty")
+    cats_a = {lab: i for i, lab in enumerate(dict.fromkeys(labels_a))}
+    cats_b = {lab: i for i, lab in enumerate(dict.fromkeys(labels_b))}
+    table = np.zeros((len(cats_a), len(cats_b)), dtype=np.int64)
+    for a, b in zip(labels_a, labels_b):
+        table[cats_a[a], cats_b[b]] += 1
+    return table
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    return x * (x - 1) / 2.0
+
+
+def adjusted_rand_index(
+    labels_a: Sequence[object], labels_b: Sequence[object]
+) -> float:
+    """Adjusted Rand index between two partitions (Hubert & Arabie).
+
+    1.0 for identical partitions (up to relabeling), ~0 for independent
+    ones, negative for worse-than-chance agreement.  The degenerate
+    cases (both partitions trivial — one cluster, or all singletons)
+    have zero chance-adjustment mass; they score 1.0 when the
+    partitions agree and 0.0 otherwise.
+    """
+    table = _contingency(labels_a, labels_b)
+    n = table.sum()
+    sum_cells = _comb2(table.astype(float)).sum()
+    sum_a = _comb2(table.sum(axis=1).astype(float)).sum()
+    sum_b = _comb2(table.sum(axis=0).astype(float)).sum()
+    total = _comb2(float(n))
+    expected = sum_a * sum_b / total if total else 0.0
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0 if sum_cells == max_index else 0.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def normalized_mutual_information(
+    labels_a: Sequence[object], labels_b: Sequence[object]
+) -> float:
+    """NMI between two partitions (arithmetic-mean normalization).
+
+    1.0 when the partitions determine each other, 0.0 when independent.
+    Two identical trivial partitions (zero entropy on both sides) score
+    1.0; one trivial side against a non-trivial one scores 0.0.
+    """
+    table = _contingency(labels_a, labels_b).astype(float)
+    n = table.sum()
+    p = table / n
+    pa = p.sum(axis=1)
+    pb = p.sum(axis=0)
+    ha = float(-np.sum(pa[pa > 0] * np.log(pa[pa > 0])))
+    hb = float(-np.sum(pb[pb > 0] * np.log(pb[pb > 0])))
+    if ha == 0.0 and hb == 0.0:
+        return 1.0
+    if ha == 0.0 or hb == 0.0:
+        return 0.0
+    outer = np.outer(pa, pb)
+    mask = p > 0
+    mi = float(np.sum(p[mask] * np.log(p[mask] / outer[mask])))
+    return max(0.0, min(1.0, mi / ((ha + hb) / 2.0)))
+
+
 def catalog_summary(
     clusters: Sequence[CrisisCluster],
     labels: Optional[Sequence[str]] = None,
@@ -137,7 +207,9 @@ def catalog_summary(
 
 __all__ = [
     "CrisisCluster",
+    "adjusted_rand_index",
     "catalog_summary",
     "cluster_crises",
     "cluster_purity",
+    "normalized_mutual_information",
 ]

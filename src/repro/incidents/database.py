@@ -129,6 +129,24 @@ class IncidentDatabase:
     def by_label(self, label: str) -> List[IncidentRecord]:
         return [r for r in self.records if r.label == label]
 
+    def relabel(self, old_label: str, new_label: str) -> int:
+        """Rename every record under ``old_label``; returns the count.
+
+        The discovery layer uses this when an operator diagnosis arrives
+        for an auto-promoted entry: the synthetic ``discovered-<k>``
+        label is replaced in place, never duplicated.
+        """
+        if not new_label:
+            raise ValueError("new_label must be non-empty")
+        count = 0
+        for record in self.records:
+            if record.label == old_label:
+                record.label = new_label
+                count += 1
+        if count:
+            self._invalidate_indexes()
+        return count
+
     def _index_for(self, dim: int) -> BruteForceIndex:
         """The retrieval index over all records of dimensionality ``dim``."""
         cached = self._indexes.get(dim)

@@ -486,9 +486,9 @@ class IngestServer:
             # Valid subscribes are handed off before dispatch; reaching
             # here means the frame shared a drain with a handed-off one.
             return wire.error_response("already-subscribed")
-        # state: one tenant's recovery-relevant snapshot.  Read-only:
-        # an unknown name is an error, never a freshly minted tenant
-        # directory (only journaled verbs create slots).
+        # state / incidents: one tenant's read-side snapshot.  Both are
+        # read-only: an unknown name is an error, never a freshly
+        # minted tenant directory (only journaled verbs create slots).
         tenant = request["tenant"]
         with self._lock:
             slot = self.supervisor.peek(tenant)
@@ -500,6 +500,8 @@ class IngestServer:
                 return wire.error_response(
                     slot.state, detail=slot.last_error
                 )
+            if op == "incidents":
+                return wire.ok_response(**slot.runtime.incidents())
             return wire.ok_response(state=slot.runtime.state())
 
 

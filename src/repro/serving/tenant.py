@@ -71,7 +71,7 @@ def monitor_config(cfg: ServingConfig) -> FingerprintingConfig:
 
 
 def _build_monitor(cfg: ServingConfig) -> StreamingCrisisMonitor:
-    return StreamingCrisisMonitor(
+    monitor = StreamingCrisisMonitor(
         n_metrics=cfg.n_metrics,
         relevant_metrics=list(range(cfg.n_relevant)),
         config=monitor_config(cfg),
@@ -80,6 +80,22 @@ def _build_monitor(cfg: ServingConfig) -> StreamingCrisisMonitor:
         reliability=ReliabilityConfig(coverage_floor=cfg.coverage_floor),
         clock=EpochClock(epoch_minutes=cfg.epoch_minutes),
     )
+    _attach_discovery(monitor, cfg)
+    return monitor
+
+
+def _attach_discovery(monitor: StreamingCrisisMonitor, cfg: ServingConfig):
+    """Attach a discovery engine when the tenant opts in.
+
+    A monitor restored from a checkpoint that already embeds discovery
+    state comes back with its engine attached; this only fills the gap
+    for fresh monitors and for checkpoints taken before the tenant
+    enabled discovery.
+    """
+    if cfg.discovery_enabled and monitor.discovery is None:
+        from repro.discovery.engine import DiscoveryEngine
+
+        monitor.attach_discovery(DiscoveryEngine(cfg.discovery))
 
 
 class TenantRuntime:
@@ -309,6 +325,7 @@ class TenantRuntime:
                     coverage_floor=cfg.coverage_floor
                 ),
             )
+            _attach_discovery(runtime.monitor, cfg)
             extra = ckpt.read_checkpoint_extra(runtime.checkpoint_path)
             runtime.applied_seq = int(extra.get("applied_seq", 0))
             runtime.next_epoch = int(extra.get("next_epoch", 0))
@@ -363,6 +380,27 @@ class TenantRuntime:
                 "hot": thresholds.hot.tolist(),
             },
             "events": list(self.event_log),
+        }
+
+    def incidents(self) -> dict:
+        """Wire-safe incident-catalog view (``admin incidents``).
+
+        Read-only companion to :meth:`state`: the crises the monitor
+        retains with their current labels, the distinct labels the
+        supervised path can match, and — when a discovery engine rides
+        this tenant — its cluster statistics.
+        """
+        discovery = self.monitor.discovery
+        return {
+            "tenant": self.tenant,
+            "crises": [
+                {"number": s.number, "label": s.label}
+                for s in self.monitor._library
+            ],
+            "library_labels": sorted(
+                {s.label for s in self.monitor._library if s.label}
+            ),
+            "discovery": None if discovery is None else discovery.stats(),
         }
 
     def close(self) -> None:

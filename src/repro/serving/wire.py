@@ -82,6 +82,7 @@ from repro.core.streaming import (
 #: Request verbs understood by the server.
 OPS = (
     "report", "close_epoch", "diagnose", "ping", "stats", "state",
+    "incidents",
     "repl_subscribe", "repl_ack", "promote", "fence", "unquarantine",
 )
 
@@ -213,6 +214,11 @@ def parse_request(obj: Dict[str, Any]) -> Dict[str, Any]:
         }, "diagnose")
     if op == "state":
         return {"op": "state", "tenant": _require_tenant(obj, "state")}
+    if op == "incidents":
+        return {
+            "op": "incidents",
+            "tenant": _require_tenant(obj, "incidents"),
+        }
     if op == "repl_subscribe":
         return _optional_fence(obj, {
             "op": "repl_subscribe",

@@ -115,3 +115,98 @@ class TestCommands:
         out = capsys.readouterr().out
         assert f"resumed from {ckpt} at epoch 1200" in out
         assert "monitored epochs 1200..1400" in out
+
+
+class TestDiscoverParser:
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["discover", "run", "t.npz", "--state", "d.npz",
+             "--relevant-metrics", "12", "--radius-scale", "1.2",
+             "--no-promote"]
+        )
+        assert args.command == "discover"
+        assert args.discover_action == "run"
+        assert args.state == "d.npz"
+        assert args.relevant_metrics == 12
+        assert args.radius_scale == 1.2
+        assert args.no_promote
+        assert args.assign_radius is None
+
+    def test_stats_and_promote(self):
+        args = build_parser().parse_args(["discover", "stats", "d.npz"])
+        assert args.discover_action == "stats"
+        args = build_parser().parse_args(
+            ["discover", "promote", "d.npz", "3", "--label", "db-fail"]
+        )
+        assert args.discover_action == "promote"
+        assert args.cluster == 3 and args.label == "db-fail"
+
+    def test_action_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover"])
+
+    def test_admin_incidents(self):
+        args = build_parser().parse_args(
+            ["admin", "--endpoints", "h:1", "incidents", "acme"]
+        )
+        assert args.admin_command == "incidents" and args.tenant == "acme"
+
+    def test_serve_discovery_flag(self):
+        args = build_parser().parse_args(["serve", "--root", "r"])
+        assert args.discovery is False
+        args = build_parser().parse_args(
+            ["serve", "--root", "r", "--discovery"]
+        )
+        assert args.discovery is True
+
+
+class TestDiscoverCommands:
+    def test_run_stats_promote_round_trip(self, trace_path, tmp_path,
+                                          capsys):
+        state = tmp_path / "discovery.npz"
+        rc = main([
+            "discover", "run", trace_path,
+            "--state", str(state), "--no-promote",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered types" in out
+        assert "supervised ceiling" in out
+        assert state.exists()
+
+        rc = main(["discover", "stats", str(state)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "n_clusters" in out and "radius" in out
+
+        from repro.discovery import load_discovery
+
+        cid = load_discovery(state).clusterer.cluster_ids()[0]
+        rc = main([
+            "discover", "promote", str(state), str(cid),
+            "--label", "ops-reviewed",
+        ])
+        assert rc == 0
+        assert "promoted cluster" in capsys.readouterr().out
+        assert (
+            load_discovery(state).clusterer.label(cid) == "ops-reviewed"
+        )
+
+    def test_promote_unknown_cluster_fails(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.config import DiscoveryConfig
+        from repro.discovery import (
+            DiscoveryEngine,
+            OnlineClusterer,
+            save_discovery,
+        )
+
+        engine = DiscoveryEngine(DiscoveryConfig(assign_radius=1.0))
+        engine.clusterer = OnlineClusterer(2, engine.config)
+        engine.clusterer.ingest(np.zeros(2), ref=0)
+        state = tmp_path / "d.npz"
+        save_discovery(engine, state)
+        rc = main(["discover", "promote", str(state), "99"])
+        assert rc == 1
+        assert "no cluster 99" in capsys.readouterr().err

@@ -1,0 +1,238 @@
+"""OnlineClusterer unit behavior: assignment, lifecycle, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.config import DiscoveryConfig
+from repro.discovery import ClusterEvent, OnlineClusterer
+
+
+def pt(x, y=0.0):
+    return np.array([float(x), float(y)])
+
+
+def make(radius=1.0, **over):
+    config = DiscoveryConfig(assign_radius=radius, **over)
+    return OnlineClusterer(2, config)
+
+
+def groups(clusterer):
+    """The partition as a set of frozensets (label-free comparison)."""
+    return {frozenset(m) for m in clusterer.partition().values()}
+
+
+class TestAssignment:
+    def test_seed_then_join(self):
+        c = make()
+        assert c.ingest(pt(0.0), ref=1) == 0
+        assert c.ingest(pt(0.5), ref=2) == 0
+        assert c.ingest(pt(5.0), ref=3) == 1
+        assert c.cluster_of(1) == c.cluster_of(2) == 0
+        assert c.cluster_of(3) == 1
+        assert groups(c) == {frozenset({1, 2}), frozenset({3})}
+
+    def test_joins_nearest_neighbor_cluster(self):
+        c = make()
+        c.ingest(pt(0.0), ref=1)
+        c.ingest(pt(3.0), ref=2)
+        # 2.1 is within radius of neither seed; 2.2 chains onto ref 2.
+        c.ingest(pt(2.2), ref=3)
+        assert c.cluster_of(3) == c.cluster_of(2)
+        assert c.cluster_of(3) != c.cluster_of(1)
+
+    def test_duplicate_ref_rejected(self):
+        c = make()
+        c.ingest(pt(0.0), ref=1)
+        with pytest.raises(ValueError, match="already clustered"):
+            c.ingest(pt(1.0), ref=1)
+
+    def test_dimension_mismatch_rejected(self):
+        c = make()
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            c.ingest(np.zeros(3), ref=1)
+
+    def test_stability_counts_evidence(self):
+        c = make()
+        c.ingest(pt(0.0), ref=1)
+        c.ingest(pt(0.2), ref=2)
+        c.ingest(pt(0.4), ref=3)
+        assert c.stability(0) == 3
+
+
+class TestLifecycle:
+    def test_bridge_point_merges_clusters(self):
+        c = make()
+        c.ingest(pt(0.0), ref=1)
+        c.ingest(pt(1.6), ref=2)
+        assert len(c) == 2
+        # 0.8 is within the radius of both members: single-linkage says
+        # the three points are one component.
+        c.ingest(pt(0.8), ref=3)
+        assert len(c) == 1
+        assert groups(c) == {frozenset({1, 2, 3})}
+        assert any(e.kind == "merged" for e in c.events)
+
+    def test_merge_guard_refuses_oversize_cluster(self):
+        # The merged span {-0.9 .. 2.8} has dispersion 1.85 > the split
+        # bound of 1.0: the bridge must NOT merge the two clusters (the
+        # merge would immediately re-split).
+        c = make(radius=1.0, split_fraction=1.0)
+        c.ingest(pt(0.0), ref=1)
+        c.ingest(pt(-0.9), ref=2)
+        c.ingest(pt(1.9), ref=3)
+        c.ingest(pt(2.8), ref=4)
+        assert len(c) == 2
+        c.ingest(pt(0.95), ref=5)  # within radius of refs 1 and 3
+        assert len(c) == 2
+        assert c.cluster_of(5) == c.cluster_of(1)  # nearest, lowest id
+
+    def test_remove_dissolves_singleton(self):
+        c = make()
+        c.ingest(pt(0.0), ref=1)
+        c.remove(1)
+        assert len(c) == 0
+        assert c.cluster_of(1) is None
+        assert c.events[-1].kind == "dissolved"
+
+    def test_remove_unknown_ref_raises(self):
+        c = make()
+        with pytest.raises(KeyError):
+            c.remove(99)
+
+    def test_remove_bridge_splits_stretched_cluster(self):
+        # Chain 0 -- 0.9 -- 1.8 is one component; removing the middle
+        # leaves a dispersion of 1.8 > split bound 1.5 and a medoid gap
+        # of 1.8 > merge bound 0.3, so the split commits.
+        c = make(radius=1.0, split_fraction=1.5, merge_fraction=0.3)
+        c.ingest(pt(0.0), ref=1)
+        c.ingest(pt(0.9), ref=2)
+        c.ingest(pt(1.8), ref=3)
+        assert len(c) == 1
+        c.remove(2)
+        assert groups(c) == {frozenset({1}), frozenset({3})}
+        assert any(e.kind == "split" for e in c.events)
+
+    def test_promotable_gates_on_stability_and_size(self):
+        c = make(promote_stability=3, min_promote_size=3)
+        c.ingest(pt(0.0), ref=1)
+        c.ingest(pt(0.2), ref=2)
+        assert c.promotable() == []  # size 2 < 3
+        c.ingest(pt(0.4), ref=3)
+        assert c.promotable() == [0]
+        c.promote(0, "discovered-0")
+        assert c.promotable() == []  # already promoted
+        assert c.label(0) == "discovered-0"
+        assert c.labels() == {0: "discovered-0"}
+        assert c.cluster_of_label("discovered-0") == 0
+
+    def test_rename_replaces_label(self):
+        c = make()
+        c.ingest(pt(0.0), ref=1)
+        c.promote(0, "discovered-0")
+        c.rename(0, "db-overload")
+        assert c.label(0) == "db-overload"
+        assert [e.kind for e in c.events[-2:]] == ["promoted", "renamed"]
+
+
+class TestCalibration:
+    def test_buffers_until_calibration_size(self):
+        c = OnlineClusterer(2, DiscoveryConfig(calibration_size=4))
+        assert c.ingest(pt(0.0), ref=1) is None
+        assert c.ingest(pt(0.1), ref=2) is None
+        assert c.n_pending == 2 and c.radius is None
+
+    def test_auto_radius_separates_blobs(self):
+        c = OnlineClusterer(2, DiscoveryConfig(calibration_size=6))
+        blob_a = [pt(0.0), pt(0.2), pt(0.1, 0.1)]
+        blob_b = [pt(8.0), pt(8.2), pt(8.1, 0.1)]
+        for i, vec in enumerate(blob_a + blob_b):
+            c.ingest(vec, ref=i)
+        # Sixth fingerprint fills the buffer: calibrate + drain.
+        assert c.n_pending == 0
+        assert c.radius is not None and 0.3 < c.radius < 8.0
+        assert groups(c) == {frozenset({0, 1, 2}), frozenset({3, 4, 5})}
+
+    def test_flush_drains_short_stream(self):
+        c = OnlineClusterer(2, DiscoveryConfig(calibration_size=100))
+        c.ingest(pt(0.0), ref=1)
+        c.ingest(pt(0.1), ref=2)
+        c.ingest(pt(9.0), ref=3)
+        assert c.n_pending == 3
+        c.flush()
+        assert c.n_pending == 0
+        assert groups(c) == {frozenset({1, 2}), frozenset({3})}
+
+    def test_flush_single_point_defaults_radius(self):
+        c = OnlineClusterer(2, DiscoveryConfig())
+        c.ingest(pt(0.0), ref=1)
+        c.flush()
+        assert c.radius == 1.0 and len(c) == 1
+
+
+class TestSnapshot:
+    def build(self):
+        c = make(radius=1.0)
+        rng = np.random.default_rng(3)
+        for i in range(12):
+            center = (i % 3) * 10.0
+            c.ingest(pt(center + rng.uniform(-0.4, 0.4),
+                        rng.uniform(-0.3, 0.3)), ref=i)
+        c.promote(c.cluster_ids()[0], "discovered-0")
+        return c
+
+    def test_round_trip_bit_identical(self):
+        c = self.build()
+        header, arrays = c.snapshot()
+        r = OnlineClusterer.from_snapshot(header, arrays, config=c.config)
+        assert r.partition() == c.partition()
+        assert r.assignments() == c.assignments()
+        assert r.radius == c.radius
+        assert r.events == c.events
+        assert r.labels() == c.labels()
+        for cid in c.cluster_ids():
+            np.testing.assert_array_equal(r.medoid(cid), c.medoid(cid))
+            assert r.stability(cid) == c.stability(cid)
+
+    def test_resume_is_event_for_event_identical(self):
+        c = self.build()
+        header, arrays = c.snapshot()
+        r = OnlineClusterer.from_snapshot(header, arrays, config=c.config)
+        rng = np.random.default_rng(17)
+        for i in range(12, 24):
+            vec = pt((i % 3) * 10.0 + rng.uniform(-0.4, 0.4),
+                     rng.uniform(-0.3, 0.3))
+            assert c.ingest(vec, ref=i) == r.ingest(vec, ref=i)
+        assert r.partition() == c.partition()
+        assert r.events == c.events
+        for cid in c.cluster_ids():
+            np.testing.assert_array_equal(r.medoid(cid), c.medoid(cid))
+
+    def test_pending_buffer_survives_snapshot(self):
+        c = OnlineClusterer(2, DiscoveryConfig(calibration_size=10))
+        c.ingest(pt(0.0), ref=1)
+        c.ingest(pt(5.0), ref=2)
+        header, arrays = c.snapshot()
+        r = OnlineClusterer.from_snapshot(header, arrays, config=c.config)
+        assert r.n_pending == 2 and r.radius is None
+        c.flush()
+        r.flush()
+        assert r.partition() == c.partition()
+        assert r.radius == c.radius
+
+    def test_snapshot_prefix_namespaces_arrays(self):
+        c = self.build()
+        header, arrays = c.snapshot()
+        prefixed = {f"discovery_{k}": v for k, v in arrays.items()}
+        r = OnlineClusterer.from_snapshot(
+            header, prefixed, config=c.config, prefix="discovery_"
+        )
+        assert r.partition() == c.partition()
+
+
+def test_events_are_bounded_by_history_limit():
+    c = OnlineClusterer(2, DiscoveryConfig(assign_radius=1.0,
+                                           history_limit=8))
+    for i in range(40):
+        c.ingest(pt(i * 10.0), ref=i)
+    assert len(c.events) == 8
+    assert all(isinstance(e, ClusterEvent) for e in c.events)

@@ -1,0 +1,120 @@
+"""Property tests: order invariance and merge/split hysteresis.
+
+Two properties the clusterer's design arguments rest on:
+
+* **Permutation invariance** — with the lifecycle rules quiescent the
+  partition is the connected components of the radius graph, which no
+  ingestion order can change.  Hypothesis drives well-separated blobs
+  through every permutation it can find.
+* **Hysteresis bound** — the merge guard (merged cluster must satisfy
+  the split bound) and the split guard (new medoids must exceed the
+  merge bound) are each other's negation band, so adding and removing
+  the same bridge evidence cannot cascade: every operation settles
+  within a constant number of lifecycle events, never an oscillation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DiscoveryConfig
+from repro.discovery import OnlineClusterer
+
+#: Blob centers far enough apart that no radius-1 chain can connect
+#: them; offsets below keep each blob's diameter under the radius.
+CENTERS = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]])
+
+offsets = st.tuples(
+    st.integers(-35, 35), st.integers(-35, 35)
+).map(lambda t: np.array([t[0] / 100.0, t[1] / 100.0]))
+
+points = st.lists(
+    st.tuples(st.integers(0, len(CENTERS) - 1), offsets),
+    min_size=2, max_size=16,
+)
+
+
+def groups(clusterer):
+    return {frozenset(m) for m in clusterer.partition().values()}
+
+
+def ingest_all(order, pts):
+    clusterer = OnlineClusterer(2, DiscoveryConfig(assign_radius=1.0))
+    for ref in order:
+        blob, offset = pts[ref]
+        clusterer.ingest(CENTERS[blob] + offset, ref=ref)
+    return clusterer
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=points, data=st.data())
+def test_partition_is_permutation_invariant(pts, data):
+    """Same points, any order -> same partition (up to cluster ids)."""
+    n = len(pts)
+    order = data.draw(st.permutations(range(n)))
+    baseline = ingest_all(range(n), pts)
+    shuffled = ingest_all(order, pts)
+    assert groups(shuffled) == groups(baseline)
+    # And the blobs really are what gets recovered: every cluster's
+    # members come from a single blob.
+    for members in baseline.partition().values():
+        assert len({pts[ref][0] for ref in members}) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    separation=st.integers(16, 28).map(lambda s: s / 10.0),
+    cycles=st.integers(2, 6),
+)
+def test_bridge_churn_has_bounded_hysteresis(separation, cycles):
+    """Adding/removing the same bridge evidence cannot oscillate.
+
+    Two blobs sit ``separation`` apart (bridgeable: < 2 * radius); a
+    bridge point between them is inserted and retracted repeatedly.
+    Each insert/remove settles in at most a handful of lifecycle
+    events — a cascade (merge undone by an immediate split, re-merged,
+    ...) would blow through the per-operation bound at once.
+    """
+    config = DiscoveryConfig(assign_radius=1.0)
+    clusterer = OnlineClusterer(2, config)
+    left = [np.array([0.0, 0.0]), np.array([0.2, 0.1])]
+    right = [
+        np.array([separation, 0.0]), np.array([separation - 0.2, -0.1])
+    ]
+    for i, vec in enumerate(left + right):
+        clusterer.ingest(vec, ref=i)
+    bridge = np.array([separation / 2.0, 0.0])
+
+    def normalized(ref):
+        """The partition with the cycle's bridge ref made anonymous."""
+        return frozenset(
+            frozenset("bridge" if r == ref else r for r in members)
+            for members in clusterer.partition().values()
+        )
+
+    partitions = []
+    for cycle in range(cycles):
+        ref = 100 + cycle
+        before = len(clusterer.events)
+        clusterer.ingest(bridge, ref=ref)
+        assert len(clusterer.events) - before <= 4
+        with_bridge = normalized(ref)
+
+        before = len(clusterer.events)
+        clusterer.remove(ref)
+        assert len(clusterer.events) - before <= 4
+        partitions.append((with_bridge, normalized(ref)))
+
+    # Deterministic fixpoint: every cycle lands in the same two states,
+    # so repeated churn cannot drift or oscillate further.
+    assert len(set(partitions)) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(pts=points)
+def test_remove_all_in_any_order_empties_cleanly(pts):
+    clusterer = ingest_all(range(len(pts)), pts)
+    for ref in reversed(range(len(pts))):
+        clusterer.remove(ref)
+    assert len(clusterer) == 0
+    assert clusterer.assignments() == {}

@@ -6,9 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.extensions.catalog import (
+    adjusted_rand_index,
     catalog_summary,
     cluster_crises,
     cluster_purity,
+    normalized_mutual_information,
 )
 from repro.methods import FingerprintMethod
 
@@ -92,6 +94,74 @@ class TestCatalogSummary:
         rows = catalog_summary(clusters, labels)
         assert len(rows) == len(clusters)
         assert all("true_labels" in r for r in rows)
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions_score_one(self):
+        labels = ["a", "a", "b", "b", "c"]
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_relabeling_does_not_matter(self):
+        a = ["a", "a", "b", "b"]
+        b = [1, 1, 0, 0]
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_known_value_crossed_pairs(self):
+        # Textbook case: [0,0,1,1] vs [0,1,0,1].  Every same-cluster
+        # pair on one side is split on the other; ARI = -0.5.
+        assert adjusted_rand_index(
+            [0, 0, 1, 1], [0, 1, 0, 1]
+        ) == pytest.approx(-0.5)
+
+    def test_known_value_partial_agreement(self):
+        # Hubert & Arabie's formula by hand: sum_ij C(n_ij,2) = 2,
+        # expected = 6*3/C(6,2) = 1.2, max = (6+3)/2 = 4.5
+        # -> ARI = (2 - 1.2) / (4.5 - 1.2) ≈ 0.2424.
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(a, b) == pytest.approx(0.8 / 3.3)
+
+    def test_degenerate_partitions(self):
+        # Zero chance-adjustment mass: agree -> 1.0, disagree -> 0.0.
+        assert adjusted_rand_index(["x", "x"], ["y", "y"]) == 1.0
+        assert adjusted_rand_index([0, 1, 2], ["a", "b", "c"]) == 1.0
+        assert adjusted_rand_index([0, 0, 0], [0, 1, 2]) == 0.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([], [])
+
+
+class TestNormalizedMutualInformation:
+    def test_identical_partitions_score_one(self):
+        labels = ["a", "b", "b", "c", "c", "c"]
+        assert normalized_mutual_information(
+            labels, labels
+        ) == pytest.approx(1.0)
+
+    def test_independent_partitions_score_zero(self):
+        # The crossed-pairs case: knowing one side says nothing about
+        # the other, so mutual information is exactly zero.
+        assert normalized_mutual_information(
+            [0, 0, 1, 1], [0, 1, 0, 1]
+        ) == pytest.approx(0.0)
+
+    def test_trivial_sides(self):
+        assert normalized_mutual_information(["x", "x"], ["y", "y"]) == 1.0
+        assert normalized_mutual_information([0, 0, 0], [0, 1, 2]) == 0.0
+
+    def test_bounded_and_symmetric(self):
+        a = [0, 0, 1, 1, 2, 2, 2]
+        b = [0, 1, 1, 1, 2, 0, 2]
+        ab = normalized_mutual_information(a, b)
+        assert 0.0 <= ab <= 1.0
+        assert ab == pytest.approx(normalized_mutual_information(b, a))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([0, 1], [0])
 
 
 class TestOnRealFingerprints:

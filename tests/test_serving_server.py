@@ -322,3 +322,61 @@ class TestGracefulShutdown:
             client.request({"op": "close_epoch", "tenant": "t", "epoch": 0})
         srv.close()
         assert (tmp_path / "tenants" / "t" / "checkpoint.npz").exists()
+
+
+class TestIncidentsOp:
+    def test_unknown_tenant_is_error_not_mkdir(self, server, tmp_path):
+        """Like ``state``, the read-only incidents op must never mint a
+        tenant directory for an arbitrary queried name."""
+        srv = server()
+        with ServingClient("127.0.0.1", srv.port) as client:
+            resp = client.request({"op": "incidents", "tenant": "ghost"})
+            assert not resp["ok"]
+            assert resp["error"] == "unknown-tenant"
+            assert not (tmp_path / "tenants" / "ghost").exists()
+
+    def test_live_tenant_reports_catalog(self, server):
+        srv = server(discovery_enabled=True)
+        with ServingClient("127.0.0.1", srv.port) as client:
+            client.request(report(0))
+            client.request({"op": "close_epoch", "tenant": "t", "epoch": 0})
+            resp = client.request({"op": "incidents", "tenant": "t"})
+            assert resp["ok"]
+            assert resp["tenant"] == "t"
+            assert resp["crises"] == []  # one quiet epoch: no crises yet
+            assert resp["library_labels"] == []
+            disc = resp["discovery"]
+            assert disc["attached"] is True
+            assert disc["n_clusters"] == 0
+
+    def test_discovery_disabled_reports_none(self, server):
+        srv = server()  # discovery_enabled defaults to False
+        with ServingClient("127.0.0.1", srv.port) as client:
+            client.request(report(0))
+            resp = client.request({"op": "incidents", "tenant": "t"})
+            assert resp["ok"] and resp["discovery"] is None
+
+    def test_discovery_survives_recovery(self, tmp_path):
+        """A restart restores the tenant with its discovery engine
+        attached (embedded in the checkpoint, or re-attached fresh)."""
+        cfg = small_cfg(discovery_enabled=True)
+        srv = IngestServer(cfg, tmp_path)
+        srv.start()
+        try:
+            with ServingClient("127.0.0.1", srv.port) as client:
+                client.request(report(0))
+                client.request(
+                    {"op": "close_epoch", "tenant": "t", "epoch": 0}
+                )
+        finally:
+            srv.close()  # graceful: checkpoints the tenant
+
+        srv = IngestServer(cfg, tmp_path)
+        srv.start()
+        try:
+            with ServingClient("127.0.0.1", srv.port) as client:
+                resp = client.request({"op": "incidents", "tenant": "t"})
+                assert resp["ok"]
+                assert resp["discovery"]["attached"] is True
+        finally:
+            srv.close()

@@ -231,3 +231,19 @@ class TestEventRoundtrip:
     def test_unknown_event_type_is_typed(self):
         with pytest.raises(MalformedFrame):
             event_from_wire({"type": "mystery"})
+
+
+class TestIncidentsOp:
+    def test_roundtrip(self):
+        req = roundtrip({"op": "incidents", "tenant": "acme", "x": 1})
+        assert req == {"op": "incidents", "tenant": "acme"}
+
+    @pytest.mark.parametrize("obj", [
+        {"op": "incidents"},
+        {"op": "incidents", "tenant": ""},
+        {"op": "incidents", "tenant": "a/b"},
+        {"op": "incidents", "tenant": ".."},
+    ])
+    def test_invalid(self, obj):
+        with pytest.raises(MalformedFrame):
+            parse_request(obj)
