@@ -24,7 +24,7 @@ def test_sec7_forecasting(benchmark, paper_trace, labeled_crises,
             lead_epochs=1,
             window_epochs=3,
         ).fit(train)
-        threshold = forecaster.calibrate_threshold(train)
+        threshold = forecaster.calibrate_threshold()
         overall = forecaster.evaluate(test, threshold=threshold)
         test_b = [c for c in test if c.label == "B"]
         by_type = (

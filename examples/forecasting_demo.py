@@ -40,7 +40,7 @@ def main() -> None:
         trace, method.thresholds, method.relevant,
         lead_epochs=1, window_epochs=3,
     ).fit(train)
-    threshold = forecaster.calibrate_threshold(train)
+    threshold = forecaster.calibrate_threshold()
 
     result = forecaster.evaluate(test, threshold=threshold)
     print("\nforecasting (early signs, all types):")

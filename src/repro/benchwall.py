@@ -123,6 +123,17 @@ HEADLINES: Dict[str, Tuple[Headline, ...]] = {
             "promotion_s", lambda d: d["promotion_s"], LOWER, slack=1.0
         ),
     ),
+    "forecast": (
+        Headline("recall", lambda d: d["recall"], HIGHER),
+        Headline(
+            "median_lead_epochs", lambda d: d["median_lead_epochs"],
+            HIGHER, slack=1.0,
+        ),
+        Headline(
+            "false_alarm_rate", lambda d: d["false_alarm_rate"], LOWER,
+            slack=0.01,
+        ),
+    ),
 }
 
 #: Which pytest file regenerates each baseline, and the env var that
@@ -146,6 +157,10 @@ BENCH_SOURCES: Dict[str, Tuple[str, str]] = {
     "discovery": (
         "benchmarks/test_discovery_unlabeled.py",
         "DISCOVERY_UNLABELED_QUICK",
+    ),
+    "forecast": (
+        "benchmarks/test_forecast_leadtime.py",
+        "FORECAST_LEADTIME_QUICK",
     ),
 }
 

@@ -16,6 +16,9 @@ The subcommands cover the common workflows without writing Python:
 * ``discover`` — unsupervised crisis discovery: cluster an unlabeled
   trace (:mod:`repro.discovery`), inspect saved discovery state, and
   manually promote clusters into the catalog;
+* ``forecast`` — predictive early warning (:mod:`repro.forecast`):
+  train a two-stage pre-SLA detector on a trace, replay it for
+  lead-time-vs-precision numbers, and inspect saved models;
 * ``discriminate`` — Figure 3's AUC comparison of all four methods;
 * ``render`` — print a Figure 1-style fingerprint heatmap for one crisis;
 * ``timeline`` — print a day-by-day strip of the trace's crises;
@@ -210,6 +213,15 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--repl-ack-timeout", type=float, default=5.0,
                    help="seconds without an ack before a replication "
                         "subscriber is presumed dead and reaped")
+    p.add_argument("--forecast", action="store_true",
+                   help="attach a forecast engine to every tenant for "
+                        "predictive early warning (see "
+                        "docs/forecasting.md)")
+    p.add_argument("--forecast-model", default=None, metavar="PATH",
+                   help="trained forecast model archive (from "
+                        "'repro forecast train') seeded into fresh "
+                        "tenants; without it tenants observe but never "
+                        "alarm until a trained checkpoint arrives")
     p.add_argument("--discovery", action="store_true",
                    help="attach a discovery engine to every tenant so "
                         "don't-know crises grow the catalog "
@@ -257,6 +269,55 @@ def _add_discover(sub: argparse._SubParsersAction) -> None:
                     help="catalog label (default: discovered-<id>)")
 
 
+def _add_forecast(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "forecast",
+        help="predictive early warning: train, replay, and inspect "
+             "pre-SLA crisis forecasters (see docs/forecasting.md)",
+    )
+    fsub = p.add_subparsers(dest="forecast_action", required=True)
+
+    t = fsub.add_parser(
+        "train",
+        help="replay a trace prefix online and train the two-stage "
+             "detector; writes a model archive for 'forecast run' and "
+             "'serve --forecast-model'",
+    )
+    t.add_argument("trace", help="path of a saved .npz trace")
+    t.add_argument("model", help="path of the model archive to write")
+    t.add_argument("--relevant-metrics", type=int, default=10)
+    t.add_argument("--window-days", type=int, default=30)
+    t.add_argument("--train-epochs", type=int, default=None,
+                   help="train on the first N epochs only "
+                        "(default: the whole trace)")
+    t.add_argument("--horizon", type=int, default=4,
+                   help="lead horizon: alarm when a crisis is expected "
+                        "within this many epochs")
+    t.add_argument("--budget", type=float, default=0.02,
+                   help="false-alarm budget on crisis-free epochs")
+    t.add_argument("--negatives", type=int, default=6000,
+                   help="crisis-free epochs sampled for training")
+    t.add_argument("--seed", type=int, default=0)
+
+    r = fsub.add_parser(
+        "run",
+        help="replay a trace through a trained forecaster and print "
+             "the lead-time-vs-precision report",
+    )
+    r.add_argument("trace", help="path of a saved .npz trace")
+    r.add_argument("model", help="path of a trained model archive")
+    r.add_argument("--relevant-metrics", type=int, default=10)
+    r.add_argument("--window-days", type=int, default=30)
+    r.add_argument("--eval-start", type=int, default=0,
+                   help="only score crises detected at or after this "
+                        "epoch (use the training split point)")
+
+    s = fsub.add_parser(
+        "stats", help="print a saved forecast model's statistics"
+    )
+    s.add_argument("model", help="path of a trained model archive")
+
+
 def _parse_endpoints(spec: str) -> List[Tuple[str, int]]:
     """Parse ``host:port[,host:port...]`` into endpoint tuples."""
     out: List[Tuple[str, int]] = []
@@ -292,6 +353,12 @@ def _add_admin(sub: argparse._SubParsersAction) -> None:
              "discovery cluster statistics (read-only)",
     )
     inc.add_argument("tenant")
+    fc = asub.add_parser(
+        "forecasts",
+        help="print one tenant's early-warning state: forecast engine "
+             "statistics plus retained alarms (read-only)",
+    )
+    fc.add_argument("tenant")
     u = asub.add_parser(
         "unquarantine",
         help="release a quarantined tenant with a fresh restart budget",
@@ -361,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(sub)
     _add_admin(sub)
     _add_discover(sub)
+    _add_forecast(sub)
     _add_discriminate(sub)
     _add_render(sub)
     _add_timeline(sub)
@@ -828,6 +896,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         heartbeat_interval_s=args.heartbeat_interval,
         repl_ack_timeout_s=args.repl_ack_timeout,
         discovery_enabled=args.discovery,
+        forecast_enabled=args.forecast or bool(args.forecast_model),
+        forecast_model=args.forecast_model,
         seed=args.seed,
     )
     standby_of = (
@@ -866,10 +936,11 @@ def _cmd_admin(args: argparse.Namespace) -> int:
         }
         print(json.dumps(out, indent=2, sort_keys=True))
         return 0 if any(v is not None for v in out.values()) else 1
-    if args.admin_command == "incidents":
+    if args.admin_command in ("incidents", "forecasts"):
         for endpoint in endpoints:
             resp = controller._call(
-                endpoint, {"op": "incidents", "tenant": args.tenant}
+                endpoint,
+                {"op": args.admin_command, "tenant": args.tenant},
             )
             if resp is not None:
                 print(json.dumps(resp, indent=2, sort_keys=True))
@@ -981,6 +1052,70 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_forecast(args: argparse.Namespace) -> int:
+    from repro.forecast.engine import load_forecast
+
+    if args.forecast_action == "stats":
+        engine = load_forecast(args.model)
+        for key, value in sorted(engine.stats().items()):
+            print(f"{key:>18}: {value}")
+        return 0
+
+    from repro.config import ForecastConfig
+    from repro.discovery.eval import unlabeled_relevant_metrics
+    from repro.persistence import load_trace
+
+    trace = load_trace(args.trace)
+    config = FingerprintingConfig(
+        selection=SelectionConfig(n_relevant=args.relevant_metrics),
+        thresholds=ThresholdConfig(window_days=args.window_days),
+    )
+    relevant = unlabeled_relevant_metrics(trace, config)
+
+    if args.forecast_action == "train":
+        from repro.forecast.engine import save_forecast
+        from repro.forecast.trainer import train_forecaster
+
+        fcfg = ForecastConfig(
+            horizon_epochs=args.horizon,
+            false_alarm_budget=args.budget,
+            seed=args.seed,
+        )
+        engine, report = train_forecaster(
+            trace, relevant, config=config, fcfg=fcfg,
+            train_epochs=args.train_epochs, n_negative=args.negatives,
+        )
+        print(
+            f"trained on {report.train_epochs} epochs: "
+            f"{report.n_positive} positive / {report.n_negative} "
+            f"negative examples, {report.n_detections} detections"
+        )
+        print(
+            f"stage 1: lambda {report.lam:.6g}, alarm threshold "
+            f"{report.alarm_threshold:.4f} (training recall "
+            f"{report.calibration_recall:.0%} at "
+            f"{report.calibration_fpr:.2%} false alarms)"
+        )
+        print(
+            f"stage 2: {report.catalog_size} catalog fingerprints, "
+            f"match threshold {report.match_threshold}"
+        )
+        save_forecast(engine, args.model)
+        print(f"model written to {args.model}")
+        return 0
+
+    # run: replay the trace and report lead-time vs precision.
+    from repro.forecast.eval import evaluate_forecaster, format_report
+
+    engine = load_forecast(args.model)
+    result = evaluate_forecaster(
+        trace, relevant, engine, eval_start=args.eval_start,
+        config=config,
+    )
+    print(format_report(result, title=args.trace))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "identify": _cmd_identify,
@@ -990,6 +1125,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "admin": _cmd_admin,
     "discover": _cmd_discover,
+    "forecast": _cmd_forecast,
     "discriminate": _cmd_discriminate,
     "render": _cmd_render,
     "timeline": _cmd_timeline,

@@ -348,6 +348,58 @@ class DiscoveryConfig:
 
 
 @dataclass(frozen=True)
+class ForecastConfig:
+    """Policy for predictive early warning (:mod:`repro.forecast`).
+
+    The forecast engine scores every trusted epoch with a two-stage
+    detector: stage 1 asks "will the SLA detector fire within
+    ``horizon_epochs``?" from incrementally-derived features; stage 2
+    names the most likely fingerprint from the incident catalog.
+
+    Feature knobs: ``slope_window`` trailing epochs feed the per-cell
+    quantile-trajectory slopes (and the violation-fraction slope);
+    ``churn_window`` trailing epochs feed the don't-know /
+    identification / untrusted churn rates.  Alarm knobs:
+    ``false_alarm_budget`` is the target alarm rate on normal epochs
+    (the ROC operating point picked at calibration), ``cooldown_epochs``
+    silences the alarm after it fires (one actionable page per
+    impending crisis, not one per epoch), and ``alarm_retain`` bounds
+    the in-memory/checkpointed alarm log.  Training knobs: ``cv_folds``
+    cross-validation folds select the stage-1 L1 penalty;
+    ``match_alpha`` is the false-alarm budget of the stage-2
+    identification threshold (Section 5.1.2 semantics).
+    """
+
+    horizon_epochs: int = 4
+    slope_window: int = 8
+    churn_window: int = 8
+    false_alarm_budget: float = 0.02
+    cooldown_epochs: int = 4
+    alarm_retain: int = 1024
+    cv_folds: int = 5
+    match_alpha: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon_epochs < 1:
+            raise ValueError("horizon_epochs must be positive")
+        if self.slope_window < 2:
+            raise ValueError("slope_window must be at least 2")
+        if self.churn_window < 1:
+            raise ValueError("churn_window must be positive")
+        if not 0.0 < self.false_alarm_budget < 1.0:
+            raise ValueError("false_alarm_budget must lie in (0, 1)")
+        if self.cooldown_epochs < 0:
+            raise ValueError("cooldown_epochs must be non-negative")
+        if self.alarm_retain < 1:
+            raise ValueError("alarm_retain must be positive")
+        if self.cv_folds < 2:
+            raise ValueError("cv_folds must be at least 2")
+        if not 0.0 <= self.match_alpha <= 1.0:
+            raise ValueError("match_alpha must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Policy for the durable ingestion front door (:mod:`repro.serving`).
 
@@ -412,6 +464,18 @@ class ServingConfig:
     #: bit-identical.
     discovery_enabled: bool = False
     discovery: "DiscoveryConfig" = field(default_factory=lambda: DiscoveryConfig())
+    # --- predictive early warning (opt-in) ---
+    #: When true every tenant monitor gets a
+    #: :class:`repro.forecast.ForecastEngine` attached (see
+    #: ``docs/forecasting.md``); its state rides in the tenant
+    #: checkpoint and recovery stays bit-identical.  Without a trained
+    #: model (``forecast_model``) the engine streams features and
+    #: reports ``fitted: false`` — alarms need a model.
+    forecast_enabled: bool = False
+    forecast: "ForecastConfig" = field(default_factory=lambda: ForecastConfig())
+    #: Optional path to a trained forecast model archive
+    #: (``repro forecast train``); loaded into every tenant engine.
+    forecast_model: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -501,6 +565,7 @@ __all__ = [
     "IndexConfig",
     "DiscoveryConfig",
     "FleetConfig",
+    "ForecastConfig",
     "ReliabilityConfig",
     "ServingConfig",
     "FingerprintingConfig",

@@ -195,6 +195,16 @@ def save_monitor(
         header["discovery"] = disc_header
         arrays["header"] = _pack_header(header)
         arrays.update(disc_arrays)
+    # Forecast state follows the same embedding contract: absent key for
+    # every checkpoint written without an engine (pre-forecast archives
+    # load unchanged), atomic with the monitor otherwise.
+    if monitor._forecast is not None:
+        fc_header, fc_arrays = monitor._forecast.snapshot(
+            prefix="forecast_"
+        )
+        header["forecast"] = fc_header
+        arrays["header"] = _pack_header(header)
+        arrays.update(fc_arrays)
     # Identification indexes are derived state, but re-deriving them means
     # re-fingerprinting the whole library per protocol slot — snapshot them
     # so a restored monitor resumes with warm indexes.
@@ -295,6 +305,14 @@ def load_monitor(
                     disc_header, data, prefix="discovery_"
                 )
                 engine.attach(monitor)
+            fc_header = header.get("forecast")
+            if fc_header is not None:
+                from repro.forecast.engine import ForecastEngine
+
+                forecast = ForecastEngine.from_snapshot(
+                    fc_header, data, prefix="forecast_"
+                )
+                forecast.attach(monitor)
     except CheckpointError:
         raise
     except KeyError as exc:

@@ -153,6 +153,9 @@ class StreamingCrisisMonitor:
         # Opt-in unsupervised discovery (repro.discovery): observes the
         # event stream so don't-know crises grow the catalog.
         self._discovery = None
+        # Opt-in predictive early warning (repro.forecast): observes each
+        # ingested epoch to score crisis imminence before the SLA breaks.
+        self._forecast = None
 
     # -- engine delegation -----------------------------------------------------
 
@@ -225,6 +228,40 @@ class StreamingCrisisMonitor:
     def _notify(self, events: List[MonitorEvent]) -> List[MonitorEvent]:
         if self._discovery is not None and events:
             self._discovery.observe(events)
+        return events
+
+    # -- predictive early warning ----------------------------------------------
+
+    @property
+    def forecast(self):
+        """The attached :class:`repro.forecast.ForecastEngine`, if any."""
+        return self._forecast
+
+    def attach_forecast(self, engine) -> None:
+        """Opt in to predictive early warning: ``engine`` (a
+        :class:`repro.forecast.ForecastEngine`) observes every ingested
+        epoch and raises calibrated pre-SLA alarms.
+        """
+        engine.attach(self)
+
+    def _emit(
+        self,
+        events: List[MonitorEvent],
+        epoch: int,
+        epoch_quantiles: np.ndarray,
+        violation_fraction: float,
+        untrusted: bool,
+    ) -> List[MonitorEvent]:
+        """Per-epoch fan-out: discovery sees events, forecast sees epochs."""
+        self._notify(events)
+        if self._forecast is not None:
+            self._forecast.observe_epoch(
+                epoch=epoch,
+                epoch_quantiles=epoch_quantiles,
+                violation_fraction=violation_fraction,
+                events=events,
+                untrusted=untrusted,
+            )
         return events
 
     # -- fingerprints ----------------------------------------------------------
@@ -390,7 +427,10 @@ class StreamingCrisisMonitor:
                 < self.config.identification.n_epochs
             ):
                 events.append(self._dont_know(self._live, epoch))
-            return self._notify(events)
+            return self._emit(
+                events, epoch, epoch_quantiles, violation_fraction,
+                untrusted=True,
+            )
 
         pre = self.config.fingerprint.pre_epochs
         if self._live is None:
@@ -428,7 +468,10 @@ class StreamingCrisisMonitor:
                 )
                 self._store_live()
                 self._pre_buffer = [epoch_quantiles]
-        return self._notify(events)
+        return self._emit(
+            events, epoch, epoch_quantiles, violation_fraction,
+            untrusted=False,
+        )
 
     def _store_live(self) -> None:
         live = self._live

@@ -174,12 +174,12 @@ def full_report(
     fp.fit(trace, crises)
     train, test = crises[: max(len(crises) * 2 // 3, 1)], \
         crises[max(len(crises) * 2 // 3, 1):]
-    if test:
+    if any(c.detected_epoch is not None for c in test):
         forecaster = CrisisForecaster(
             trace, fp.thresholds, fp.relevant,
             lead_epochs=1, window_epochs=3,
         ).fit(train)
-        threshold = forecaster.calibrate_threshold(train)
+        threshold = forecaster.calibrate_threshold()
         result = forecaster.evaluate(test, threshold=threshold)
         report.forecasting = {
             "recall": result.recall,

@@ -1,153 +1,76 @@
 """Crisis forecasting from early fingerprint signs (Section 7, direction 1).
 
-The paper reports encouraging initial results on *forecasting* crises —
-especially type B, where the downstream datacenter's backlog builds up
-gradually — by looking for early signs in the fingerprints before the SLA
-detector fires.
+The implementation now lives in :mod:`repro.forecast.offline` — the
+forecast subsystem's whole-trace baseline — and this module is a thin
+backwards-compatible shim over it.  ``CrisisForecaster`` keeps its
+historical constructor and methods; ``ForecastResult`` is an alias of
+:class:`repro.forecast.offline.OfflineForecastResult`.
 
-The forecaster trains L1-regularized logistic regression on epoch
-fingerprints from a *lead window* ending ``lead_epochs`` before each
-crisis's detection (positives) and from crisis-free epochs (negatives).
-Scoring a live epoch yields the probability that a crisis will be detected
-within the lead horizon.
+One deliberate signature change rides along: ``calibrate_threshold`` no
+longer takes a leading ``crises`` argument (it was accepted "for
+signature symmetry" and immediately discarded — calibration only ever
+used crisis-free epochs).  Passing it still works but emits a
+:class:`DeprecationWarning`; new code should call
+``calibrate_threshold(false_alarm_budget=...)`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import warnings
+from typing import Sequence
 
-import numpy as np
+from repro.datacenter.trace import CrisisRecord
+from repro.forecast.offline import (
+    OfflineCrisisForecaster,
+    OfflineForecastResult,
+)
 
-from repro.core.summary import summary_vectors
-from repro.core.thresholds import QuantileThresholds
-from repro.datacenter.trace import CrisisRecord, DatacenterTrace
-from repro.ml.logistic import L1LogisticRegression, LogisticModel
+#: Historical name for the evaluation record.
+ForecastResult = OfflineForecastResult
 
-
-@dataclass(frozen=True)
-class ForecastResult:
-    """Forecast evaluation on held-out crises."""
-
-    recall: float  # crises with an alarm inside the lead window
-    false_alarm_rate: float  # alarm rate on crisis-free epochs
-    threshold: float
-    n_crises: int
+_UNSET = object()
 
 
-class CrisisForecaster:
-    """Logistic early-warning model over epoch fingerprints."""
+class CrisisForecaster(OfflineCrisisForecaster):
+    """Logistic early-warning model over epoch fingerprints.
 
-    def __init__(
-        self,
-        trace: DatacenterTrace,
-        thresholds: QuantileThresholds,
-        relevant: np.ndarray,
-        lead_epochs: int = 2,
-        window_epochs: int = 4,
-        lam: float = 0.002,
-    ):
-        """``window_epochs`` epochs ending ``lead_epochs`` before detection
-        form each crisis's positive examples."""
-        if lead_epochs < 1 or window_epochs < 1:
-            raise ValueError("lead and window must be positive")
-        self.trace = trace
-        self.thresholds = thresholds
-        self.relevant = np.asarray(relevant, dtype=int)
-        self.lead_epochs = lead_epochs
-        self.window_epochs = window_epochs
-        self.lam = lam
-        self.model: Optional[LogisticModel] = None
-
-    def _epoch_vectors(self, epochs: np.ndarray) -> np.ndarray:
-        window = self.trace.quantiles[epochs]
-        summaries = summary_vectors(window, self.thresholds)
-        sub = summaries[:, self.relevant, :].astype(float)
-        return sub.reshape(len(epochs), -1)
-
-    def _positive_epochs(self, crisis: CrisisRecord) -> np.ndarray:
-        det = crisis.detected_epoch
-        hi = det - self.lead_epochs
-        lo = max(hi - self.window_epochs, 0)
-        return np.arange(lo, hi)
-
-    def fit(
-        self,
-        crises: Sequence[CrisisRecord],
-        n_negative: int = 600,
-        seed: int = 0,
-    ) -> "CrisisForecaster":
-        """Train on the given (training) crises plus sampled normal epochs."""
-        rng = np.random.default_rng(seed)
-        pos_epochs: List[int] = []
-        for crisis in crises:
-            if crisis.detected_epoch is None:
-                continue
-            pos_epochs.extend(self._positive_epochs(crisis).tolist())
-        if not pos_epochs:
-            raise ValueError("no positive epochs available")
-
-        normal_pool = np.flatnonzero(~self._exclusion_mask())
-        neg_epochs = rng.choice(
-            normal_pool, size=min(n_negative, len(normal_pool)),
-            replace=False,
-        )
-
-        X = np.vstack(
-            [
-                self._epoch_vectors(np.asarray(pos_epochs)),
-                self._epoch_vectors(neg_epochs),
-            ]
-        )
-        y = np.concatenate(
-            [np.ones(len(pos_epochs)), np.zeros(len(neg_epochs))]
-        )
-        self.model = L1LogisticRegression(lam=self.lam, max_iter=800).fit(
-            X, y
-        )
-        return self
-
-    def score_epochs(self, epochs: np.ndarray) -> np.ndarray:
-        """P(crisis within the lead horizon) for the given epochs."""
-        if self.model is None:
-            raise RuntimeError("forecaster is not fitted")
-        return self.model.predict_proba(self._epoch_vectors(epochs))
+    Back-compat wrapper around
+    :class:`repro.forecast.offline.OfflineCrisisForecaster`.
+    """
 
     def calibrate_threshold(
         self,
-        crises: Sequence[CrisisRecord],
+        crises=_UNSET,
         false_alarm_budget: float = 0.02,
         n_normal: int = 2000,
         seed: int = 2,
     ) -> float:
-        """Alarm threshold at a false-alarm budget, from training data.
+        """Alarm threshold at a false-alarm budget, from normal epochs.
 
-        The threshold is the (1 - budget) quantile of scores on crisis-free
-        epochs — i.e. alarms fire on at most ``false_alarm_budget`` of
-        normal epochs.  If no training crisis's lead window would alarm at
-        that level, the forecaster honestly has no usable signal and the
-        threshold stays strict (zero recall is reported rather than bought
-        with wholesale false alarms).
-
-        ``crises`` is accepted for signature symmetry with
-        :meth:`evaluate`; calibration itself only needs normal epochs.
+        The historical leading ``crises`` argument is deprecated and
+        ignored; calibration only needs crisis-free epochs.
         """
-        del crises  # calibration uses only crisis-free scores
-        rng = np.random.default_rng(seed)
-        pool = np.flatnonzero(~self._exclusion_mask())
-        sample = rng.choice(pool, size=min(n_normal, len(pool)),
-                            replace=False)
-        normal_scores = self.score_epochs(sample)
-        return float(np.quantile(normal_scores, 1.0 - false_alarm_budget))
-
-    def _exclusion_mask(self) -> np.ndarray:
-        exclusion = np.zeros(self.trace.n_epochs, dtype=bool)
-        exclusion |= self.trace.anomalous
-        for crisis in self.trace.crises:
-            lo = max(crisis.instance.start_epoch
-                     - self.lead_epochs - self.window_epochs - 2, 0)
-            exclusion[lo : crisis.instance.end_epoch + 4] = True
-        return exclusion
+        if crises is not _UNSET:
+            # Callers migrating to the new signature may pass the budget
+            # positionally; a sequence of crises in that slot is the old
+            # calling convention.
+            if isinstance(crises, (int, float)) and not isinstance(
+                crises, bool
+            ):
+                false_alarm_budget = float(crises)
+            else:
+                warnings.warn(
+                    "CrisisForecaster.calibrate_threshold no longer "
+                    "takes a 'crises' argument; it was never used. "
+                    "Call calibrate_threshold(false_alarm_budget=...).",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+        return super().calibrate_threshold(
+            false_alarm_budget=false_alarm_budget,
+            n_normal=n_normal,
+            seed=seed,
+        )
 
     def evaluate(
         self,
@@ -155,29 +78,14 @@ class CrisisForecaster:
         threshold: float = 0.5,
         n_normal: int = 2000,
         seed: int = 1,
-    ) -> ForecastResult:
-        """Recall on held-out crises and false alarms on normal epochs."""
-        rng = np.random.default_rng(seed)
-        hits = 0
-        total = 0
-        for crisis in crises:
-            if crisis.detected_epoch is None:
-                continue
-            total += 1
-            pos = self._positive_epochs(crisis)
-            if pos.size and np.any(self.score_epochs(pos) > threshold):
-                hits += 1
-        pool = np.flatnonzero(~self._exclusion_mask())
-        sample = rng.choice(pool, size=min(n_normal, len(pool)),
-                            replace=False)
-        false_alarms = float(
-            np.mean(self.score_epochs(sample) > threshold)
-        )
-        return ForecastResult(
-            recall=hits / total if total else float("nan"),
-            false_alarm_rate=false_alarms,
-            threshold=threshold,
-            n_crises=total,
+    ) -> OfflineForecastResult:
+        """Recall on held-out crises and false alarms on normal epochs.
+
+        Raises :class:`ValueError` when no test crisis has a detection
+        epoch (historically this silently returned ``recall=nan``).
+        """
+        return super().evaluate(
+            crises, threshold=threshold, n_normal=n_normal, seed=seed
         )
 
 

@@ -1,0 +1,65 @@
+"""Predictive early warning: classify the crisis before the SLA breaks.
+
+The paper's Section 7 reports encouraging early results on forecasting
+crises from pre-detection fingerprint signs.  This package upgrades that
+idea from an offline demo into a first-class online pipeline in the
+spirit of DC-Prophet's two-stage failure predictor and streaming HPC
+fault classification (see PAPERS.md):
+
+* :mod:`repro.forecast.features` — incremental per-epoch feature
+  vectors from the live planes (no full-trace access);
+* :mod:`repro.forecast.detector` — the two-stage model: cross-validated
+  L1-logistic imminence scoring with ROC-calibrated alarms, then
+  catalog identification through the fingerprint index;
+* :mod:`repro.forecast.engine` — the monitor-attached runtime with
+  checkpoint-embedded state;
+* :mod:`repro.forecast.trainer` / :mod:`repro.forecast.eval` — offline
+  training on replayed traces and the lead-time-vs-precision harness;
+* :mod:`repro.forecast.offline` — the Section 7 whole-trace forecaster
+  (the historical demo, kept for parity and the offline benchmark).
+
+See ``docs/forecasting.md`` for the full design.
+"""
+
+from repro.forecast.detector import TwoStageDetector
+from repro.forecast.engine import (
+    FORECAST_FORMAT_VERSION,
+    ForecastAlarm,
+    ForecastEngine,
+    load_forecast,
+    save_forecast,
+)
+from repro.forecast.eval import (
+    CrisisOutcome,
+    LeadTimeResult,
+    evaluate_forecaster,
+    format_report,
+)
+from repro.forecast.features import OnlineFeatureExtractor
+from repro.forecast.offline import OfflineCrisisForecaster, OfflineForecastResult
+from repro.forecast.trainer import (
+    FORECAST_REPLAY_CONFIG,
+    TrainingReport,
+    replay_collect,
+    train_forecaster,
+)
+
+__all__ = [
+    "FORECAST_FORMAT_VERSION",
+    "FORECAST_REPLAY_CONFIG",
+    "CrisisOutcome",
+    "ForecastAlarm",
+    "ForecastEngine",
+    "LeadTimeResult",
+    "OfflineCrisisForecaster",
+    "OfflineForecastResult",
+    "OnlineFeatureExtractor",
+    "TrainingReport",
+    "TwoStageDetector",
+    "evaluate_forecaster",
+    "format_report",
+    "load_forecast",
+    "replay_collect",
+    "save_forecast",
+    "train_forecaster",
+]

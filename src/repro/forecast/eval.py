@@ -1,0 +1,195 @@
+"""Lead-time-vs-precision evaluation of a trained forecast engine.
+
+The harness replays a full trace through a *fresh* monitor with the
+trained engine attached, then scores every ground-truth crisis of the
+evaluation period:
+
+* a crisis is **forewarned** when an alarm fired inside its lead window
+  ``[detection - horizon, detection)``;
+* its **lead time** is ``detection - first_alarm_epoch`` (epochs of
+  advance notice);
+* its **stage-2 identification** is the label of the *last* alarm in
+  the window (the most informed early guess), scored against the
+  injected ground-truth type;
+* alarms well clear of every crisis (outside the widened windows the
+  trainer also excludes) are **false alarms**, rated against the count
+  of clear scored epochs.
+
+These are exactly the axes of the acceptance bar for the subsystem:
+recall at a false-alarm budget, median lead, and early-identification
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import FingerprintingConfig, ForecastConfig
+from repro.forecast.engine import ForecastEngine
+from repro.forecast.trainer import (
+    FORECAST_REPLAY_CONFIG,
+    POST_CRISIS_MARGIN,
+    replay_collect,
+)
+
+
+@dataclass(frozen=True)
+class CrisisOutcome:
+    """Forecast outcome for one ground-truth crisis."""
+
+    label: str
+    detected_epoch: int
+    forewarned: bool
+    lead_epochs: Optional[int]
+    alarm_label: Optional[str]
+    alarm_distance: Optional[float]
+    stage2_correct: Optional[bool]
+
+
+@dataclass
+class LeadTimeResult:
+    """Aggregate lead-time-vs-precision numbers for one evaluation."""
+
+    n_crises: int
+    n_forewarned: int
+    recall: float
+    median_lead_epochs: float
+    false_alarm_rate: float
+    n_false_alarms: int
+    n_normal_epochs: int
+    stage2_accuracy: float
+    n_stage2_scored: int
+    n_alarms: int
+    outcomes: List[CrisisOutcome] = field(default_factory=list)
+
+
+def evaluate_forecaster(
+    trace,
+    relevant: np.ndarray,
+    engine: ForecastEngine,
+    eval_start: int,
+    config: FingerprintingConfig = FORECAST_REPLAY_CONFIG,
+    fcfg: Optional[ForecastConfig] = None,
+) -> LeadTimeResult:
+    """Replay ``trace`` online and score crises detected >= ``eval_start``.
+
+    ``engine`` must be fresh (unattached) and carry a fitted detector —
+    the trainer's output.  Alarms raised before ``eval_start`` (the
+    training prefix of the replay) are ignored.
+    """
+    if not engine.is_fitted:
+        raise ValueError("engine must carry a fitted detector")
+    if fcfg is None:
+        fcfg = engine.config
+    relevant = np.asarray(relevant, dtype=int)
+    replay = replay_collect(
+        trace, relevant, config=config, fcfg=fcfg, engine=engine
+    )
+    horizon = fcfg.horizon_epochs
+    alarms = engine.alarms
+
+    outcomes: List[CrisisOutcome] = []
+    for crisis in trace.crises:
+        det = crisis.detected_epoch
+        if det is None or det < eval_start:
+            continue
+        window = [a for a in alarms if det - horizon <= a.epoch < det]
+        forewarned = bool(window)
+        lead = det - window[0].epoch if forewarned else None
+        alarm_label = window[-1].label if forewarned else None
+        alarm_distance = window[-1].distance if forewarned else None
+        stage2 = alarm_label == crisis.label if forewarned else None
+        outcomes.append(
+            CrisisOutcome(
+                label=crisis.label,
+                detected_epoch=det,
+                forewarned=forewarned,
+                lead_epochs=lead,
+                alarm_label=alarm_label,
+                alarm_distance=alarm_distance,
+                stage2_correct=stage2,
+            )
+        )
+
+    # Alarms landing outside every widened crisis window are false.
+    near = np.zeros(trace.n_epochs, dtype=bool)
+    for crisis in trace.crises:
+        lo = max(crisis.instance.start_epoch - horizon - 2, 0)
+        hi = min(
+            crisis.instance.end_epoch + POST_CRISIS_MARGIN, trace.n_epochs
+        )
+        near[lo:hi] = True
+    false_alarms = [
+        a for a in alarms if a.epoch >= eval_start and not near[a.epoch]
+    ]
+    epochs = np.arange(trace.n_epochs)
+    normal = (epochs >= eval_start) & ~near & replay.valid
+    n_normal = int(normal.sum())
+
+    leads = [o.lead_epochs for o in outcomes if o.forewarned]
+    scored = [o for o in outcomes if o.stage2_correct is not None]
+    n_correct = sum(1 for o in scored if o.stage2_correct)
+    n_fore = sum(1 for o in outcomes if o.forewarned)
+    return LeadTimeResult(
+        n_crises=len(outcomes),
+        n_forewarned=n_fore,
+        recall=n_fore / len(outcomes) if outcomes else 0.0,
+        median_lead_epochs=float(np.median(leads)) if leads else 0.0,
+        false_alarm_rate=(
+            len(false_alarms) / n_normal if n_normal else 0.0
+        ),
+        n_false_alarms=len(false_alarms),
+        n_normal_epochs=n_normal,
+        stage2_accuracy=n_correct / len(scored) if scored else 0.0,
+        n_stage2_scored=len(scored),
+        n_alarms=sum(1 for a in alarms if a.epoch >= eval_start),
+        outcomes=outcomes,
+    )
+
+
+def format_report(result: LeadTimeResult, title: str = "forecast") -> str:
+    """Human-readable evaluation summary (CLI + benchmark output)."""
+    lines = [
+        f"{title}: lead-time vs precision",
+        "-" * 56,
+        f"crises evaluated      {result.n_crises}",
+        (
+            f"forewarned            {result.n_forewarned}"
+            f"  (recall {result.recall:.0%})"
+        ),
+        f"median lead           {result.median_lead_epochs:.1f} epochs",
+        (
+            f"false alarms          {result.n_false_alarms}"
+            f" / {result.n_normal_epochs} normal epochs"
+            f"  ({result.false_alarm_rate:.2%})"
+        ),
+        (
+            f"stage-2 accuracy      {result.stage2_accuracy:.0%}"
+            f"  over {result.n_stage2_scored} forewarned crises"
+        ),
+        "",
+        "crisis  detected  forewarned  lead  alarm-label  correct",
+    ]
+    for o in result.outcomes:
+        lead = "-" if o.lead_epochs is None else str(o.lead_epochs)
+        alarm = o.alarm_label or "-"
+        okay = "-" if o.stage2_correct is None else (
+            "yes" if o.stage2_correct else "no"
+        )
+        lines.append(
+            f"{o.label:<7} {o.detected_epoch:<9} "
+            f"{'yes' if o.forewarned else 'no':<11} {lead:<5} "
+            f"{alarm:<12} {okay}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CrisisOutcome",
+    "LeadTimeResult",
+    "evaluate_forecaster",
+    "format_report",
+]

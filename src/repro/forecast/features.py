@@ -1,0 +1,239 @@
+"""Online per-epoch feature extraction for crisis forecasting.
+
+The extractor turns the live planes a :class:`StreamingCrisisMonitor`
+already maintains — discretized summary vectors, the rolling hot/cold
+thresholds, the SLA violation statistic, and the identification event
+stream — into one fixed-width feature vector per epoch, **incrementally**:
+state is a handful of small trailing rings, never the full trace.
+
+Per epoch the vector concatenates, over the ``C = n_relevant x
+n_quantiles`` fingerprint cells:
+
+* ``summary`` — the current {-1, 0, +1} summary values;
+* ``delta`` — element-wise change versus the previous trusted epoch
+  (state *transitions*, the leading edge of a building crisis);
+* ``slope`` — per-cell least-squares slope of the raw quantile value
+  over the last ``slope_window`` epochs, normalized by the cell's
+  hot-cold threshold span (scale-free trajectories; a cell climbing
+  toward its hot cutoff scores high before it ever crosses);
+
+plus ten scalars: hot/cold cell fractions, enter-hot / enter-cold /
+leave-state transition rates, the violation fraction and its windowed
+slope, and don't-know / identification / untrusted churn rates over the
+last ``churn_window`` epochs.
+
+Untrusted (quarantined) epochs advance time but contribute no values:
+their raw row enters the slope ring as NaN (the nan-aware regression
+skips it), the previous-summary register is left untouched, and no
+feature vector is emitted — exactly mirroring the monitor's own
+quarantine semantics.  The extractor emits ``None`` until its slope ring
+has seen ``slope_window`` epochs.
+
+State snapshots are verbatim array copies, so a restored extractor
+replays bit-identically (the checkpoint contract of the live path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Scalar features appended after the three per-cell blocks.
+SCALAR_FEATURES: Tuple[str, ...] = (
+    "frac_hot",
+    "frac_cold",
+    "rate_enter_hot",
+    "rate_enter_cold",
+    "rate_leave",
+    "violation",
+    "violation_slope",
+    "dont_know_rate",
+    "identified_rate",
+    "untrusted_rate",
+)
+
+#: Bound on normalized slopes so one wild cell cannot dominate the model.
+_SLOPE_CLIP = 8.0
+
+
+class OnlineFeatureExtractor:
+    """Incremental epoch-feature derivation from live monitor planes."""
+
+    def __init__(
+        self,
+        n_cells: int,
+        slope_window: int = 8,
+        churn_window: int = 8,
+    ):
+        if n_cells < 1:
+            raise ValueError("n_cells must be positive")
+        if slope_window < 2:
+            raise ValueError("slope_window must be at least 2")
+        if churn_window < 1:
+            raise ValueError("churn_window must be positive")
+        self.n_cells = int(n_cells)
+        self.slope_window = int(slope_window)
+        self.churn_window = int(churn_window)
+        self.epochs_seen = 0
+        # Trailing rings, chronological: row -1 is the newest epoch.
+        self._raw = np.full((self.slope_window, self.n_cells), np.nan)
+        self._viol = np.full(self.slope_window, np.nan)
+        self._churn = np.zeros((self.churn_window, 3), dtype=np.int64)
+        self._prev_summary = np.zeros(self.n_cells, dtype=np.int8)
+        self._has_prev = False
+
+    # -- schema ------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Feature-vector width: three per-cell blocks plus the scalars."""
+        return 3 * self.n_cells + len(SCALAR_FEATURES)
+
+    def feature_names(self) -> List[str]:
+        names = [f"summary[{i}]" for i in range(self.n_cells)]
+        names += [f"delta[{i}]" for i in range(self.n_cells)]
+        names += [f"slope[{i}]" for i in range(self.n_cells)]
+        names += list(SCALAR_FEATURES)
+        return names
+
+    # -- ingestion ---------------------------------------------------------
+
+    def observe(
+        self,
+        raw_row: Optional[np.ndarray],
+        summary_row: Optional[np.ndarray],
+        scale_row: Optional[np.ndarray],
+        violation: float,
+        dont_know: int = 0,
+        identified: int = 0,
+        untrusted: bool = False,
+    ) -> Optional[np.ndarray]:
+        """Feed one epoch; returns its feature vector, or ``None``.
+
+        ``raw_row`` / ``summary_row`` / ``scale_row`` are the relevant
+        fingerprint cells flattened to length ``n_cells``: raw quantile
+        values, their {-1, 0, +1} discretization, and the hot-cold
+        threshold span used to normalize slopes.  ``None`` is emitted
+        for untrusted epochs and until the slope ring is full.
+        """
+        self.epochs_seen += 1
+        self._churn[:-1] = self._churn[1:]
+        self._churn[-1] = (int(dont_know), int(identified), int(untrusted))
+        self._raw[:-1] = self._raw[1:]
+        self._viol[:-1] = self._viol[1:]
+        if untrusted:
+            # Quarantined epoch: time advances, values do not.
+            self._raw[-1] = np.nan
+            self._viol[-1] = np.nan
+            return None
+        raw_row = np.asarray(raw_row, dtype=float).reshape(-1)
+        summary_row = np.asarray(summary_row).reshape(-1)
+        if raw_row.shape != (self.n_cells,) or summary_row.shape != (
+            self.n_cells,
+        ):
+            raise ValueError(
+                f"expected rows of {self.n_cells} cells, got "
+                f"{raw_row.shape} / {summary_row.shape}"
+            )
+        self._raw[-1] = raw_row
+        self._viol[-1] = float(violation)
+
+        summary = summary_row.astype(float)
+        if self._has_prev:
+            prev = self._prev_summary.astype(float)
+        else:
+            prev = summary  # first trusted epoch: no transitions yet
+        delta = summary - prev
+        enter_hot = float(np.mean((summary == 1) & (prev != 1)))
+        enter_cold = float(np.mean((summary == -1) & (prev != -1)))
+        leave = float(np.mean((summary == 0) & (prev != 0)))
+        self._prev_summary = summary_row.astype(np.int8)
+        self._has_prev = True
+
+        if self.epochs_seen < self.slope_window:
+            return None
+
+        scale = np.maximum(
+            np.asarray(scale_row, dtype=float).reshape(-1), 1e-9
+        )
+        slope = self._slopes(self._raw) * self.slope_window / scale
+        slope = np.clip(slope, -_SLOPE_CLIP, _SLOPE_CLIP)
+        viol_slope = float(
+            self._slopes(self._viol[:, None])[0] * self.slope_window
+        )
+        churn = self._churn.sum(axis=0) / float(self.churn_window)
+        scalars = np.array(
+            [
+                float(np.mean(summary == 1)),
+                float(np.mean(summary == -1)),
+                enter_hot,
+                enter_cold,
+                leave,
+                float(violation),
+                viol_slope,
+                float(churn[0]),
+                float(churn[1]),
+                float(churn[2]),
+            ]
+        )
+        return np.concatenate([summary, delta, slope, scalars])
+
+    @staticmethod
+    def _slopes(ring: np.ndarray) -> np.ndarray:
+        """NaN-aware per-column least-squares slope over the ring."""
+        w = ring.shape[0]
+        x = np.arange(w, dtype=float)[:, None]
+        valid = np.isfinite(ring)
+        n = valid.sum(axis=0)
+        xv = np.where(valid, x, 0.0)
+        yv = np.where(valid, ring, 0.0)
+        sx = xv.sum(axis=0)
+        sy = yv.sum(axis=0)
+        sxx = np.where(valid, x * x, 0.0).sum(axis=0)
+        sxy = (xv * yv).sum(axis=0)
+        denom = n * sxx - sx * sx
+        safe = (n >= 2) & (denom > 1e-12)
+        return np.where(
+            safe, (n * sxy - sx * sy) / np.where(safe, denom, 1.0), 0.0
+        )
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self, prefix: str = "") -> Tuple[dict, Dict[str, np.ndarray]]:
+        header = {
+            "n_cells": self.n_cells,
+            "slope_window": self.slope_window,
+            "churn_window": self.churn_window,
+            "epochs_seen": self.epochs_seen,
+            "has_prev": self._has_prev,
+        }
+        arrays = {
+            f"{prefix}raw": self._raw.copy(),
+            f"{prefix}viol": self._viol.copy(),
+            f"{prefix}churn": self._churn.copy(),
+            f"{prefix}prev_summary": self._prev_summary.copy(),
+        }
+        return header, arrays
+
+    @classmethod
+    def from_snapshot(
+        cls, header: dict, arrays, prefix: str = ""
+    ) -> "OnlineFeatureExtractor":
+        out = cls(
+            n_cells=int(header["n_cells"]),
+            slope_window=int(header["slope_window"]),
+            churn_window=int(header["churn_window"]),
+        )
+        out.epochs_seen = int(header["epochs_seen"])
+        out._has_prev = bool(header["has_prev"])
+        out._raw = np.array(arrays[f"{prefix}raw"], dtype=float)
+        out._viol = np.array(arrays[f"{prefix}viol"], dtype=float)
+        out._churn = np.array(arrays[f"{prefix}churn"], dtype=np.int64)
+        out._prev_summary = np.array(
+            arrays[f"{prefix}prev_summary"], dtype=np.int8
+        )
+        return out
+
+
+__all__ = ["OnlineFeatureExtractor", "SCALAR_FEATURES"]

@@ -486,9 +486,10 @@ class IngestServer:
             # Valid subscribes are handed off before dispatch; reaching
             # here means the frame shared a drain with a handed-off one.
             return wire.error_response("already-subscribed")
-        # state / incidents: one tenant's read-side snapshot.  Both are
-        # read-only: an unknown name is an error, never a freshly
-        # minted tenant directory (only journaled verbs create slots).
+        # state / incidents / forecasts: one tenant's read-side
+        # snapshot.  All read-only: an unknown name is an error, never a
+        # freshly minted tenant directory (only journaled verbs create
+        # slots).
         tenant = request["tenant"]
         with self._lock:
             slot = self.supervisor.peek(tenant)
@@ -502,6 +503,8 @@ class IngestServer:
                 )
             if op == "incidents":
                 return wire.ok_response(**slot.runtime.incidents())
+            if op == "forecasts":
+                return wire.ok_response(**slot.runtime.forecasts())
             return wire.ok_response(state=slot.runtime.state())
 
 

@@ -81,6 +81,7 @@ def _build_monitor(cfg: ServingConfig) -> StreamingCrisisMonitor:
         clock=EpochClock(epoch_minutes=cfg.epoch_minutes),
     )
     _attach_discovery(monitor, cfg)
+    _attach_forecast(monitor, cfg)
     return monitor
 
 
@@ -96,6 +97,25 @@ def _attach_discovery(monitor: StreamingCrisisMonitor, cfg: ServingConfig):
         from repro.discovery.engine import DiscoveryEngine
 
         monitor.attach_discovery(DiscoveryEngine(cfg.discovery))
+
+
+def _attach_forecast(monitor: StreamingCrisisMonitor, cfg: ServingConfig):
+    """Attach a forecast engine when the tenant opts in.
+
+    Like discovery, a checkpoint that embeds forecast state restores
+    with the engine (and its trained detector) already attached; this
+    fills the gap for fresh monitors and pre-forecast checkpoints,
+    seeding from ``cfg.forecast_model`` when a trained model file is
+    configured.
+    """
+    if cfg.forecast_enabled and monitor.forecast is None:
+        from repro.forecast.engine import ForecastEngine, load_forecast
+
+        if cfg.forecast_model:
+            engine = load_forecast(cfg.forecast_model)
+        else:
+            engine = ForecastEngine(cfg.forecast)
+        monitor.attach_forecast(engine)
 
 
 class TenantRuntime:
@@ -326,6 +346,7 @@ class TenantRuntime:
                 ),
             )
             _attach_discovery(runtime.monitor, cfg)
+            _attach_forecast(runtime.monitor, cfg)
             extra = ckpt.read_checkpoint_extra(runtime.checkpoint_path)
             runtime.applied_seq = int(extra.get("applied_seq", 0))
             runtime.next_epoch = int(extra.get("next_epoch", 0))
@@ -401,6 +422,20 @@ class TenantRuntime:
                 {s.label for s in self.monitor._library if s.label}
             ),
             "discovery": None if discovery is None else discovery.stats(),
+        }
+
+    def forecasts(self) -> dict:
+        """Wire-safe early-warning view (``admin forecasts``).
+
+        Read-only: the forecast engine's runtime statistics plus its
+        retained alarms, or ``forecast: None`` when the tenant never
+        opted in.
+        """
+        forecast = self.monitor.forecast
+        return {
+            "tenant": self.tenant,
+            "forecast": None if forecast is None else forecast.stats(),
+            "alarms": [] if forecast is None else forecast.forecasts(),
         }
 
     def close(self) -> None:

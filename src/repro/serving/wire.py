@@ -23,6 +23,10 @@ Requests (``op`` selects the verb):
 ``ping`` / ``stats`` / ``state``
     liveness, service-wide counters, and one tenant's full recovery
     state (used by tests to prove bit-identity).
+``incidents`` / ``forecasts``
+    read-side views of one tenant: the incident catalog (with discovery
+    cluster stats when attached) and the early-warning engine's stats +
+    retained alarms (PR 9).
 
 Replication and administration (PR 7):
 
@@ -82,7 +86,7 @@ from repro.core.streaming import (
 #: Request verbs understood by the server.
 OPS = (
     "report", "close_epoch", "diagnose", "ping", "stats", "state",
-    "incidents",
+    "incidents", "forecasts",
     "repl_subscribe", "repl_ack", "promote", "fence", "unquarantine",
 )
 
@@ -218,6 +222,11 @@ def parse_request(obj: Dict[str, Any]) -> Dict[str, Any]:
         return {
             "op": "incidents",
             "tenant": _require_tenant(obj, "incidents"),
+        }
+    if op == "forecasts":
+        return {
+            "op": "forecasts",
+            "tenant": _require_tenant(obj, "forecasts"),
         }
     if op == "repl_subscribe":
         return _optional_fence(obj, {

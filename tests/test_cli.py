@@ -210,3 +210,72 @@ class TestDiscoverCommands:
         rc = main(["discover", "promote", str(state), "99"])
         assert rc == 1
         assert "no cluster 99" in capsys.readouterr().err
+
+
+class TestForecastParser:
+    def test_train_options(self):
+        args = build_parser().parse_args(
+            ["forecast", "train", "t.npz", "m.npz",
+             "--train-epochs", "5000", "--horizon", "3",
+             "--budget", "0.05", "--negatives", "800"]
+        )
+        assert args.command == "forecast"
+        assert args.forecast_action == "train"
+        assert args.train_epochs == 5000
+        assert args.horizon == 3
+        assert args.budget == 0.05
+        assert args.negatives == 800
+
+    def test_run_and_stats(self):
+        args = build_parser().parse_args(
+            ["forecast", "run", "t.npz", "m.npz", "--eval-start", "9000"]
+        )
+        assert args.forecast_action == "run" and args.eval_start == 9000
+        args = build_parser().parse_args(["forecast", "stats", "m.npz"])
+        assert args.forecast_action == "stats"
+
+    def test_action_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["forecast"])
+
+    def test_serve_forecast_flags(self):
+        args = build_parser().parse_args(["serve", "--root", "r"])
+        assert args.forecast is False and args.forecast_model is None
+        args = build_parser().parse_args(
+            ["serve", "--root", "r", "--forecast",
+             "--forecast-model", "m.npz"]
+        )
+        assert args.forecast is True and args.forecast_model == "m.npz"
+
+    def test_admin_forecasts(self):
+        args = build_parser().parse_args(
+            ["admin", "--endpoints", "h:1", "forecasts", "acme"]
+        )
+        assert args.admin_command == "forecasts" and args.tenant == "acme"
+
+
+class TestForecastCommands:
+    def test_train_stats_run_round_trip(self, trace_path, tmp_path,
+                                        capsys):
+        model = tmp_path / "forecast.npz"
+        rc = main([
+            "forecast", "train", trace_path, str(model),
+            "--train-epochs", "10000", "--negatives", "1000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage 1: lambda" in out
+        assert "model written" in out
+        assert model.exists()
+
+        rc = main(["forecast", "stats", str(model)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fitted" in out and "alarm_threshold" in out
+
+        rc = main([
+            "forecast", "run", trace_path, str(model),
+            "--eval-start", "10000",
+        ])
+        assert rc == 0
+        assert "lead-time vs precision" in capsys.readouterr().out

@@ -22,28 +22,49 @@ def forecaster(small_trace):
 class TestCalibrateThreshold:
     def test_respects_false_alarm_budget(self, forecaster):
         fc, crises = forecaster
-        threshold = fc.calibrate_threshold(crises[:10],
-                                           false_alarm_budget=0.02)
+        threshold = fc.calibrate_threshold(false_alarm_budget=0.02)
         result = fc.evaluate(crises[10:], threshold=threshold,
                              n_normal=1500)
         # Holdout false alarms should stay near the budget.
         assert result.false_alarm_rate <= 0.10
 
     def test_smaller_budget_stricter(self, forecaster):
-        fc, crises = forecaster
-        loose = fc.calibrate_threshold(crises[:10],
-                                       false_alarm_budget=0.10)
-        strict = fc.calibrate_threshold(crises[:10],
-                                        false_alarm_budget=0.005)
+        fc, _ = forecaster
+        loose = fc.calibrate_threshold(false_alarm_budget=0.10)
+        strict = fc.calibrate_threshold(false_alarm_budget=0.005)
         assert strict >= loose
 
     def test_threshold_in_unit_interval(self, forecaster):
-        fc, crises = forecaster
-        t = fc.calibrate_threshold(crises[:10])
+        fc, _ = forecaster
+        t = fc.calibrate_threshold()
         assert 0.0 <= t <= 1.0
 
     def test_deterministic(self, forecaster):
-        fc, crises = forecaster
-        a = fc.calibrate_threshold(crises[:10], seed=5)
-        b = fc.calibrate_threshold(crises[:10], seed=5)
+        fc, _ = forecaster
+        a = fc.calibrate_threshold(seed=5)
+        b = fc.calibrate_threshold(seed=5)
         assert a == b
+
+    def test_positional_budget_still_works(self, forecaster):
+        fc, _ = forecaster
+        assert fc.calibrate_threshold(0.10) == fc.calibrate_threshold(
+            false_alarm_budget=0.10
+        )
+
+
+class TestDeprecatedCrisesArg:
+    def test_old_convention_warns_and_matches(self, forecaster):
+        fc, crises = forecaster
+        expected = fc.calibrate_threshold(false_alarm_budget=0.02)
+        with pytest.warns(DeprecationWarning):
+            got = fc.calibrate_threshold(crises[:10],
+                                         false_alarm_budget=0.02)
+        assert got == expected
+
+    def test_new_convention_does_not_warn(self, forecaster):
+        import warnings
+
+        fc, _ = forecaster
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            fc.calibrate_threshold(false_alarm_budget=0.02)

@@ -1,0 +1,114 @@
+"""Two-stage detector: CV fitting, ROC calibration, catalog matching."""
+
+import numpy as np
+import pytest
+
+from repro.core.identification import UNKNOWN
+from repro.forecast.detector import TwoStageDetector
+
+
+def toy_data(rng, n=200, dim=6, sep=3.0):
+    """Linearly separable-ish two-class feature rows."""
+    X = rng.normal(size=(n, dim))
+    y = (rng.random(n) < 0.5).astype(float)
+    X[:, 0] += sep * y
+    return X, y
+
+
+@pytest.fixture()
+def fitted(rng):
+    X, y = toy_data(rng)
+    det = TwoStageDetector(horizon_epochs=3, false_alarm_budget=0.05)
+    det.fit(X, y, cv_folds=4, seed=1)
+    det.calibrate(det.score(X), y)
+    return det, X, y
+
+
+class TestStageOne:
+    def test_unfitted_scoring_raises(self, rng):
+        det = TwoStageDetector()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            det.score(rng.normal(size=(3, 5)))
+
+    def test_cv_table_covers_lambda_path(self, fitted):
+        det, _, _ = fitted
+        assert len(det.cv_table) >= 4
+        assert det.lam in [row["lam"] for row in det.cv_table]
+        assert det.model is not None and det.is_fitted
+
+    def test_separable_classes_score_apart(self, fitted):
+        det, X, y = fitted
+        scores = det.score(X)
+        assert scores[y == 1].mean() > scores[y == 0].mean() + 0.2
+
+    def test_single_row_scoring(self, fitted):
+        det, X, _ = fitted
+        assert det.score(X[0]).shape == (1,)
+
+    def test_needs_both_classes(self, rng):
+        det = TwoStageDetector()
+        X = rng.normal(size=(20, 3))
+        with pytest.raises(ValueError, match="positive and negative"):
+            det.fit(X, np.ones(20))
+
+    def test_calibration_respects_budget(self, fitted):
+        det, X, y = fitted
+        neg = det.score(X)[y == 0]
+        fpr = np.mean(neg >= det.alarm_threshold)
+        assert fpr <= 0.05 + 1e-9
+        assert det.calibration_fpr <= 0.05 + 1e-9
+
+
+class TestStageTwo:
+    def test_no_catalog_reports_unknown(self, rng):
+        det = TwoStageDetector()
+        label, distance = det.identify(rng.normal(size=4))
+        assert label == UNKNOWN and distance is None
+
+    def test_exact_match_identified(self, rng):
+        det = TwoStageDetector()
+        vecs = np.vstack([np.eye(4)[i % 4] * (1 + i) for i in range(8)])
+        labels = [f"T{i % 4}" for i in range(8)]
+        det.set_catalog(vecs, labels, alpha=0.5)
+        label, distance = det.identify(vecs[2])
+        assert label == "T2" and distance == 0.0
+
+    def test_far_query_is_dont_know_when_gated(self):
+        det = TwoStageDetector()
+        # Two same-label pairs so the threshold estimator has positives.
+        vecs = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]]
+        )
+        det.set_catalog(vecs, ["A", "A", "B", "B"], alpha=0.5)
+        if det.match_threshold is not None:
+            label, _ = det.identify(np.array([100.0, -100.0]))
+            assert label == UNKNOWN
+
+    def test_empty_catalog_rejected(self):
+        det = TwoStageDetector()
+        with pytest.raises(ValueError):
+            det.set_catalog(np.empty((0, 3)), [])
+
+
+class TestSnapshot:
+    def test_round_trip_scores_identically(self, fitted, rng):
+        det, X, _ = fitted
+        det.set_catalog(
+            np.vstack([np.eye(3), np.eye(3)]),
+            ["A", "B", "C", "A", "B", "C"],
+            alpha=0.5,
+        )
+        header, arrays = det.snapshot(prefix="d_")
+        clone = TwoStageDetector.from_snapshot(header, arrays, "d_")
+        probe = rng.normal(size=(5, X.shape[1]))
+        assert np.array_equal(det.score(probe), clone.score(probe))
+        assert clone.alarm_threshold == det.alarm_threshold
+        assert clone.identify(np.eye(3)[1]) == det.identify(np.eye(3)[1])
+
+    def test_unfitted_round_trip(self):
+        det = TwoStageDetector(horizon_epochs=2, false_alarm_budget=0.1)
+        header, arrays = det.snapshot()
+        clone = TwoStageDetector.from_snapshot(header, arrays)
+        assert not clone.is_fitted
+        assert clone.horizon_epochs == 2
+        assert clone.catalog_size == 0

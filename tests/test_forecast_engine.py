@@ -1,0 +1,225 @@
+"""Forecast engine: monitor attachment, alarming, checkpoint embedding."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FingerprintingConfig,
+    ForecastConfig,
+    ThresholdConfig,
+)
+from repro.core import checkpoint as ckpt
+from repro.core.streaming import StreamingCrisisMonitor
+from repro.forecast.detector import TwoStageDetector
+from repro.forecast.engine import (
+    ForecastAlarm,
+    ForecastEngine,
+    load_forecast,
+    save_forecast,
+)
+
+CFG = FingerprintingConfig(thresholds=ThresholdConfig(window_days=1))
+
+
+def make_monitor():
+    return StreamingCrisisMonitor(
+        n_metrics=5,
+        relevant_metrics=[0, 1, 2],
+        config=CFG,
+        threshold_refresh_epochs=10,
+        min_history_epochs=20,
+    )
+
+
+def quantile_row(rng, n_metrics=5):
+    return np.sort(rng.normal(size=(n_metrics, CFG.quantiles.count)), axis=1)
+
+
+def drive(monitor, rng, n, violation=0.0):
+    for _ in range(n):
+        monitor.ingest(quantile_row(rng), violation)
+
+
+def eager_detector(dim, rng, threshold=-1.0):
+    """A fitted stage-1 whose alarm threshold admits everything."""
+    X = rng.normal(size=(40, dim))
+    y = np.zeros(40)
+    y[:20] = 1.0
+    X[:20, 0] += 3.0
+    det = TwoStageDetector(horizon_epochs=3, false_alarm_budget=0.5)
+    det.fit(X, y, cv_folds=4, seed=0)
+    det.alarm_threshold = threshold
+    return det
+
+
+class TestAttachment:
+    def test_attach_builds_extractor_from_monitor(self):
+        monitor = make_monitor()
+        engine = ForecastEngine(ForecastConfig(slope_window=4))
+        monitor.attach_forecast(engine)
+        assert monitor.forecast is engine
+        assert engine.extractor.n_cells == 3 * CFG.quantiles.count
+
+    def test_attach_rejects_mismatched_state(self):
+        monitor = make_monitor()
+        engine = ForecastEngine()
+        engine.attach(monitor)
+        other = StreamingCrisisMonitor(
+            n_metrics=5, relevant_metrics=[0], config=CFG,
+            threshold_refresh_epochs=10, min_history_epochs=20,
+        )
+        with pytest.raises(ValueError, match="fingerprint"):
+            engine.attach(other)
+
+    def test_unattached_snapshot_raises(self):
+        with pytest.raises(ValueError, match="not attached"):
+            ForecastEngine().snapshot()
+
+
+class TestObservation:
+    def test_observes_every_epoch_scores_when_fitted(self, rng):
+        monitor = make_monitor()
+        engine = ForecastEngine(ForecastConfig(slope_window=4))
+        monitor.attach_forecast(engine)
+        drive(monitor, rng, 40)
+        assert engine.epochs_observed == 40
+        assert engine.epochs_scored == 0  # no detector yet
+        engine.detector = eager_detector(engine.extractor.dim, rng)
+        drive(monitor, rng, 5)
+        assert engine.epochs_scored > 0
+
+    def test_alarm_fires_and_cooldown_suppresses(self, rng):
+        monitor = make_monitor()
+        engine = ForecastEngine(
+            ForecastConfig(slope_window=4, cooldown_epochs=3)
+        )
+        monitor.attach_forecast(engine)
+        drive(monitor, rng, 30)
+        engine.detector = eager_detector(engine.extractor.dim, rng)
+        drive(monitor, rng, 8)
+        # With an always-on threshold, cooldown spaces alarms >= 4 apart.
+        epochs = [alarm.epoch for alarm in engine.alarms]
+        assert epochs, "expected at least one alarm"
+        gaps = np.diff(epochs)
+        assert np.all(gaps >= 4)
+
+    def test_alarms_suppressed_during_live_crisis(self, rng):
+        monitor = make_monitor()
+        engine = ForecastEngine(
+            ForecastConfig(slope_window=4, cooldown_epochs=0)
+        )
+        monitor.attach_forecast(engine)
+        drive(monitor, rng, 30)
+        engine.detector = eager_detector(engine.extractor.dim, rng)
+        drive(monitor, rng, 3, violation=0.5)  # SLA breach: live crisis
+        assert engine.suppressed_live > 0
+
+    def test_alarm_retention_bounded(self, rng):
+        monitor = make_monitor()
+        engine = ForecastEngine(
+            ForecastConfig(slope_window=4, cooldown_epochs=0,
+                           alarm_retain=5)
+        )
+        monitor.attach_forecast(engine)
+        drive(monitor, rng, 30)
+        engine.detector = eager_detector(engine.extractor.dim, rng)
+        drive(monitor, rng, 20)
+        assert len(engine.alarms) <= 5
+        assert engine.alarms_total > 5
+
+    def test_stats_and_forecasts_are_wire_safe(self, rng):
+        import json
+
+        monitor = make_monitor()
+        engine = ForecastEngine(ForecastConfig(slope_window=4))
+        monitor.attach_forecast(engine)
+        drive(monitor, rng, 25)
+        engine.detector = eager_detector(engine.extractor.dim, rng)
+        drive(monitor, rng, 5)
+        json.dumps(engine.stats())
+        json.dumps(engine.forecasts())
+
+
+class TestCheckpointEmbedding:
+    def test_round_trip_bit_identical_features(self, rng, tmp_path):
+        monitor = make_monitor()
+        engine = ForecastEngine(ForecastConfig(slope_window=4))
+        monitor.attach_forecast(engine)
+        drive(monitor, rng, 40)
+        path = tmp_path / "ck.npz"
+        ckpt.save_monitor(monitor, path)
+        restored = ckpt.load_monitor(path, config=CFG)
+        clone = restored.forecast
+        assert clone is not None
+        assert clone.epochs_observed == engine.epochs_observed
+        q = quantile_row(rng)
+        monitor.ingest(q.copy(), 0.0)
+        restored.ingest(q.copy(), 0.0)
+        assert engine.last_features is not None
+        assert np.array_equal(
+            engine.last_features, clone.last_features, equal_nan=True
+        )
+
+    def test_round_trip_preserves_alarms_and_detector(self, rng, tmp_path):
+        monitor = make_monitor()
+        engine = ForecastEngine(
+            ForecastConfig(slope_window=4, cooldown_epochs=0)
+        )
+        monitor.attach_forecast(engine)
+        drive(monitor, rng, 30)
+        engine.detector = eager_detector(engine.extractor.dim, rng)
+        drive(monitor, rng, 5)
+        assert engine.alarms
+        path = tmp_path / "ck.npz"
+        ckpt.save_monitor(monitor, path)
+        clone = ckpt.load_monitor(path, config=CFG).forecast
+        assert clone.alarms == engine.alarms
+        assert clone.alarms_total == engine.alarms_total
+        assert clone.detector.alarm_threshold == \
+            engine.detector.alarm_threshold
+        probe = rng.normal(size=engine.extractor.dim)
+        assert np.array_equal(
+            engine.detector.score(probe), clone.detector.score(probe)
+        )
+
+    def test_pre_forecast_checkpoint_loads_without_engine(
+        self, rng, tmp_path
+    ):
+        monitor = make_monitor()
+        drive(monitor, rng, 25)
+        path = tmp_path / "old.npz"
+        ckpt.save_monitor(monitor, path)
+        restored = ckpt.load_monitor(path, config=CFG)
+        assert restored.forecast is None
+
+
+class TestStandalonePersistence:
+    def test_save_load_forecast(self, rng, tmp_path):
+        monitor = make_monitor()
+        engine = ForecastEngine(ForecastConfig(slope_window=4))
+        monitor.attach_forecast(engine)
+        drive(monitor, rng, 30)
+        engine.detector = eager_detector(engine.extractor.dim, rng)
+        path = tmp_path / "model.npz"
+        save_forecast(engine, path)
+        clone = load_forecast(path)
+        assert clone.monitor is None  # unattached on load
+        assert clone.is_fitted
+        probe = rng.normal(size=engine.extractor.dim)
+        assert np.array_equal(
+            engine.detector.score(probe), clone.detector.score(probe)
+        )
+
+    def test_load_rejects_wrong_kind(self, tmp_path, rng):
+        monitor = make_monitor()
+        drive(monitor, rng, 25)
+        path = tmp_path / "monitor.npz"
+        ckpt.save_monitor(monitor, path)
+        with pytest.raises(ValueError):
+            load_forecast(path)
+
+    def test_alarm_to_dict(self):
+        alarm = ForecastAlarm(epoch=5, score=0.9, label="B", distance=1.5)
+        assert alarm.to_dict() == {
+            "epoch": 5, "score": 0.9, "label": "B", "distance": 1.5,
+        }

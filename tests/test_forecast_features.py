@@ -1,0 +1,119 @@
+"""Online feature extractor: incremental semantics and snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.features import SCALAR_FEATURES, OnlineFeatureExtractor
+
+
+def feed(fx, rng, n, violation=0.0, untrusted=False):
+    out = None
+    for _ in range(n):
+        out = fx.observe(
+            rng.normal(size=fx.n_cells),
+            rng.integers(-1, 2, size=fx.n_cells).astype(np.int8),
+            np.ones(fx.n_cells),
+            violation,
+            untrusted=untrusted,
+        )
+    return out
+
+
+class TestWarmup:
+    def test_no_vector_until_slope_window_filled(self, rng):
+        fx = OnlineFeatureExtractor(n_cells=4, slope_window=5)
+        for t in range(4):
+            assert feed(fx, rng, 1) is None
+        assert feed(fx, rng, 1) is not None
+
+    def test_dim_is_cells_times_three_plus_scalars(self):
+        fx = OnlineFeatureExtractor(n_cells=7)
+        assert fx.dim == 3 * 7 + len(SCALAR_FEATURES)
+
+    def test_output_is_finite(self, rng):
+        fx = OnlineFeatureExtractor(n_cells=4, slope_window=4)
+        vec = feed(fx, rng, 10)
+        assert np.all(np.isfinite(vec))
+
+
+class TestSemantics:
+    def test_hot_fraction_counts_plus_ones(self, rng):
+        fx = OnlineFeatureExtractor(n_cells=4, slope_window=3)
+        raw = np.zeros(4)
+        scale = np.ones(4)
+        summary = np.array([1, 1, 0, -1], dtype=np.int8)
+        vec = None
+        for _ in range(4):
+            vec = fx.observe(raw, summary, scale, 0.0)
+        names = dict(zip(SCALAR_FEATURES, vec[3 * 4:]))
+        assert names["frac_hot"] == pytest.approx(0.5)
+        assert names["frac_cold"] == pytest.approx(0.25)
+
+    def test_transition_rates_on_flip(self):
+        fx = OnlineFeatureExtractor(n_cells=2, slope_window=2)
+        raw, scale = np.zeros(2), np.ones(2)
+        fx.observe(raw, np.array([0, 0], dtype=np.int8), scale, 0.0)
+        vec = fx.observe(raw, np.array([1, -1], dtype=np.int8), scale, 0.0)
+        names = dict(zip(SCALAR_FEATURES, vec[3 * 2:]))
+        assert names["rate_enter_hot"] == pytest.approx(0.5)
+        assert names["rate_enter_cold"] == pytest.approx(0.5)
+
+    def test_rising_metric_has_positive_slope(self):
+        fx = OnlineFeatureExtractor(n_cells=1, slope_window=4)
+        vec = None
+        for t in range(6):
+            vec = fx.observe(
+                np.array([float(t)]), np.zeros(1, np.int8),
+                np.ones(1), 0.0,
+            )
+        slope = vec[2]  # third block is the per-cell slope
+        assert slope > 0
+
+    def test_violation_slope_tracks_buildup(self):
+        fx = OnlineFeatureExtractor(n_cells=1, slope_window=4)
+        vec = None
+        for t in range(6):
+            vec = fx.observe(
+                np.zeros(1), np.zeros(1, np.int8), np.ones(1),
+                0.01 * t,
+            )
+        names = dict(zip(SCALAR_FEATURES, vec[3:]))
+        assert names["violation_slope"] > 0
+
+
+class TestUntrusted:
+    def test_untrusted_epoch_returns_none_but_advances_time(self, rng):
+        fx = OnlineFeatureExtractor(n_cells=3, slope_window=3)
+        feed(fx, rng, 5)
+        before = fx.epochs_seen
+        out = fx.observe(None, None, None, 0.0, untrusted=True)
+        assert out is None
+        assert fx.epochs_seen == before + 1
+
+    def test_slopes_nan_aware_across_gap(self, rng):
+        fx = OnlineFeatureExtractor(n_cells=2, slope_window=4)
+        feed(fx, rng, 6)
+        fx.observe(None, None, None, 0.0, untrusted=True)
+        vec = feed(fx, rng, 1)
+        assert vec is not None and np.all(np.isfinite(vec))
+
+
+class TestSnapshot:
+    def test_round_trip_continues_identically(self, rng):
+        fx = OnlineFeatureExtractor(n_cells=3, slope_window=4)
+        feed(fx, rng, 7)
+        header, arrays = fx.snapshot(prefix="p_")
+        clone = OnlineFeatureExtractor.from_snapshot(header, arrays, "p_")
+        raw = rng.normal(size=3)
+        summary = rng.integers(-1, 2, size=3).astype(np.int8)
+        a = fx.observe(raw, summary, np.ones(3), 0.03)
+        b = clone.observe(raw, summary, np.ones(3), 0.03)
+        assert np.array_equal(a, b)
+
+    def test_snapshot_preserves_warmup_state(self, rng):
+        fx = OnlineFeatureExtractor(n_cells=2, slope_window=6)
+        feed(fx, rng, 2)  # still warming up
+        header, arrays = fx.snapshot(prefix="q_")
+        clone = OnlineFeatureExtractor.from_snapshot(header, arrays, "q_")
+        assert clone.epochs_seen == fx.epochs_seen
+        assert feed(clone, rng, 1) is None

@@ -1,0 +1,138 @@
+"""Offline forecaster rehoming: parity, nan regression, edge cases."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.extensions import CrisisForecaster
+from repro.extensions.forecasting import ForecastResult
+from repro.forecast.offline import (
+    OfflineCrisisForecaster,
+    OfflineForecastResult,
+)
+from repro.methods import FingerprintMethod
+
+
+@pytest.fixture(scope="module")
+def method(small_trace):
+    m = FingerprintMethod()
+    m.fit(small_trace, small_trace.labeled_crises)
+    return m
+
+
+@pytest.fixture(scope="module")
+def forecasters(small_trace, method):
+    """The wrapper and the rehomed implementation, identically fitted."""
+    kwargs = dict(lead_epochs=1, window_epochs=3)
+    crises = small_trace.labeled_crises
+    wrapper = CrisisForecaster(
+        small_trace, method.thresholds, method.relevant, **kwargs
+    ).fit(crises[:10])
+    rehomed = OfflineCrisisForecaster(
+        small_trace, method.thresholds, method.relevant, **kwargs
+    ).fit(crises[:10])
+    return wrapper, rehomed, crises
+
+
+class TestParity:
+    """The extensions shim must preserve the offline path bit-for-bit."""
+
+    def test_wrapper_is_the_offline_forecaster(self):
+        assert issubclass(CrisisForecaster, OfflineCrisisForecaster)
+        assert ForecastResult is OfflineForecastResult
+
+    def test_scores_identical(self, forecasters):
+        wrapper, rehomed, _ = forecasters
+        epochs = np.arange(200, 260)
+        assert np.array_equal(
+            wrapper.score_epochs(epochs), rehomed.score_epochs(epochs)
+        )
+
+    def test_recall_and_false_alarms_preserved(self, forecasters):
+        wrapper, rehomed, crises = forecasters
+        threshold = rehomed.calibrate_threshold(false_alarm_budget=0.02)
+        assert wrapper.calibrate_threshold(
+            false_alarm_budget=0.02
+        ) == threshold
+        a = wrapper.evaluate(crises[10:], threshold=threshold)
+        b = rehomed.evaluate(crises[10:], threshold=threshold)
+        assert a == b
+        assert a.n_crises > 0 and np.isfinite(a.recall)
+
+
+class TestEvaluateNanRegression:
+    """evaluate() must not silently report recall=nan (satellite fix)."""
+
+    def test_no_detected_crises_raises(self, forecasters, small_trace):
+        wrapper, _, crises = forecasters
+        undetected = [
+            dataclasses.replace(c, detected_epoch=None)
+            for c in crises[10:]
+        ]
+        with pytest.raises(ValueError, match="n_crises=0"):
+            wrapper.evaluate(undetected, threshold=0.5)
+
+    def test_empty_crisis_list_raises(self, forecasters):
+        wrapper, _, _ = forecasters
+        with pytest.raises(ValueError, match="n_crises=0"):
+            wrapper.evaluate([], threshold=0.5)
+
+
+class TestEdgeCases:
+    def test_unfitted_scoring_raises(self, small_trace, method):
+        fc = OfflineCrisisForecaster(
+            small_trace, method.thresholds, method.relevant
+        )
+        with pytest.raises(RuntimeError, match="not fitted"):
+            fc.score_epochs(np.arange(5))
+
+    def test_fit_with_no_positive_windows_raises(
+        self, small_trace, method
+    ):
+        fc = OfflineCrisisForecaster(
+            small_trace, method.thresholds, method.relevant
+        )
+        crises = small_trace.labeled_crises
+        undetected = [
+            dataclasses.replace(c, detected_epoch=None) for c in crises
+        ]
+        with pytest.raises(ValueError, match="no positive epochs"):
+            fc.fit(undetected)
+
+    def test_early_detection_has_empty_positive_window(
+        self, small_trace, method
+    ):
+        """A crisis detected at epoch <= lead contributes no positives."""
+        fc = OfflineCrisisForecaster(
+            small_trace, method.thresholds, method.relevant,
+            lead_epochs=2, window_epochs=4,
+        )
+        crisis = dataclasses.replace(
+            small_trace.labeled_crises[0], detected_epoch=1
+        )
+        assert fc._positive_epochs(crisis).size == 0
+        with pytest.raises(ValueError, match="no positive epochs"):
+            fc.fit([crisis])
+
+    def test_all_anomalous_exclusion_mask_raises(
+        self, small_trace, method, monkeypatch
+    ):
+        fc = OfflineCrisisForecaster(
+            small_trace, method.thresholds, method.relevant,
+        ).fit(small_trace.labeled_crises[:10])
+        monkeypatch.setattr(
+            fc, "_exclusion_mask",
+            lambda: np.ones(small_trace.n_epochs, dtype=bool),
+        )
+        with pytest.raises(ValueError, match="no crisis-free epochs"):
+            fc.calibrate_threshold()
+        with pytest.raises(ValueError, match="no crisis-free epochs"):
+            fc.evaluate(small_trace.labeled_crises[10:])
+
+    def test_invalid_windows_rejected(self, small_trace, method):
+        with pytest.raises(ValueError, match="positive"):
+            OfflineCrisisForecaster(
+                small_trace, method.thresholds, method.relevant,
+                lead_epochs=0,
+            )
