@@ -6,6 +6,8 @@ serve`` subprocess over loopback TCP:
 * sustained ingestion throughput in acked reports/second through the
   full journal-before-ack path (every ack means an fsynced journal
   record);
+* the same workload as ``report_batch`` frames — one journal record
+  and one fsync per fleet batch instead of per machine;
 * p99 request latency under the pipelined load generator;
 * crash-recovery time — SIGKILL the server mid-run, restart it on the
   same state directory, and measure wall clock from process launch to
@@ -77,6 +79,20 @@ def test_serving_ingest(tmp_path):
     mean_ms = result.mean_latency_ms
     n_events = len(result.events)
 
+    # --- Phase 1b: identical workload as report_batch frames. ---------
+    # Fresh state directory so both phases ingest the same epochs; the
+    # batched run journals one record per fleet frame instead of one
+    # per machine report.
+    proc_b, host_b, port_b = start_server(tmp_path / "batched")
+    t0 = time.perf_counter()
+    result_b = run_load(host_b, port_b, batch_size=N_MACHINES, **LOAD)
+    batched_wall_s = time.perf_counter() - t0
+    assert result_b.rejected == 0
+    assert result_b.acked == result.acked  # n-field covers every report
+    batched_throughput = result_b.acked / batched_wall_s
+    proc_b.send_signal(signal.SIGTERM)
+    proc_b.wait(timeout=30)
+
     # --- Phase 2: SIGKILL mid-epoch, measure recovery wall clock. -----
     run_load(host, port, start_epoch=N_EPOCHS,
              **{**LOAD, "n_epochs": N_EPOCHS + KILL_EPOCH})
@@ -99,6 +115,11 @@ def test_serving_ingest(tmp_path):
         "",
         "%-44s %10.0f reports/s" % ("sustained acked throughput",
                                     throughput),
+        "%-44s %10.0f reports/s" % (
+            "batched (report_batch, 1 fsync/fleet frame)",
+            batched_throughput),
+        "%-44s %10.1f x" % (
+            "batching speedup", batched_throughput / throughput),
         "%-44s %10.2f ms" % ("p99 request latency", p99_ms),
         "%-44s %10.2f ms" % ("mean request latency", mean_ms),
         "%-44s %10d" % ("acked reports (each one fsynced)", result.acked),
@@ -121,6 +142,7 @@ def test_serving_ingest(tmp_path):
         "n_metrics": N_METRICS,
         "acked_reports": result.acked,
         "reports_per_s": throughput,
+        "batched_reports_per_s": batched_throughput,
         "p99_latency_ms": p99_ms,
         "mean_latency_ms": mean_ms,
         "events_streamed": n_events,

@@ -96,6 +96,10 @@ HEADLINES: Dict[str, Tuple[Headline, ...]] = {
     "serving": (
         Headline("reports_per_s", lambda d: d["reports_per_s"], HIGHER),
         Headline(
+            "batched_reports_per_s",
+            lambda d: d["batched_reports_per_s"], HIGHER,
+        ),
+        Headline(
             "p99_latency_ms", lambda d: d["p99_latency_ms"], LOWER,
             slack=0.5,
         ),
@@ -121,6 +125,16 @@ HEADLINES: Dict[str, Tuple[Headline, ...]] = {
         ),
         Headline(
             "promotion_s", lambda d: d["promotion_s"], LOWER, slack=1.0
+        ),
+    ),
+    "columnar": (
+        Headline(
+            "close_speedup_at_max_n",
+            lambda d: d["sizes"][-1]["close_speedup"], HIGHER,
+        ),
+        Headline(
+            "block_reports_per_s_at_max_n",
+            lambda d: d["sizes"][-1]["block_reports_per_s"], HIGHER,
         ),
     ),
     "forecast": (
@@ -161,6 +175,9 @@ BENCH_SOURCES: Dict[str, Tuple[str, str]] = {
     "forecast": (
         "benchmarks/test_forecast_leadtime.py",
         "FORECAST_LEADTIME_QUICK",
+    ),
+    "columnar": (
+        "benchmarks/test_columnar_ingest.py", "COLUMNAR_INGEST_QUICK"
     ),
 }
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.config import EPOCH_MINUTES, FingerprintingConfig, ReliabilityConfig
 from repro.core.atomicio import atomic_write_npz, pack_header, unpack_header
+from repro.core.columnar import WindowBlock
 from repro.telemetry.epochs import EpochClock
 from repro.core.pipeline import FingerprintPipeline, KnownCrisis
 from repro.core.streaming import StreamingCrisisMonitor, _LiveCrisis, _StoredCrisis
@@ -215,8 +216,8 @@ def save_monitor(
         arrays["thresholds_hot"] = monitor.thresholds.hot
     if monitor._pre_buffer:
         arrays["pre_buffer"] = np.stack(monitor._pre_buffer)
-    if live is not None and live.summaries:
-        arrays["live_summaries"] = np.stack(live.summaries)
+    if live is not None and live.summaries is not None and len(live.summaries):
+        arrays["live_summaries"] = live.summaries.snapshot()
     for i, stored in enumerate(monitor._library):
         arrays[f"library_window_{i}"] = stored.quantile_window
     _atomic_write_npz(path, arrays)
@@ -275,7 +276,9 @@ def load_monitor(
                     detected_epoch=live_meta["detected_epoch"],
                 )
                 if "live_summaries" in data:
-                    live.summaries = list(data["live_summaries"])
+                    live.summaries = WindowBlock.from_array(
+                        data["live_summaries"]
+                    )
                 live.identifications = live_meta["identifications"]
                 monitor._live = live
             monitor._library = [

@@ -61,8 +61,20 @@ def epoch_fingerprints(
     if quantiles.ndim != 3:
         raise ValueError("quantiles must be 3-D")
     metric_indices = np.asarray(metric_indices, dtype=int)
-    sub = quantiles[:, metric_indices, :]
-    summaries = summary_vectors(sub, thresholds.restrict(metric_indices))
+    if (
+        metric_indices.size == quantiles.shape[1]
+        and np.array_equal(
+            metric_indices, np.arange(quantiles.shape[1])
+        )
+    ):
+        # Every metric is relevant: skip the gather copy and discretize
+        # the (block-backed) window directly — it is only ever read.
+        sub = quantiles
+        restricted = thresholds
+    else:
+        sub = quantiles[:, metric_indices, :]
+        restricted = thresholds.restrict(metric_indices)
+    summaries = summary_vectors(sub, restricted)
     return summaries.reshape(summaries.shape[0], -1)
 
 

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.config import FingerprintingConfig, ReliabilityConfig
+from repro.core.columnar import WindowBlock
 from repro.core.engine import EpochStateEngine, fingerprint_from_window
 from repro.core.identification import (
     UNKNOWN,
@@ -94,7 +95,10 @@ MonitorEvent = Union[
 class _LiveCrisis:
     number: int
     detected_epoch: int
-    summaries: List[np.ndarray] = field(default_factory=list)  # raw window
+    #: Raw quantile window: a preallocated columnar block whose
+    #: ``view()`` the fingerprint kernels consume directly — no
+    #: re-stacking per identification epoch.
+    summaries: Optional[WindowBlock] = None
     identifications: int = 0
     ended: bool = False
 
@@ -316,7 +320,7 @@ class StreamingCrisisMonitor:
 
     def _identify(self, live: _LiveCrisis, epoch: int) -> IdentificationUpdate:
         k = live.identifications
-        window = np.stack(live.summaries)
+        window = live.summaries.view()
         new_vec = self._fingerprint(window)
         index = self._library_index(k)
         threshold = None
@@ -439,7 +443,11 @@ class StreamingCrisisMonitor:
                 live = _LiveCrisis(
                     number=self._crisis_counter, detected_epoch=epoch
                 )
-                live.summaries = list(self._pre_buffer) + [epoch_quantiles]
+                max_window = pre + self.config.fingerprint.post_epochs + 1
+                live.summaries = WindowBlock.from_rows(
+                    list(self._pre_buffer) + [epoch_quantiles],
+                    capacity=max_window,
+                )
                 self._live = live
                 events.append(
                     CrisisDetected(epoch=epoch, crisis_number=live.number)
@@ -479,7 +487,7 @@ class StreamingCrisisMonitor:
             _StoredCrisis(
                 number=live.number,
                 label=None,
-                quantile_window=np.stack(live.summaries),
+                quantile_window=live.summaries.snapshot(),
             )
         )
         self._live = None

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.columnar import EpochBlock
 from repro.telemetry.quantiles import quantile_ranks
 from repro.telemetry.sketches import GKQuantileSketch
 
@@ -89,7 +90,12 @@ class ShardFolder:
         self._n_reports = 0
         self._dropped = 0
         self._counts = np.zeros(self.n_metrics, dtype=int)
-        self._chunks: List[np.ndarray] = []
+        if self.mode == "exact":
+            # Preallocated columnar block, reused across epochs; the
+            # reset below clears occupancy without touching the buffer.
+            if not hasattr(self, "_block"):
+                self._block = EpochBlock(self.n_metrics)
+            self._block.reset()
         self._sketches: List[Optional[GKQuantileSketch]] = [
             None for _ in range(self.n_metrics)
         ]
@@ -103,16 +109,16 @@ class ShardFolder:
             raise ValueError(
                 f"chunk must be (batch, {self.n_metrics}), got {chunk.shape}"
             )
-        finite = np.isfinite(chunk)
         self._n_reports += chunk.shape[0]
-        self._dropped += int(chunk.size - finite.sum())
-        self._counts += finite.sum(axis=0)
         if self.mode == "exact":
-            # Non-finite entries become NaN so the merge step's sort can
-            # drop them uniformly (inf is dropped-and-counted, like the
-            # single-process submit path).
-            self._chunks.append(np.where(finite, chunk, np.nan))
+            # The block NaN-masks non-finite entries in the same pass
+            # that copies the chunk (inf is dropped-and-counted, like
+            # the single-process submit path).
+            self._dropped += self._block.append_batch(chunk)
         else:
+            finite = np.isfinite(chunk)
+            self._dropped += int(chunk.size - finite.sum())
+            self._counts += finite.sum(axis=0)
             for j in range(self.n_metrics):
                 col = chunk[finite[:, j], j]
                 if col.size == 0:
@@ -130,20 +136,17 @@ class ShardFolder:
         """Emit this epoch's partial and reset the folder."""
         start = time.perf_counter()
         if self.mode == "exact":
-            if self._chunks:
-                matrix = (
-                    self._chunks[0]
-                    if len(self._chunks) == 1
-                    else np.vstack(self._chunks)
-                )
-                values = [
-                    matrix[np.isfinite(matrix[:, j]), j]
-                    for j in range(self.n_metrics)
-                ]
-            else:
-                values = [
-                    np.empty(0, dtype=float) for _ in range(self.n_metrics)
-                ]
+            # One column-wise sort; each metric's finite values are the
+            # leading ``counts[j]`` rows (NaN sorts last), so the
+            # per-metric filter loops collapse to constant-time slices.
+            # Values come out sorted — the merge step re-sorts the
+            # cross-shard union anyway, so the summary is unchanged.
+            counts = self._block.column_counts()
+            ordered = np.sort(self._block.matrix(), axis=0)
+            values = [
+                ordered[: counts[j], j] for j in range(self.n_metrics)
+            ]
+            self._counts = counts
             partial = ShardPartial(
                 shard_id=self.shard_id,
                 epoch=epoch,
@@ -195,14 +198,40 @@ def merge_partials(
         raise ValueError(f"cannot merge mixed-mode partials: {modes}")
     mode = modes.pop()
     if mode == "exact":
+        # One flat concatenation keyed by metric id, one lexsort, one
+        # rank gather — no per-metric Python sort/rank loops.  The
+        # lexsort's primary key is the metric id and the secondary key
+        # the value, so rows [offset[j] : offset[j] + counts[j]] of the
+        # flat array are exactly metric j's sorted union, which is what
+        # the historical per-metric ``np.sort(concatenate(...))`` built.
+        counts = np.zeros(n_metrics, dtype=np.int64)
+        arrays: List[np.ndarray] = []
         for j in range(n_metrics):
-            cols = [
-                p.values[j] for p in partials if p.values[j].size
-            ]
-            if not cols:
-                continue
-            merged = np.sort(np.concatenate(cols) if len(cols) > 1 else cols[0])
-            out[j] = merged[quantile_ranks(merged.size, quantiles)]
+            for p in partials:
+                vals = p.values[j]
+                if vals.size:
+                    arrays.append(vals)
+                    counts[j] += vals.size
+        if not arrays:
+            return out
+        flat = np.concatenate(arrays)
+        ids = np.repeat(np.arange(n_metrics), counts)
+        flat = flat[np.lexsort((flat, ids))]
+        offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+        qs = np.asarray(quantiles, dtype=float)
+        # ceil(n*p) 1-based ranks clipped to [1, n] per metric —
+        # elementwise identical to quantile_ranks(counts[j], quantiles).
+        ranks = (
+            np.clip(
+                np.ceil(counts[:, None] * qs[None, :]).astype(int),
+                1,
+                np.maximum(counts, 1)[:, None],
+            )
+            - 1
+        )
+        idx = np.minimum(offsets[:, None] + ranks, flat.size - 1)
+        gathered = flat[idx]
+        np.copyto(out, gathered, where=(counts > 0)[:, None])
     else:
         for j in range(n_metrics):
             sketch: Optional[GKQuantileSketch] = None

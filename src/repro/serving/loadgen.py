@@ -31,7 +31,7 @@ from repro.serving.wire import MalformedFrame
 from repro.telemetry.reliability import RetryPolicy
 
 #: Verbs the client stamps with its highest observed fencing token.
-_JOURNALED_OPS = ("report", "close_epoch", "diagnose")
+_JOURNALED_OPS = ("report", "report_batch", "close_epoch", "diagnose")
 
 
 def synthetic_report(
@@ -59,6 +59,37 @@ def synthetic_report(
         "epoch": epoch,
         "values": [float(v) for v in values],
         "violation": bool(violation),
+    }
+
+
+def synthetic_batch(
+    seed: int,
+    tenant_idx: int,
+    epoch: int,
+    machine_indices: Sequence[int],
+    n_metrics: int,
+    crisis_epochs: Sequence[int] = (),
+) -> dict:
+    """One ``report_batch`` frame covering many machines of one tenant.
+
+    Built from :func:`synthetic_report` per machine, so the values a
+    batched run offers the server are byte-identical to the unbatched
+    workload's — the precondition for batched-vs-unbatched parity
+    proofs.
+    """
+    reports = [
+        synthetic_report(
+            seed, tenant_idx, epoch, m, n_metrics, crisis_epochs
+        )
+        for m in machine_indices
+    ]
+    return {
+        "op": "report_batch",
+        "tenant": f"tenant-{tenant_idx}",
+        "epoch": epoch,
+        "machines": [r["machine"] for r in reports],
+        "values": [r["values"] for r in reports],
+        "violations": [r["violation"] for r in reports],
     }
 
 
@@ -385,13 +416,19 @@ def run_load(
     window: int = 64,
     start_epoch: int = 0,
     endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+    batch_size: Optional[int] = None,
 ) -> LoadResult:
     """Drive the synthetic workload against a server, measuring ingest.
 
     Latency is measured per pipelined window (wall time / window size),
     which is what an agent batching its fleet's reports experiences.
     ``endpoints`` (when given) supersedes ``host``/``port`` and enables
-    client-side failover across primary + standbys.
+    client-side failover across primary + standbys.  With ``batch_size``
+    set, machine reports travel as ``report_batch`` frames of at most
+    that many machines (same values, same epochs — the batched and
+    unbatched workloads are byte-identical per machine); acked/duplicate
+    counts still tally individual machine reports via the ``n`` field
+    batch acks carry.
     """
     result = LoadResult()
     with ServingClient(
@@ -399,12 +436,22 @@ def run_load(
     ) as client:
         for epoch in range(start_epoch, n_epochs):
             for t in range(n_tenants):
-                batch = [
-                    synthetic_report(
-                        seed, t, epoch, m, n_metrics, crisis_epochs
-                    )
-                    for m in range(n_machines)
-                ]
+                if batch_size is None:
+                    batch = [
+                        synthetic_report(
+                            seed, t, epoch, m, n_metrics, crisis_epochs
+                        )
+                        for m in range(n_machines)
+                    ]
+                else:
+                    batch = [
+                        synthetic_batch(
+                            seed, t, epoch,
+                            range(lo, min(lo + batch_size, n_machines)),
+                            n_metrics, crisis_epochs,
+                        )
+                        for lo in range(0, n_machines, batch_size)
+                    ]
                 batch.append({
                     "op": "close_epoch",
                     "tenant": f"tenant-{t}",
@@ -419,10 +466,12 @@ def run_load(
                 )
                 for resp in resps:
                     if resp.get("ok"):
+                        # Batch acks carry n = machine reports covered.
+                        n_covered = int(resp.get("n", 1))
                         if resp.get("status") == "duplicate":
-                            result.duplicates += 1
+                            result.duplicates += n_covered
                         else:
-                            result.acked += 1
+                            result.acked += n_covered
                     else:
                         result.rejected += 1
         result.overloads = client.overloads
@@ -436,6 +485,7 @@ __all__ = [
     "LoadResult",
     "ServingClient",
     "run_load",
+    "synthetic_batch",
     "synthetic_report",
     "workload",
 ]

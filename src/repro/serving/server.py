@@ -58,7 +58,7 @@ logger = logging.getLogger(__name__)
 _OK_STATUSES = {"applied", "duplicate"}
 
 #: Verbs that reach the journal (and therefore replication + fencing).
-_JOURNALED_OPS = ("report", "close_epoch", "diagnose")
+_JOURNALED_OPS = ("report", "report_batch", "close_epoch", "diagnose")
 
 
 class IngestServer:
@@ -407,10 +407,14 @@ class IngestServer:
 
     def _wire_response(self, status: str, payload: dict) -> dict:
         if status in _OK_STATUSES:
+            # Batch acks carry n = machine reports the frame covered, so
+            # clients can tally per-machine acked/duplicate counts.
+            extra = {"n": payload["n"]} if "n" in payload else {}
             return wire.ok_response(
                 seq=payload.get("seq"),
                 events=payload.get("events", []),
                 status=status,
+                **extra,
             )
         if status == "shed":
             return wire.error_response(

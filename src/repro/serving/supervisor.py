@@ -267,7 +267,7 @@ class TenantSupervisor:
         to_journal: List[dict] = []
         for record in records:
             op = record["op"]
-            if op in ("report", "close_epoch"):
+            if op in ("report", "report_batch", "close_epoch"):
                 epoch = record["epoch"]
                 if epoch < pred:
                     plan = DUPLICATE
@@ -319,8 +319,15 @@ class TenantSupervisor:
         responses: List[Tuple[str, dict]] = []
         crashed = False
         for record, plan in zip(records, plans):
+            # Batch acks carry how many machine reports they covered,
+            # so clients can account throughput without re-parsing.
+            extra_fields = (
+                {"n": len(record["machines"])}
+                if record["op"] == "report_batch"
+                else {}
+            )
             if plan != APPLIED:
-                responses.append((plan, {"events": []}))
+                responses.append((plan, {"events": [], **extra_fields}))
                 continue
             if crashed:
                 responses.append(self._shed_payload(slot))
@@ -336,7 +343,14 @@ class TenantSupervisor:
                 continue
             slot.crash_streak = 0
             responses.append(
-                (status, {"events": events, "seq": record.get("seq")})
+                (
+                    status,
+                    {
+                        "events": events,
+                        "seq": record.get("seq"),
+                        **extra_fields,
+                    },
+                )
             )
         return responses
 

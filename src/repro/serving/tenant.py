@@ -47,6 +47,7 @@ from repro.config import (
     ThresholdConfig,
 )
 from repro.core import checkpoint as ckpt
+from repro.core.columnar import EpochBlock
 from repro.core.streaming import StreamingCrisisMonitor
 from repro.serving.journal import WriteAheadJournal
 from repro.serving.wire import event_to_wire
@@ -163,8 +164,15 @@ class TenantRuntime:
         self.compacted_through = 0
         self.epochs_since_checkpoint = 0
         self.event_log: List[dict] = []  # wire-encoded, cumulative
-        #: reports currently buffered for ``next_epoch``, by machine id
-        self.pending: Dict[str, Tuple[List[float], bool]] = {}
+        #: Reports currently buffered for ``next_epoch``, keyed by
+        #: machine id.  A columnar :class:`EpochBlock` (preallocated
+        #: value matrix + violation bitmap, machine ids interned once)
+        #: replacing the historical ``Dict[str, Tuple[List[float],
+        #: bool]]`` — its mapping facade keeps dict-style reads
+        #: (``len`` / ``in`` / iteration / ``pending[machine]``)
+        #: working, and re-delivered reports still overwrite by
+        #: machine id.
+        self.pending = EpochBlock(cfg.n_metrics)
 
     # -- record application (live path AND replay path) --------------------
 
@@ -175,7 +183,7 @@ class TenantRuntime:
         out-of-order records are acked/nacked without a disk write.
         """
         kind = record["op"]
-        if kind in ("report", "close_epoch"):
+        if kind in ("report", "report_batch", "close_epoch"):
             epoch = record["epoch"]
             if epoch < self.next_epoch:
                 return DUPLICATE
@@ -199,6 +207,8 @@ class TenantRuntime:
             kind = record["op"]
             if kind == "report":
                 self._apply_report(record)
+            elif kind == "report_batch":
+                self._apply_report_batch(record)
             elif kind == "close_epoch":
                 events = self._apply_close(record)
             else:
@@ -215,19 +225,35 @@ class TenantRuntime:
         else:
             self.health.add_agent(machine)
         self.health.observe_report(machine, record["epoch"])
-        self.pending[machine] = (record["values"], record["violation"])
+        self.pending.put(machine, record["values"], record["violation"])
+
+    def _apply_report_batch(self, record: dict) -> None:
+        machines = record["machines"]
+        if self.health is None:
+            self.health = AgentHealthTracker(list(machines))
+        else:
+            for machine in machines:
+                self.health.add_agent(machine)
+        epoch = record["epoch"]
+        for machine in machines:
+            self.health.observe_report(machine, epoch)
+        self.pending.put_batch(
+            machines,
+            np.asarray(record["values"], dtype=float),
+            record["violations"],
+        )
 
     def _apply_close(self, record: dict) -> List[dict]:
         epoch = record["epoch"]
         nq = len(self.cfg.quantiles)
-        if self.pending:
-            samples = np.asarray(
-                [values for values, _ in self.pending.values()], dtype=float
-            )
+        if len(self.pending):
+            # One gather out of the block; the column sort inside
+            # summarize_epoch makes machine order irrelevant, and a mean
+            # of 0/1 floats is exact, so this is bit-identical to the
+            # historical dict-of-lists stacking.
+            samples, violations = self.pending.gather()
             summary = summarize_epoch(samples, self.cfg.quantiles)
-            violation = float(
-                np.mean([bool(v) for _, v in self.pending.values()])
-            )
+            violation = float(violations.astype(float).mean())
         else:
             # A silent fleet still closes its epoch: a NaN summary fails
             # the monitor's validation gate, so the epoch is quarantined
@@ -304,6 +330,8 @@ class TenantRuntime:
             "compacted_through": floor,
             "health": self._health_state(),
             "events": self.event_log,
+            # The block serializes to the historical dict form, so old
+            # and new checkpoints stay mutually loadable.
             "pending": {
                 machine: {"values": values, "violation": violation}
                 for machine, (values, violation) in self.pending.items()
@@ -356,10 +384,10 @@ class TenantRuntime:
                 extra.get("compacted_through", runtime.applied_seq)
             )
             runtime.event_log = list(extra.get("events", []))
-            runtime.pending = {
-                machine: (entry["values"], entry["violation"])
-                for machine, entry in (extra.get("pending") or {}).items()
-            }
+            for machine, entry in (extra.get("pending") or {}).items():
+                runtime.pending.put(
+                    machine, entry["values"], entry["violation"]
+                )
             health = extra.get("health")
             if health:
                 tracker = AgentHealthTracker(list(health))

@@ -14,6 +14,15 @@ Requests (``op`` selects the verb):
     for epoch ``e``.  Reports are *epoch-addressed* so a client that
     resends after a reconnect is safe: a report for an already-closed
     epoch is acknowledged as a duplicate no-op, never applied twice.
+``report_batch``
+    ``{"op": "report_batch", "tenant": t, "epoch": e,
+    "machines": [m...], "values": [[...]...], "violations": [bool...]}``
+    — many machines' vectors for epoch ``e`` in one frame.  The value
+    matrix is validated and decoded in one vectorized numpy pass (the
+    only per-machine Python work is the id strings), machine ids must
+    not repeat within a frame, and the same epoch-addressed resend
+    guarantee applies to the frame as a whole.  Acks carry ``n``, the
+    number of machine reports the frame covered.
 ``close_epoch``
     ``{"op": "close_epoch", "tenant": t, "epoch": e}`` — summarize the
     pending reports for ``e`` and feed the streaming monitor.
@@ -72,8 +81,11 @@ exercise.
 
 from __future__ import annotations
 
+import itertools
 import json
 from typing import Any, Dict, List, Optional
+
+import numpy as np
 
 from repro.core.streaming import (
     CrisisDetected,
@@ -85,8 +97,8 @@ from repro.core.streaming import (
 
 #: Request verbs understood by the server.
 OPS = (
-    "report", "close_epoch", "diagnose", "ping", "stats", "state",
-    "incidents", "forecasts",
+    "report", "report_batch", "close_epoch", "diagnose",
+    "ping", "stats", "state", "incidents", "forecasts",
     "repl_subscribe", "repl_ack", "promote", "fence", "unquarantine",
 )
 
@@ -185,6 +197,7 @@ def parse_request(obj: Dict[str, Any]) -> Dict[str, Any]:
         values = _require(obj, "values", list, "report")
         if not values:
             raise MalformedFrame("report values must be non-empty")
+        # bool is an int subclass: ``true`` is not a metric value.
         for v in values:
             if isinstance(v, bool) or not isinstance(v, (int, float)):
                 raise MalformedFrame("report values must be numbers")
@@ -197,6 +210,66 @@ def parse_request(obj: Dict[str, Any]) -> Dict[str, Any]:
             "values": [float(v) for v in values],
             "violation": violation,
         }, "report")
+    if op == "report_batch":
+        tenant = _require_tenant(obj, "report_batch")
+        epoch = _require(obj, "epoch", int, "report_batch")
+        if epoch < 0:
+            raise MalformedFrame("report_batch epoch must be non-negative")
+        machines = _require(obj, "machines", list, "report_batch")
+        if not machines:
+            raise MalformedFrame("report_batch machines must be non-empty")
+        for machine in machines:
+            if not isinstance(machine, str) or not machine:
+                raise MalformedFrame(
+                    "report_batch machines must be non-empty strings"
+                )
+        if len(set(machines)) != len(machines):
+            raise MalformedFrame(
+                "report_batch machines must not repeat within a frame"
+            )
+        values = _require(obj, "values", list, "report_batch")
+        if len(values) != len(machines):
+            raise MalformedFrame(
+                "report_batch values must match machines one-to-one"
+            )
+        for row in values:
+            if not isinstance(row, list) or not row:
+                raise MalformedFrame(
+                    "report_batch values must be non-empty lists"
+                )
+        # One C-level pass over every entry: the set of concrete types
+        # must be numeric — rejecting bools (an int subclass), strings,
+        # None, and nested lists without a per-value Python loop.
+        kinds = set(map(type, itertools.chain.from_iterable(values)))
+        if not kinds <= {int, float}:
+            raise MalformedFrame("report_batch values must be numbers")
+        try:
+            matrix = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise MalformedFrame(
+                f"report_batch values must be rectangular: {exc}"
+            ) from exc
+        if matrix.ndim != 2:
+            raise MalformedFrame(
+                "report_batch values must be same-length vectors"
+            )
+        violations = _require(obj, "violations", list, "report_batch")
+        if len(violations) != len(machines):
+            raise MalformedFrame(
+                "report_batch violations must match machines one-to-one"
+            )
+        if not set(map(type, violations)) <= {bool}:
+            raise MalformedFrame("report_batch violations must be booleans")
+        return _optional_fence(obj, {
+            "op": "report_batch",
+            "tenant": tenant,
+            "epoch": epoch,
+            "machines": list(machines),
+            # float64 round-trips bit-identically through repr-based
+            # JSON, so journaling the canonicalized lists is lossless.
+            "values": matrix.tolist(),
+            "violations": list(violations),
+        }, "report_batch")
     if op == "close_epoch":
         tenant = _require_tenant(obj, "close_epoch")
         epoch = _require(obj, "epoch", int, "close_epoch")
@@ -278,7 +351,9 @@ def parse_repl_push(obj: Dict[str, Any]) -> Dict[str, Any]:
                 "repl_frames record is missing its journal seq"
             )
         body = parse_request(record)
-        if body["op"] not in ("report", "close_epoch", "diagnose"):
+        if body["op"] not in (
+            "report", "report_batch", "close_epoch", "diagnose"
+        ):
             raise MalformedFrame(
                 f"unjournalable op {body['op']!r} in repl_frames"
             )

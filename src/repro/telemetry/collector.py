@@ -33,7 +33,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.telemetry.quantiles import summarize_epoch
+from repro.core.columnar import EpochBlock
+from repro.telemetry.quantiles import masked_quantiles, summarize_epoch
 from repro.telemetry.reliability import AgentHealthTracker, QuorumPolicy
 from repro.telemetry.sketches import GKQuantileSketch
 
@@ -182,6 +183,15 @@ class EpochAggregator:
     decides whether the partial epoch is still summarizable; below quorum
     the summary is all-NaN and flagged in its quality record, identically
     on both paths.
+
+    Exact mode is columnar by default: reports land in a preallocated
+    :class:`repro.core.columnar.EpochBlock` (reused across epochs) and
+    the close computes NaN-masked per-metric quantiles in single numpy
+    passes (:func:`repro.telemetry.quantiles.masked_quantiles`) — bit-
+    identical to the historical per-machine list path, which is retained
+    behind ``columnar=False`` as the parity reference and benchmark
+    baseline.  :meth:`submit_batch` folds whole ``(batch, n_metrics)``
+    report matrices in one vectorized pass on every mode.
     """
 
     def __init__(
@@ -192,6 +202,7 @@ class EpochAggregator:
         sketch_eps: float = 0.01,
         fleet_size: Optional[int] = None,
         quorum: Optional[QuorumPolicy] = None,
+        columnar: bool = True,
     ):
         if mode not in ("exact", "sketch"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -203,8 +214,13 @@ class EpochAggregator:
         self.quorum = quorum if quorum is not None else QuorumPolicy(
             min_fraction=0.0, min_count=1
         )
+        self.columnar = bool(columnar)
         self._epoch = 0
-        self._reports: List[np.ndarray] = []
+        self._n_reports = 0
+        self._reports: List[np.ndarray] = []  # legacy exact path only
+        self._block: Optional[EpochBlock] = None
+        if mode == "exact" and self.columnar:
+            self._block = EpochBlock(len(self.metric_names))
         self._dropped = 0
         self._sketches: Optional[List[GKQuantileSketch]] = None
         if mode == "sketch":
@@ -225,17 +241,63 @@ class EpochAggregator:
         report = np.asarray(report, dtype=float)
         if report.shape != (len(self.metric_names),):
             raise ValueError("report length mismatch")
-        finite = np.isfinite(report)
-        if not finite.all():
-            self._dropped += int((~finite).sum())
-            report = np.where(finite, report, np.nan)
-        if self.mode == "exact":
-            self._reports.append(report)
+        if self._block is not None:
+            self._dropped += self._block.append(report)
         else:
-            for sketch, value in zip(self._sketches, report):
-                if np.isfinite(value):
-                    sketch.insert(float(value))
-            self._reports.append(np.empty(0))  # count only
+            finite = np.isfinite(report)
+            if not finite.all():
+                self._dropped += int((~finite).sum())
+                report = np.where(finite, report, np.nan)
+            if self.mode == "exact":
+                self._reports.append(report)
+            else:
+                for sketch, value in zip(self._sketches, report):
+                    if np.isfinite(value):
+                        sketch.insert(float(value))
+        self._n_reports += 1
+
+    def submit_batch(self, matrix: np.ndarray) -> None:
+        """Accept many machines' epoch aggregates in one vectorized pass.
+
+        Semantically ``submit`` per row.  On the columnar exact path the
+        whole batch lands in the epoch block with one copy and one
+        NaN-mask; on the sketch path each metric's finite column is
+        sorted once and folded in via
+        :meth:`GKQuantileSketch.from_sorted` + ``merge`` (error-bounded
+        like the fleet folder's batch fold, not bit-identical to
+        per-value inserts).
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.metric_names):
+            raise ValueError(
+                f"batch must be (n, {len(self.metric_names)}), "
+                f"got {matrix.shape}"
+            )
+        n = matrix.shape[0]
+        if n == 0:
+            return
+        if self._block is not None:
+            self._dropped += self._block.append_batch(matrix)
+        elif self.mode == "exact":
+            # Legacy reference path: identical to per-report submits.
+            finite = np.isfinite(matrix)
+            self._dropped += int(matrix.size - int(finite.sum()))
+            masked = np.where(finite, matrix, np.nan)
+            self._reports.extend(masked)
+        else:
+            finite = np.isfinite(matrix)
+            self._dropped += int(matrix.size - int(finite.sum()))
+            for j, sketch in enumerate(self._sketches):
+                col = matrix[finite[:, j], j]
+                if col.size == 0:
+                    continue
+                batch = GKQuantileSketch.from_sorted(
+                    np.sort(col), eps=self.sketch_eps
+                )
+                self._sketches[j] = (
+                    batch if len(sketch) == 0 else sketch.merge(batch)
+                )
+        self._n_reports += n
 
     def note_dropped(self, n: int) -> None:
         """Fold agent-side dropped-sample counts into this epoch's quality."""
@@ -254,7 +316,7 @@ class EpochAggregator:
         and quorum failures surface as an all-NaN summary whose quality
         record says why.
         """
-        n = len(self._reports)
+        n = self._n_reports
         if n == 0 and self.fleet_size is None:
             raise ValueError("no machine reported this epoch")
         shape = (len(self.metric_names), len(self.quantiles))
@@ -263,6 +325,17 @@ class EpochAggregator:
             q = np.full(shape, np.nan)
             if self.mode == "sketch":
                 self._reset_sketches()
+        elif self._block is not None:
+            # Columnar exact close: one in-place column sort + one rank
+            # gather over the block's filled rows, NaN gaps handled in
+            # the same pass.  Counts were tracked on ingest, and the
+            # block is reset below, so the sort may destroy the buffer.
+            q = masked_quantiles(
+                self._block.matrix(),
+                self.quantiles,
+                counts=self._block.column_counts(),
+                overwrite=True,
+            )
         elif self.mode == "exact":
             matrix = np.vstack(self._reports)
             if np.isfinite(matrix).all():
@@ -291,6 +364,9 @@ class EpochAggregator:
             quality=quality,
         )
         self._reports = []
+        self._n_reports = 0
+        if self._block is not None:
+            self._block.reset()
         self._dropped = 0
         self._epoch += 1
         return summary
@@ -314,6 +390,7 @@ class CollectionPipeline:
         strict: bool = False,
         quorum: Optional[QuorumPolicy] = None,
         dead_after: int = 4,
+        columnar: bool = True,
     ):
         if not machine_ids:
             raise ValueError("need at least one machine")
@@ -324,7 +401,7 @@ class CollectionPipeline:
         self.health = AgentHealthTracker(machine_ids, dead_after=dead_after)
         self.aggregator = EpochAggregator(
             metric_names, quantiles=quantiles, mode=mode,
-            fleet_size=len(machine_ids), quorum=quorum,
+            fleet_size=len(machine_ids), quorum=quorum, columnar=columnar,
         )
 
     def close_epoch(self) -> EpochSummary:

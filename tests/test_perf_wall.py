@@ -25,6 +25,7 @@ RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 def serving(mode="quick", **over):
     base = {
         "mode": mode, "reports_per_s": 5000.0,
+        "batched_reports_per_s": 6000.0,
         "p99_latency_ms": 0.25, "recovery_s": 0.5,
     }
     base.update(over)
@@ -34,7 +35,7 @@ def serving(mode="quick", **over):
 class TestCompare:
     def test_identical_payloads_pass(self):
         checks = compare("serving", serving(), serving())
-        assert len(checks) == 3
+        assert len(checks) == 4
         assert not any(c.regressed for c in checks)
 
     def test_higher_is_better_regression(self):

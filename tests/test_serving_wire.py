@@ -233,6 +233,98 @@ class TestEventRoundtrip:
             event_from_wire({"type": "mystery"})
 
 
+def batch_req(**overrides):
+    base = {
+        "op": "report_batch", "tenant": "t", "epoch": 2,
+        "machines": ["m0", "m1", "m2"],
+        "values": [[1.0, 2.0], [3.0, 4.5], [5.0, 6.0]],
+        "violations": [False, True, False],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestReportBatch:
+    def test_roundtrip(self):
+        req = roundtrip(batch_req(__smuggled="x"))
+        assert req == batch_req()
+
+    def test_integer_values_are_canonicalized_to_floats(self):
+        req = roundtrip(batch_req(values=[[1, 2], [3, 4], [5, 6]]))
+        assert req["values"] == [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]
+        assert all(
+            type(v) is float for row in req["values"] for v in row
+        )
+
+    def test_float_values_survive_bitwise(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        matrix = (rng.normal(size=(3, 16)) * 1e17).tolist()
+        req = roundtrip(batch_req(values=matrix))
+        assert req["values"] == matrix
+
+    def test_carries_optional_fence(self):
+        assert roundtrip(batch_req(fence=5))["fence"] == 5
+        assert "fence" not in roundtrip(batch_req())
+
+    def test_rides_the_replication_stream(self):
+        push = parse_repl_push({
+            "op": "repl_frames", "tenant": "t",
+            "records": [{**batch_req(), "seq": 3}],
+        })
+        assert push["records"][0]["op"] == "report_batch"
+
+    @pytest.mark.parametrize("obj", [
+        batch_req(epoch=-1),
+        batch_req(epoch=True),
+        batch_req(machines=[]),
+        batch_req(machines=["m0", "", "m2"]),
+        batch_req(machines=["m0", 1, "m2"]),
+        # Duplicate machine ids within one frame are ambiguous (which
+        # row wins?) and would break the idempotent-resend accounting.
+        batch_req(machines=["m0", "m1", "m0"]),
+        # values/violations must match machines one-to-one.
+        batch_req(values=[[1.0, 2.0], [3.0, 4.0]]),
+        batch_req(violations=[False, True]),
+        # Ragged rows are not a matrix.
+        batch_req(values=[[1.0, 2.0], [3.0], [5.0, 6.0]]),
+        batch_req(values=[[], [], []]),
+        batch_req(values=[[1.0, 2.0], [3.0, "x"], [5.0, 6.0]]),
+        batch_req(values=[[1.0, 2.0], [3.0, None], [5.0, 6.0]]),
+        # Regression (mirrors the single-report rule): bool is an int
+        # subclass, but ``true`` is not a metric sample.
+        batch_req(values=[[1.0, 2.0], [3.0, True], [5.0, 6.0]]),
+        batch_req(values=[[1.0, [2.0]], [3.0, 4.0], [5.0, 6.0]]),
+        batch_req(violations=[False, 1, False]),
+        batch_req(violations=[False, "true", False]),
+    ])
+    def test_invalid_batches(self, obj):
+        with pytest.raises(MalformedFrame):
+            parse_request(obj)
+
+
+class TestBoolValueRegression:
+    """``True``/``False`` pass ``isinstance(v, int)`` — pin that every
+    report path rejects them explicitly instead of journaling 1.0/0.0."""
+
+    @pytest.mark.parametrize("values", [[True], [0.5, False], [True, True]])
+    def test_single_report_rejects_bools(self, values):
+        with pytest.raises(MalformedFrame):
+            parse_request({
+                "op": "report", "tenant": "t", "machine": "m",
+                "epoch": 0, "values": values, "violation": False,
+            })
+
+    def test_batch_rejects_all_bool_matrix(self):
+        # An all-bool matrix would survive a dtype=float64 cast cleanly
+        # (numpy coerces to 1.0/0.0), so the type check must fire first.
+        with pytest.raises(MalformedFrame):
+            parse_request(batch_req(
+                values=[[True, False]] * 3,
+            ))
+
+
 class TestIncidentsOp:
     def test_roundtrip(self):
         req = roundtrip({"op": "incidents", "tenant": "acme", "x": 1})
